@@ -1,0 +1,243 @@
+package scalekv
+
+// One benchmark per figure of the paper's evaluation, plus the ablation
+// benches DESIGN.md calls out. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches report the experiment's headline quantity as a custom
+// metric so `go test -bench` output doubles as the reproduction record.
+
+import (
+	"fmt"
+	"testing"
+
+	"scalekv/internal/cluster"
+	"scalekv/internal/figures"
+	"scalekv/internal/master"
+	"scalekv/internal/storage"
+	"scalekv/internal/wire"
+)
+
+// BenchmarkFig1DataModelScalability regenerates Figure 1: the three
+// data models on 1-16 nodes under the slow master.
+func BenchmarkFig1DataModelScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig1(int64(i))
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2OpsPerNode regenerates Figure 2: operations per node
+// versus sub-query time for the coarse workload on 16 nodes.
+func BenchmarkFig2OpsPerNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig2(int64(i))
+	}
+}
+
+// BenchmarkFig3MaxLoadDensity regenerates Figure 3: the brute-force
+// probability density of the most loaded node (100 keys, 16 nodes).
+func BenchmarkFig3MaxLoadDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig3(int64(i), 100000)
+	}
+}
+
+// BenchmarkFig4StageProfiles regenerates Figure 4: stage profiles of
+// medium- versus fine-grained under the slow master.
+func BenchmarkFig4StageProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig4(int64(i))
+	}
+}
+
+// BenchmarkFig5OptimizedMaster regenerates Figure 5: the scaling sweep
+// after the serialization fix.
+func BenchmarkFig5OptimizedMaster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig5(int64(i))
+	}
+}
+
+// BenchmarkFig6ResponseVsRowSize regenerates Figure 6 on the real
+// storage engine (stratified row sizes, piecewise fit around the 64KB
+// column-index break).
+func BenchmarkFig6ResponseVsRowSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		if _, err := figures.Fig6(figures.Fig6Options{
+			Dir: dir, MaxRow: 6000, Strata: 10, PerStratum: 3, Reps: 2, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ParallelSpeedup regenerates Figure 7 on the real engine:
+// best parallel speed-up per row-size stratum with the log refit.
+func BenchmarkFig7ParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		if _, err := figures.Fig7(figures.Fig7Options{
+			Dir: dir, MaxRow: 4000, Strata: 5, PerStratum: 4, TaskFactor: 4, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8ModelValidation regenerates Figure 8: simulated versus
+// predicted times (±GC correction).
+func BenchmarkFig8ModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig8(int64(i))
+	}
+}
+
+// BenchmarkFig9Optimizer regenerates Figure 9: optimal partition count
+// per cluster size.
+func BenchmarkFig9Optimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig9()
+	}
+}
+
+// BenchmarkFig10LossDecomposition regenerates Figure 10: loss versus
+// ideal scalability split into imbalance and efficiency.
+func BenchmarkFig10LossDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig10()
+	}
+}
+
+// BenchmarkFig11MasterLimit regenerates Figure 11: the single-master
+// crossover near 70 nodes.
+func BenchmarkFig11MasterLimit(b *testing.B) {
+	var crossover int
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig11()
+		crossover = len(tab.Rows)
+	}
+	_ = crossover
+}
+
+// --- Section V-B text numbers ------------------------------------------------
+
+// BenchmarkCodecSlow measures the Java-like reflective codec
+// (paper: 150 µs/message on the JVM).
+func BenchmarkCodecSlow(b *testing.B) { benchCodec(b, wire.SlowCodec{}) }
+
+// BenchmarkCodecFast measures the Kryo-like registered codec
+// (paper: 19 µs/message).
+func BenchmarkCodecFast(b *testing.B) { benchCodec(b, wire.FastCodec{}) }
+
+func benchCodec(b *testing.B, c wire.Codec) {
+	msg := &wire.CountRequest{QueryID: 7, Seq: 1234, PK: "cube-L4-3-7-1"}
+	b.ReportAllocs()
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		data, err := c.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(data)
+		if _, err := c.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(bytes), "bytes/msg")
+}
+
+// --- Ablations (DESIGN.md section 5) -----------------------------------------
+
+// BenchmarkColumnIndexOn/Off ablates the Figure 6 mechanism: a deep
+// slice of a large partition with and without the column index.
+func BenchmarkColumnIndexOn(b *testing.B)  { benchColumnIndex(b, 0) }
+func BenchmarkColumnIndexOff(b *testing.B) { benchColumnIndex(b, -1) }
+
+func benchColumnIndex(b *testing.B, columnIndexSize int) {
+	e, err := storage.Open(storage.Options{
+		Dir: b.TempDir(), DisableWAL: true, FlushThreshold: 1 << 30,
+		ColumnIndexSize: columnIndexSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	val := make([]byte, 38)
+	for c := 0; c < 20000; c++ {
+		e.Put("big", []byte(fmt.Sprintf("%06d", c)), val)
+	}
+	e.Flush()
+	from, to := []byte("019000"), []byte("019100")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := e.ScanPartition("big", from, to)
+		if err != nil || len(cells) != 100 {
+			b.Fatalf("bad slice: %d cells, %v", len(cells), err)
+		}
+	}
+}
+
+// BenchmarkPlacementSingleChoice/TwoChoice ablate the related-work
+// placement policies via the simulated prototype: the reported metric is
+// the measured imbalance, the quantity Formula 1 bounds.
+func BenchmarkPlacementSingleChoice(b *testing.B) {
+	benchPlacement(b, master.PlacementSingleChoice)
+}
+
+// BenchmarkPlacementTwoChoice is the power-of-two-choices counterpart.
+func BenchmarkPlacementTwoChoice(b *testing.B) {
+	benchPlacement(b, master.PlacementTwoChoice)
+}
+
+func benchPlacement(b *testing.B, p master.Placement) {
+	var imb float64
+	for i := 0; i < b.N; i++ {
+		res := master.Run(master.Config{
+			Nodes: 16, Keys: 100, RowSize: 1000, Seed: int64(i), Placement: p,
+		})
+		imb += res.Imbalance()
+	}
+	b.ReportMetric(imb/float64(b.N), "imbalance")
+}
+
+// BenchmarkVerboseMaster ablates the Section V-B per-message extras on
+// the real cluster.
+func BenchmarkVerboseMaster(b *testing.B) { benchRealMaster(b, true) }
+
+// BenchmarkPlainMaster is the optimized-master counterpart.
+func BenchmarkPlainMaster(b *testing.B) { benchRealMaster(b, false) }
+
+func benchRealMaster(b *testing.B, verbose bool) {
+	cl, err := cluster.StartLocal(cluster.LocalOptions{
+		Nodes: 4, Storage: storage.Options{DisableWAL: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	c := cl.Client()
+	pks := make([]string, 200)
+	for p := range pks {
+		pk := fmt.Sprintf("cube-%04d", p)
+		pks[p] = pk
+		for e := 0; e < 20; e++ {
+			c.Put(pk, []byte(fmt.Sprintf("%04d", e)), []byte{byte(e % 4)})
+		}
+	}
+	cl.FlushAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CountAll(pks, cluster.MasterOptions{Verbose: verbose}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command kvmodel is the interactive side of the paper's Section VII:
+// it answers design questions against the analytical model.
+//
+// Usage:
+//
+//	kvmodel predict   -elements 1000000 -keys 4000 -nodes 16
+//	kvmodel optimal   -elements 1000000 -nodes 16
+//	kvmodel sweep     -elements 1000000 -maxnodes 128
+//	kvmodel imbalance -keys 200 -nodes 10
+//	kvmodel limits    -elements 1000000
+//	kvmodel hierarchy -workingset 300
+//
+// All verbs accept -slow to use the pre-optimization master (150 µs per
+// message) instead of the optimized one (19 µs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scalekv/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	verb := os.Args[1]
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	elements := fs.Int("elements", 1_000_000, "total elements in the query")
+	keys := fs.Int("keys", 4000, "partition count")
+	nodes := fs.Int("nodes", 16, "cluster size")
+	maxNodes := fs.Int("maxnodes", 128, "sweep upper bound")
+	slow := fs.Bool("slow", false, "use the unoptimized master (150us/msg)")
+	workingSet := fs.Int("workingset", 64, "working set size in GB (hierarchy verb)")
+	gc := fs.Float64("gc", 0, "GC inflation fraction (e.g. 0.12)")
+	fs.Parse(os.Args[2:])
+
+	sys := core.PaperSystem()
+	if *slow {
+		sys = core.PaperSlowSystem()
+	}
+	sys.GCFraction = *gc
+
+	switch verb {
+	case "predict":
+		p := sys.Predict(*elements, *keys, *nodes)
+		fmt.Println(p)
+		fmt.Printf("  key_max (Formula 5) = %.1f of %d keys\n", p.KeysMax, p.Keys)
+		fmt.Printf("  balanced slave time = %.1f ms (imbalance costs %.1f ms)\n",
+			p.BalancedMs, p.SlaveMs-p.BalancedMs)
+	case "optimal":
+		k, p := sys.OptimalKeys(*elements, *nodes, 100, 100_000)
+		fmt.Printf("optimal partitions for %d elements on %d nodes: %d\n", *elements, *nodes, k)
+		fmt.Println(" ", p)
+	case "sweep":
+		fmt.Printf("%8s %12s %12s %12s %12s  %s\n",
+			"nodes", "opt_keys", "master_ms", "slave_ms", "total_ms", "bottleneck")
+		for n := 1; n <= *maxNodes; n *= 2 {
+			k, p := sys.OptimalKeys(*elements, n, 100, 100_000)
+			fmt.Printf("%8d %12d %12.1f %12.1f %12.1f  %s\n",
+				n, k, p.MasterMs, p.SlaveMs, p.TotalMs, p.Bottleneck)
+		}
+	case "imbalance":
+		p := core.ImbalanceRatio(*keys, *nodes)
+		fmt.Printf("Formula 1: %d keys on %d nodes -> most loaded node gets %.1f%% more than average\n",
+			*keys, *nodes, p*100)
+		fmt.Printf("Formula 5: expected max keys on one node = %.1f (mean %.1f)\n",
+			core.MaxKeysPerNode(*keys, *nodes), float64(*keys)/float64(*nodes))
+	case "limits":
+		cross := sys.MasterLimit(*elements, 100, 100_000, *maxNodes)
+		if cross == 0 {
+			fmt.Printf("random distribution: master is not the bottleneck up to %d nodes\n", *maxNodes)
+		} else {
+			fmt.Printf("random distribution: master becomes the bottleneck at ~%d nodes (paper: ~70)\n", cross)
+		}
+		rs := sys.ReplicaSelectionLimit(250, 16)
+		fmt.Printf("replica selection (16 in flight per node, 250-element rows): ~%d nodes (paper: ~32)\n", rs)
+	case "arch":
+		fmt.Printf("master-slave versus peer-to-peer at each one's optimal partitioning:\n")
+		fmt.Printf("%8s %16s %16s  %s\n", "nodes", "master-slave_ms", "peer-to-peer_ms", "winner")
+		for n := 1; n <= *maxNodes; n *= 2 {
+			_, ms := sys.OptimalKeys(*elements, n, 100, 100_000)
+			// P2P evaluated at its own optimal partition count: without
+			// a central sender it can afford many more, smaller keys.
+			best := ms.TotalMs * 10
+			for k := 100; k <= 100_000; k += k/50 + 1 {
+				if p := sys.PredictP2P(*elements, k, n); p.TotalMs < best {
+					best = p.TotalMs
+				}
+			}
+			winner := "master-slave"
+			if best < ms.TotalMs*0.98 {
+				winner = "peer-to-peer"
+			}
+			fmt.Printf("%8d %16.1f %16.1f  %s\n", n, ms.TotalMs, best, winner)
+		}
+		cross := sys.ArchitectureCrossover(*elements, 100, 100_000, *maxNodes)
+		if cross == 0 {
+			fmt.Printf("no crossover up to %d nodes: the master never binds\n", *maxNodes)
+		} else {
+			fmt.Printf("peer-to-peer wins from ~%d nodes (where the single master binds)\n", cross)
+		}
+	case "hierarchy":
+		tiers := core.KNLTiers()
+		h := core.HierarchicalDB{Base: sys.DB, Tiers: tiers,
+			WorkingSetBytes: int64(*workingSet) << 30}
+		shares := h.TierShares()
+		fmt.Printf("working set %d GB across KNL-style tiers:\n", *workingSet)
+		for i, tier := range tiers {
+			fmt.Printf("  %-7s factor %5.1fx share %5.1f%%\n",
+				tier.Name, tier.LatencyFactor, shares[i]*100)
+		}
+		fmt.Printf("effective DB slowdown: %.2fx\n", h.EffectiveFactor())
+		tiered := sys.WithHierarchy(tiers, int64(*workingSet)<<30)
+		k, p := tiered.OptimalKeys(*elements, *nodes, 100, 100_000)
+		fmt.Printf("tiered optimum on %d nodes: %d keys, %.1f ms\n", *nodes, k, p.TotalMs)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: kvmodel <verb> [flags]
+verbs:
+  predict    evaluate Formula 2 for one configuration
+  optimal    find the partition count minimizing predicted time
+  sweep      optimizer sweep over cluster sizes
+  imbalance  Formulas 1 and 5 for a key/node combination
+  limits     single-master scalability limits (Section VII)
+  arch       master-slave versus peer-to-peer crossover (Section I trade-off)
+  hierarchy  tiered-storage extension (Section IX future work)
+run "kvmodel <verb> -h" for flags`)
+}

@@ -1,0 +1,158 @@
+// Command kvstore runs one store node over TCP, or acts as a client
+// against a set of nodes.
+//
+// Server:
+//
+//	kvstore serve -addr :7070 -id 0 -dir ./data-0
+//
+// Client (node list defines the ring; order and count must match the
+// server deployment):
+//
+//	kvstore -nodes host0:7070,host1:7070 put   <pk> <ck> <value>
+//	kvstore -nodes host0:7070,host1:7070 get   <pk> <ck>
+//	kvstore -nodes host0:7070,host1:7070 scan  <pk>
+//	kvstore -nodes host0:7070,host1:7070 count <pk>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"scalekv/internal/cluster"
+	"scalekv/internal/hashring"
+	"scalekv/internal/transport"
+	"scalekv/internal/wire"
+)
+
+func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
+	client(os.Args[1:])
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	id := fs.Int("id", 0, "node id (ring position)")
+	dir := fs.String("dir", "", "data directory (required)")
+	parallelism := fs.Int("db-parallelism", 16, "concurrent database requests")
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "kvstore serve: -dir is required")
+		os.Exit(2)
+	}
+	l, err := transport.ListenTCP(*addr, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+	node, err := cluster.StartNode(l, cluster.NodeOptions{
+		ID:            hashring.NodeID(*id),
+		Dir:           *dir,
+		DBParallelism: *parallelism,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvstore: node %d serving on %s, data in %s\n", *id, l.Addr(), *dir)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("kvstore: shutting down")
+	if err := node.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func client(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	nodesFlag := fs.String("nodes", "127.0.0.1:7070", "comma-separated node addresses, ring order")
+	rf := fs.Int("rf", 1, "replication factor for writes")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: kvstore [-nodes a,b,c] <put|get|scan|count> args...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	addrs := strings.Split(*nodesFlag, ",")
+	ring := hashring.New(len(addrs), 64)
+	conns := make(map[hashring.NodeID]*transport.Client, len(addrs))
+	for i, addr := range addrs {
+		conn, err := transport.DialTCP(strings.TrimSpace(addr), 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvstore: dial node %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		conns[hashring.NodeID(i)] = transport.NewClient(conn)
+	}
+	cli := cluster.NewClient(ring, conns, cluster.ClientOptions{
+		Codec: wire.FastCodec{}, ReplicationFactor: *rf,
+	})
+	defer cli.Close()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+	need := func(n int, usage string) {
+		if len(rest) != n+1 {
+			fmt.Fprintf(os.Stderr, "usage: kvstore %s\n", usage)
+			os.Exit(2)
+		}
+	}
+	switch rest[0] {
+	case "put":
+		need(3, "put <pk> <ck> <value>")
+		if err := cli.Put(rest[1], []byte(rest[2]), []byte(rest[3])); err != nil {
+			die(err)
+		}
+		fmt.Println("OK")
+	case "get":
+		need(2, "get <pk> <ck>")
+		v, found, err := cli.Get(rest[1], []byte(rest[2]))
+		if err != nil {
+			die(err)
+		}
+		if !found {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", v)
+	case "scan":
+		need(1, "scan <pk>")
+		cells, err := cli.Scan(rest[1], nil, nil)
+		if err != nil {
+			die(err)
+		}
+		for _, c := range cells {
+			fmt.Printf("%q\t%q\n", c.CK, c.Value)
+		}
+		fmt.Printf("(%d cells)\n", len(cells))
+	case "count":
+		need(1, "count <pk>")
+		counts, total, err := cli.Count(rest[1])
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("elements: %d\n", total)
+		for ty, n := range counts {
+			fmt.Printf("  type %d: %d\n", ty, n)
+		}
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}

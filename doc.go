@@ -1,0 +1,52 @@
+// Package scalekv is a reproduction of "Exploiting key-value data
+// stores scalability for HPC" (Cugnasco, Becerra, Torres, Ayguadé —
+// ICPP 2017) as a reusable Go library.
+//
+// The paper's contribution is twofold: a benchmarking methodology that
+// decomposes every distributed request into four stages
+// (master-to-slaves, in-queue, in-cassandra, slaves-to-master), and an
+// analytical model — total = max{master, slowest slave, result fetch} —
+// that, fed with per-component regressions, predicts end-to-end query
+// time, finds the optimal partition count for a workload, and locates
+// the cluster size at which a single master stops scaling.
+//
+// This module implements the full stack the paper runs on:
+//
+//   - a Cassandra-like wide-column store (murmur3 token ring, memtable,
+//     SSTables with bloom filters and a 64KB column index — the
+//     mechanism behind the paper's Formula 6 discontinuity at 1425
+//     rows): internal/storage, internal/cluster;
+//   - the two serialization codecs of the Section V-B experiment
+//     (reflective self-describing vs registered binary): internal/wire;
+//   - a deterministic discrete-event simulator and the paper's
+//     master-slave prototype on top of it, reproducing the Figure 1-5
+//     scaling experiments on any machine: internal/sim,
+//     internal/master;
+//   - the analytical model itself (Formulas 1-8), the partition-count
+//     optimizer, the loss decomposition and the master-limit analysis:
+//     internal/core;
+//   - the case study: a synthetic Alya-style particle advection dataset
+//     and the denormalized D8-tree index over the store:
+//     internal/alya, internal/d8tree;
+//   - one driver per paper figure: internal/figures, exposed by
+//     cmd/kvbench.
+//
+// This package is the facade: it re-exports the model, the simulated
+// prototype, the real cluster and the index so applications depend on a
+// single import path.
+//
+// Quick start:
+//
+//	cl, err := scalekv.StartCluster(4)
+//	if err != nil { ... }
+//	defer cl.Close()
+//	c := cl.Client()
+//	c.Put("sensor-42", []byte("2026-06-10T12:00"), []byte{1, 0xCA})
+//	counts, total, err := c.Count("sensor-42")
+//
+// Model-driven design, as in the paper's Section VII:
+//
+//	sys := scalekv.PaperSystem()
+//	keys, pred := sys.OptimalKeys(1_000_000, 16, 100, 100_000)
+//	fmt.Println(keys, pred.TotalMs, pred.Bottleneck)
+package scalekv

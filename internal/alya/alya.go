@@ -1,0 +1,190 @@
+// Package alya generates the case study's dataset: a synthetic stand-in
+// for the output of the Alya multi-physics simulator on the problem the
+// paper describes — "how the particles are dragged into the bronchi
+// during an inhalation".
+//
+// Particles enter a binary branching airway tree at the trachea and are
+// advected downward; at every bifurcation they pick a child branch, and
+// they may deposit on the airway wall with a probability that grows with
+// depth (narrower airways) and particle size. The result is a
+// multidimensional point set — position, time step, particle type — with
+// the spatial clustering and hotspot skew that makes the D8tree's
+// choose-your-granularity indexing interesting.
+//
+// The substitution is documented in DESIGN.md: the experiments need a
+// realistic ~1M-element multidimensional dataset, not the proprietary
+// simulator itself.
+package alya
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Record is one observation: a particle's state at a time step. All
+// coordinates live in [0,1).
+type Record struct {
+	ParticleID uint32
+	Step       uint16
+	Type       uint8 // particle species (size class)
+	X, Y, Z    float64
+	Velocity   float64
+	Deposited  bool
+}
+
+// Config sizes a simulation.
+type Config struct {
+	// Particles inhaled at step 0.
+	Particles int
+	// Steps of advection.
+	Steps int
+	// Types of particle (size classes); type influences deposition.
+	// 0 means 4.
+	Types int
+	// Depth of the bronchial tree. 0 means 8 generations.
+	Depth int
+	// Seed fixes the trajectory randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Particles <= 0 {
+		c.Particles = 1000
+	}
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.Types <= 0 {
+		c.Types = 4
+	}
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	return c
+}
+
+// branchCenter returns the 3D midpoint of branch `index` at `depth`.
+// The tree is embedded deterministically: depth maps to Y (descending
+// from 1 toward 0), the branch index spreads over X, and Z wobbles so
+// cubes at fine levels separate.
+func branchCenter(depth, index int) (x, y, z float64) {
+	n := 1 << depth // branches at this depth
+	x = (float64(index) + 0.5) / float64(n)
+	y = 1 - (float64(depth)+0.5)/16 // depth 0..15 supported
+	z = 0.5 + 0.35*math.Sin(float64(index)*2.399+float64(depth))
+	return x, y, clamp01(z)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return v
+}
+
+// Simulate runs the advection and returns one Record per particle per
+// step until each particle deposits (records stop after deposition).
+// Output is deterministic for a given Config.
+func Simulate(cfg Config) []Record {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type pstate struct {
+		depth     int
+		branch    int
+		progress  float64 // position along current branch, 0..1
+		deposited bool
+		ptype     uint8
+		velocity  float64
+	}
+	parts := make([]pstate, cfg.Particles)
+	for i := range parts {
+		parts[i] = pstate{
+			ptype:    uint8(rng.Intn(cfg.Types)),
+			velocity: 0.5 + rng.Float64(), // relative airflow share
+		}
+	}
+
+	var out []Record
+	for step := 0; step < cfg.Steps; step++ {
+		for i := range parts {
+			p := &parts[i]
+			if p.deposited {
+				continue
+			}
+			// Advance along the branch; heavier types (higher value)
+			// move slower and settle more.
+			p.progress += p.velocity * (0.3 - 0.02*float64(p.ptype))
+			if p.progress >= 1 {
+				if p.depth+1 >= cfg.Depth {
+					p.deposited = true // reached the alveoli
+				} else {
+					// Bifurcation: slight bias toward the right lung.
+					child := 0
+					if rng.Float64() < 0.55 {
+						child = 1
+					}
+					p.depth++
+					p.branch = p.branch*2 + child
+					p.progress = 0
+				}
+			}
+			// Wall deposition: likelier deeper (narrower airways) and
+			// for heavier species.
+			depositP := 0.004 * float64(p.depth) * (1 + 0.5*float64(p.ptype))
+			if !p.deposited && rng.Float64() < depositP {
+				p.deposited = true
+			}
+
+			cx, cy, cz := branchCenter(p.depth, p.branch)
+			// Jitter within the airway lumen.
+			jitter := 0.4 / float64(int(1)<<p.depth)
+			rec := Record{
+				ParticleID: uint32(i),
+				Step:       uint16(step),
+				Type:       p.ptype,
+				X:          clamp01(cx + (rng.Float64()-0.5)*jitter),
+				Y:          clamp01(cy + (rng.Float64()-0.5)*0.03),
+				Z:          clamp01(cz + (rng.Float64()-0.5)*jitter),
+				Velocity:   p.velocity,
+				Deposited:  p.deposited,
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// DepositionByType summarises what fraction of each particle type
+// deposited by the end of the simulation — the physiological quantity
+// the case study's queries aggregate.
+func DepositionByType(records []Record) map[uint8]float64 {
+	// Final state is each particle's last record (records are emitted in
+	// step order).
+	last := map[uint32]Record{}
+	for _, r := range records {
+		last[r.ParticleID] = r
+	}
+	deposited := map[uint8]int{}
+	total := map[uint8]int{}
+	for _, r := range last {
+		total[r.Type]++
+		if r.Deposited {
+			deposited[r.Type]++
+		}
+	}
+	out := map[uint8]float64{}
+	for ty, n := range total {
+		out[ty] = float64(deposited[ty]) / float64(n)
+	}
+	return out
+}
+
+// String renders a record compactly for logs and examples.
+func (r Record) String() string {
+	return fmt.Sprintf("p%d@%d type=%d (%.3f,%.3f,%.3f)", r.ParticleID, r.Step, r.Type, r.X, r.Y, r.Z)
+}

@@ -1,0 +1,166 @@
+package alya
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Particles: 100, Steps: 50, Seed: 42}
+	a := Simulate(cfg)
+	b := Simulate(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Simulate(Config{Particles: 100, Steps: 50, Seed: 43})
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical output")
+		}
+	}
+}
+
+func TestCoordinatesInUnitCube(t *testing.T) {
+	for _, r := range Simulate(Config{Particles: 200, Steps: 100, Seed: 1}) {
+		if r.X < 0 || r.X >= 1 || r.Y < 0 || r.Y >= 1 || r.Z < 0 || r.Z >= 1 {
+			t.Fatalf("record out of unit cube: %v", r)
+		}
+	}
+}
+
+func TestRecordCountBounds(t *testing.T) {
+	cfg := Config{Particles: 100, Steps: 50, Seed: 7}
+	recs := Simulate(cfg)
+	if len(recs) > cfg.Particles*cfg.Steps {
+		t.Fatalf("%d records exceed particles*steps", len(recs))
+	}
+	if len(recs) < cfg.Particles {
+		t.Fatalf("%d records, want at least one per particle", len(recs))
+	}
+}
+
+func TestDepositionHappens(t *testing.T) {
+	recs := Simulate(Config{Particles: 500, Steps: 200, Seed: 3})
+	frac := DepositionByType(recs)
+	anyDeposited := false
+	for _, f := range frac {
+		if f > 0 {
+			anyDeposited = true
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("deposition fraction %v out of range", f)
+		}
+	}
+	if !anyDeposited {
+		t.Fatal("no particle deposited over 200 steps")
+	}
+}
+
+// Heavier particle types deposit more readily — the physical gradient
+// the synthetic model encodes. Use a short horizon: over a long
+// inhalation every particle eventually settles, flattening the contrast.
+func TestHeavierTypesDepositMore(t *testing.T) {
+	recs := Simulate(Config{Particles: 4000, Steps: 20, Types: 4, Seed: 5})
+	frac := DepositionByType(recs)
+	if frac[3] <= frac[0] {
+		t.Fatalf("type 3 deposition %.3f not above type 0 %.3f", frac[3], frac[0])
+	}
+}
+
+// Particles move downward through the tree: mean Y must decrease with
+// step (depth maps to lower Y).
+func TestAdvectionDescends(t *testing.T) {
+	recs := Simulate(Config{Particles: 500, Steps: 100, Seed: 9})
+	sumY := map[uint16]float64{}
+	n := map[uint16]int{}
+	for _, r := range recs {
+		sumY[r.Step] += r.Y
+		n[r.Step]++
+	}
+	early := sumY[2] / float64(n[2])
+	late := sumY[80] / float64(n[80])
+	if late >= early {
+		t.Fatalf("mean Y did not descend: step2=%.3f step80=%.3f", early, late)
+	}
+}
+
+// The data must be spatially clustered, not uniform: the paper's case
+// needs hotspot skew. Compare occupancy variance of a coarse grid to a
+// uniform distribution of the same mass.
+func TestSpatialClustering(t *testing.T) {
+	recs := Simulate(Config{Particles: 2000, Steps: 50, Seed: 11})
+	const g = 8
+	var grid [g][g][g]int
+	for _, r := range recs {
+		grid[int(r.X*g)][int(r.Y*g)][int(r.Z*g)]++
+	}
+	mean := float64(len(recs)) / (g * g * g)
+	var ss float64
+	for x := 0; x < g; x++ {
+		for y := 0; y < g; y++ {
+			for z := 0; z < g; z++ {
+				d := float64(grid[x][y][z]) - mean
+				ss += d * d
+			}
+		}
+	}
+	variance := ss / (g * g * g)
+	// Uniform data would have variance ~mean (Poisson); clustered data
+	// is far above.
+	if variance < 5*mean {
+		t.Fatalf("variance %.1f vs mean %.1f — data not clustered", variance, mean)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	recs := Simulate(Config{Seed: 1})
+	if len(recs) == 0 {
+		t.Fatal("default config produced nothing")
+	}
+	if s := recs[0].String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBranchCenterBounds(t *testing.T) {
+	for depth := 0; depth < 12; depth++ {
+		for _, idx := range []int{0, (1 << depth) - 1} {
+			x, y, z := branchCenter(depth, idx)
+			if x < 0 || x >= 1 || y < 0 || y >= 1 || z < 0 || z >= 1 {
+				t.Fatalf("branchCenter(%d,%d) = (%v,%v,%v) out of cube", depth, idx, x, y, z)
+			}
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 {
+		t.Fatal("negative clamp")
+	}
+	if v := clamp01(1.5); v >= 1 || math.IsNaN(v) {
+		t.Fatal("overflow clamp")
+	}
+	if clamp01(0.5) != 0.5 {
+		t.Fatal("identity clamp")
+	}
+}
+
+func BenchmarkSimulate10kParticles(b *testing.B) {
+	cfg := Config{Particles: 10000, Steps: 100, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(cfg)
+	}
+}

@@ -1,0 +1,160 @@
+// Package balls provides the balls-into-bins machinery behind the
+// paper's workload-imbalance analysis: Monte-Carlo estimation of the
+// maximum bin load (Figure 3) and the alternative placement policies
+// discussed in Section VIII — single choice (plain DHT hashing), the
+// power of two random choices, and Kinesis-style "r of k" placement.
+//
+// The closed-form expectations (Formulas 1 and 5) live in internal/core;
+// this package supplies the empirical side the paper validates them
+// against.
+package balls
+
+import (
+	"math/rand"
+
+	"scalekv/internal/stats"
+)
+
+// MaxLoad throws m balls into n bins uniformly at random and returns the
+// load of the most loaded bin — one Figure 3 trial.
+func MaxLoad(m, n int, rng *rand.Rand) int {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	bins := make([]int, n)
+	for i := 0; i < m; i++ {
+		bins[rng.Intn(n)]++
+	}
+	max := 0
+	for _, b := range bins {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MaxLoadDistribution runs `trials` single-choice experiments and
+// returns a histogram of the max load — the probability density the
+// paper brute-forces for Figure 3 (100 keys over 16 nodes).
+func MaxLoadDistribution(m, n, trials int, rng *rand.Rand) *stats.Histogram {
+	lo := float64(m) / float64(n)
+	hi := lo * 4
+	if hi < lo+10 {
+		hi = lo + 10
+	}
+	h := stats.NewHistogram(lo, hi, int(hi-lo))
+	for i := 0; i < trials; i++ {
+		h.Add(float64(MaxLoad(m, n, rng)))
+	}
+	return h
+}
+
+// ProbMoreUnbalancedThan estimates P[max load >= threshold] over trials
+// experiments; the paper uses it to show the observed 10-of-100-keys
+// case was not unlucky ("in 60% of the cases we would have a more
+// unbalanced scenario").
+func ProbMoreUnbalancedThan(m, n, threshold, trials int, rng *rand.Rand) float64 {
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if MaxLoad(m, n, rng) >= threshold {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// TwoChoiceMaxLoad throws m balls, picking the lesser-loaded of two
+// random bins each time — Mitzenmacher's power of two choices, whose max
+// load is m/n + O(log log n) instead of m/n + O(sqrt(m log n / n)).
+func TwoChoiceMaxLoad(m, n int, rng *rand.Rand) int {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	bins := make([]int, n)
+	for i := 0; i < m; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if bins[b] < bins[a] {
+			a = b
+		}
+		bins[a]++
+	}
+	max := 0
+	for _, b := range bins {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// KinesisPlacement models Microsoft Kinesis' "r of k" scheme: each ball
+// hashes to k candidate bins and is stored in the r least loaded of
+// them. Returns per-bin loads. The write balance improves with k, but —
+// as the paper points out — a reader that cannot know which replicas
+// were chosen must query all k candidates, multiplying read work.
+type KinesisPlacement struct {
+	K int // candidate bins per ball
+	R int // replicas actually written
+}
+
+// Place distributes m balls over n bins and returns the bin loads and
+// the read amplification factor (k/r): the expected extra queries a
+// reader issues relative to storing r fixed replicas.
+func (p KinesisPlacement) Place(m, n int, rng *rand.Rand) (loads []int, readAmplification float64) {
+	if p.K < 1 {
+		p.K = 1
+	}
+	if p.R < 1 {
+		p.R = 1
+	}
+	if p.R > p.K {
+		p.R = p.K
+	}
+	loads = make([]int, n)
+	if n <= 0 || m <= 0 {
+		return loads, 1
+	}
+	cand := make([]int, 0, p.K)
+	for i := 0; i < m; i++ {
+		cand = cand[:0]
+		// k distinct candidates.
+		for len(cand) < p.K && len(cand) < n {
+			c := rng.Intn(n)
+			dup := false
+			for _, e := range cand {
+				if e == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cand = append(cand, c)
+			}
+		}
+		// Write to the r least loaded candidates (selection by simple
+		// partial sort; k is tiny).
+		for w := 0; w < p.R && w < len(cand); w++ {
+			best := w
+			for j := w + 1; j < len(cand); j++ {
+				if loads[cand[j]] < loads[cand[best]] {
+					best = j
+				}
+			}
+			cand[w], cand[best] = cand[best], cand[w]
+			loads[cand[w]]++
+		}
+	}
+	return loads, float64(p.K) / float64(p.R)
+}
+
+// MaxOf returns the maximum of a load vector.
+func MaxOf(loads []int) int {
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,145 @@
+package balls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxLoadBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		m, n := 100, 16
+		got := MaxLoad(m, n, rng)
+		if got < (m+n-1)/n {
+			t.Fatalf("max load %d below ceiling(m/n)=%d", got, (m+n-1)/n)
+		}
+		if got > m {
+			t.Fatalf("max load %d above m", got)
+		}
+	}
+}
+
+func TestMaxLoadDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if MaxLoad(0, 10, rng) != 0 || MaxLoad(10, 0, rng) != 0 {
+		t.Fatal("degenerate inputs must yield 0")
+	}
+	if MaxLoad(50, 1, rng) != 50 {
+		t.Fatal("single bin must hold every ball")
+	}
+}
+
+// The Figure 3 experiment: 100 keys over 16 nodes. The paper observed a
+// max load of 10 and notes Formula 1 predicts ~10.4; the distribution
+// mode should be near there and P[max >= 10] should be around 60%.
+func TestFigure3Distribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := MaxLoadDistribution(100, 16, 20000, rng)
+	mode := h.Mode()
+	if mode < 9 || mode > 12 {
+		t.Fatalf("mode %.1f, want near 10 (paper's observation)", mode)
+	}
+	// "More unbalanced" than the observed max of 10 means max >= 11.
+	p := ProbMoreUnbalancedThan(100, 16, 11, 20000, rng)
+	if p < 0.40 || p > 0.80 {
+		t.Fatalf("P[max>=11] = %.2f, paper reports ~0.60", p)
+	}
+}
+
+// Expected max load should track Formula 5: m/n + sqrt(m*ln(n)/n).
+func TestMaxLoadMatchesFormula5Scale(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ m, n int }{
+		{100, 16}, {1000, 16}, {10000, 16}, {1000, 8}, {10000, 4},
+	}
+	for _, c := range cases {
+		const trials = 3000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += MaxLoad(c.m, c.n, rng)
+		}
+		got := float64(sum) / trials
+		want := float64(c.m)/float64(c.n) +
+			math.Sqrt(float64(c.m)*math.Log(float64(c.n))/float64(c.n))
+		if got < want*0.75 || got > want*1.25 {
+			t.Errorf("m=%d n=%d: empirical mean max %.2f vs Formula 5 %.2f (>25%% off)",
+				c.m, c.n, got, want)
+		}
+	}
+}
+
+// Two choices must beat one choice decisively (Mitzenmacher).
+func TestTwoChoiceBeatsSingleChoice(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const m, n, trials = 10000, 16, 300
+	var single, double float64
+	for i := 0; i < trials; i++ {
+		single += float64(MaxLoad(m, n, rng))
+		double += float64(TwoChoiceMaxLoad(m, n, rng))
+	}
+	single /= trials
+	double /= trials
+	mean := float64(m) / float64(n)
+	if double-mean > (single-mean)/2 {
+		t.Fatalf("two-choice overload %.1f not clearly below single-choice %.1f",
+			double-mean, single-mean)
+	}
+}
+
+func TestTwoChoiceDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if TwoChoiceMaxLoad(0, 5, rng) != 0 || TwoChoiceMaxLoad(5, 0, rng) != 0 {
+		t.Fatal("degenerate inputs must yield 0")
+	}
+}
+
+func TestKinesisPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := KinesisPlacement{K: 4, R: 2}
+	loads, amp := p.Place(5000, 16, rng)
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if total != 5000*2 {
+		t.Fatalf("total replicas %d want %d", total, 10000)
+	}
+	if amp != 2.0 {
+		t.Fatalf("read amplification %.1f want 2.0 (k=4,r=2)", amp)
+	}
+	// Balance should be better than single-choice with the same number
+	// of replica writes.
+	rngB := rand.New(rand.NewSource(3))
+	singleMax := MaxLoad(10000, 16, rngB)
+	if MaxOf(loads) > singleMax {
+		t.Fatalf("kinesis max %d worse than single choice %d", MaxOf(loads), singleMax)
+	}
+}
+
+func TestKinesisClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := KinesisPlacement{K: 0, R: 9} // r > k and k < 1: both clamp
+	loads, amp := p.Place(100, 4, rng)
+	if amp != 1.0 {
+		t.Fatalf("amplification %.1f want 1.0 after clamping", amp)
+	}
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if total != 100 {
+		t.Fatalf("total %d want 100", total)
+	}
+	empty, _ := p.Place(0, 0, rng)
+	if len(empty) != 0 {
+		t.Fatal("zero bins must return empty loads")
+	}
+}
+
+func BenchmarkMaxLoad100x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		MaxLoad(100, 16, rng)
+	}
+}

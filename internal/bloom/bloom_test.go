@@ -1,0 +1,127 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithRate(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContainString(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 10000
+	f := NewWithRate(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContainString(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want <= 0.03 for 1%% target", rate)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est > 0.02 {
+		t.Fatalf("analytic estimate %.4f unexpectedly high", est)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(1024, 5)
+	if f.MayContainString("anything") {
+		t.Fatal("empty filter claimed membership")
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Fatal("empty filter must estimate 0 fp rate")
+	}
+}
+
+func TestSizingClamps(t *testing.T) {
+	f := New(1, 0)
+	if f.Bits() < 64 || f.k != 1 {
+		t.Fatalf("clamps not applied: bits=%d k=%d", f.Bits(), f.k)
+	}
+	g := NewWithRate(0, 2.0) // nonsense inputs fall back to defaults
+	if g.Bits() == 0 {
+		t.Fatal("NewWithRate produced empty filter")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewWithRate(500, 0.02)
+	for i := 0; i < 500; i++ {
+		f.AddString(fmt.Sprintf("rt-%d", i))
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() || g.Bits() != f.Bits() {
+		t.Fatalf("metadata mismatch after round trip")
+	}
+	for i := 0; i < 500; i++ {
+		if !g.MayContainString(fmt.Sprintf("rt-%d", i)) {
+			t.Fatalf("false negative after round trip for rt-%d", i)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		make([]byte, 21), // length not matching header
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestQuickMembershipProperty(t *testing.T) {
+	f := NewWithRate(2000, 0.01)
+	prop := func(key []byte) bool {
+		f.Add(key)
+		return f.MayContain(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewWithRate(1<<20, 0.01)
+	key := []byte("benchmark-key-000000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[len(key)-1] = byte(i)
+		f.Add(key)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := NewWithRate(1<<20, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	key := []byte("key-50000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key)
+	}
+}

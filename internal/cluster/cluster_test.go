@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"scalekv/internal/stages"
+	"scalekv/internal/storage"
+	"scalekv/internal/transport"
+	"scalekv/internal/wire"
+)
+
+func startTest(t *testing.T, opts LocalOptions) *Cluster {
+	t.Helper()
+	if opts.Storage.FlushThreshold == 0 {
+		opts.Storage = storage.Options{DisableWAL: true}
+	}
+	c, err := StartLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPutGetAcrossNodes(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 4})
+	cli := c.Client()
+	for i := 0; i < 50; i++ {
+		pk := fmt.Sprintf("part-%d", i)
+		if err := cli.Put(pk, []byte("ck"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		pk := fmt.Sprintf("part-%d", i)
+		v, found, err := cli.Get(pk, []byte("ck"))
+		if err != nil || !found {
+			t.Fatalf("get %s: %v found=%v", pk, err, found)
+		}
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %s = %q", pk, v)
+		}
+	}
+	// Keys must actually spread across nodes.
+	nodesWithData := 0
+	for _, n := range c.Nodes {
+		if len(n.Engine().Partitions()) > 0 {
+			nodesWithData++
+		}
+	}
+	if nodesWithData < 3 {
+		t.Fatalf("only %d/4 nodes hold data", nodesWithData)
+	}
+}
+
+func TestGetAbsent(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 2})
+	_, found, err := c.Client().Get("ghost", []byte("ck"))
+	if err != nil || found {
+		t.Fatalf("absent get: %v found=%v", err, found)
+	}
+}
+
+func TestScan(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 3})
+	cli := c.Client()
+	for i := 0; i < 20; i++ {
+		cli.Put("scanpart", []byte{byte(i)}, []byte{byte(i)})
+	}
+	cells, err := cli.Scan("scanpart", []byte{5}, []byte{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("scan returned %d cells want 5", len(cells))
+	}
+	all, err := cli.Scan("scanpart", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("unbounded scan returned %d want 20", len(all))
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 3, ReplicationFactor: 3})
+	cli := c.Client()
+	cli.Put("replicated", []byte("ck"), []byte("v"))
+	c.FlushAll()
+	// With rf = nodes every node must hold the partition.
+	for _, n := range c.Nodes {
+		cells, err := n.Engine().ScanPartition("replicated", nil, nil)
+		if err != nil || len(cells) != 1 {
+			t.Fatalf("node %d: cells=%d err=%v", n.ID(), len(cells), err)
+		}
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 2})
+	cli := c.Client()
+	for i := 0; i < 60; i++ {
+		// First byte of the value is the element type.
+		cli.Put("cube", []byte{byte(i)}, []byte{byte(i % 3), 0xAA})
+	}
+	counts, elements, err := cli.Count("cube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elements != 60 {
+		t.Fatalf("elements %d want 60", elements)
+	}
+	for ty := uint8(0); ty < 3; ty++ {
+		if counts[ty] != 20 {
+			t.Fatalf("type %d count %d want 20", ty, counts[ty])
+		}
+	}
+}
+
+func loadPartitions(t *testing.T, c *Cluster, nParts, elemsPer int) []string {
+	t.Helper()
+	cli := c.Client()
+	pks := make([]string, nParts)
+	for p := 0; p < nParts; p++ {
+		pk := fmt.Sprintf("cube-%04d", p)
+		pks[p] = pk
+		for e := 0; e < elemsPer; e++ {
+			ck := []byte(fmt.Sprintf("%06d", e))
+			if err := cli.Put(pk, ck, []byte{byte(e % 4), 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	return pks
+}
+
+func TestCountAllAggregates(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 4})
+	pks := loadPartitions(t, c, 40, 25) // 1000 elements total
+	res, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != 1000 {
+		t.Fatalf("elements %d want 1000", res.Elements)
+	}
+	var sum uint64
+	for _, n := range res.Counts {
+		sum += n
+	}
+	if sum != 1000 {
+		t.Fatalf("counts sum %d want 1000", sum)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Duration <= 0 || res.SendDuration <= 0 {
+		t.Fatal("durations not measured")
+	}
+}
+
+func TestCountAllTraceIsComplete(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 2})
+	pks := loadPartitions(t, c, 10, 10)
+	res, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four spans per request.
+	if res.Trace.Len() != 4*len(pks) {
+		t.Fatalf("trace has %d spans want %d", res.Trace.Len(), 4*len(pks))
+	}
+	// Each request appears once in the DB stage; ops match the trace.
+	ops := res.Trace.OpsPerNode()
+	totalOps := 0
+	for _, n := range ops {
+		totalOps += n
+	}
+	if totalOps != len(pks) {
+		t.Fatalf("trace DB ops %d want %d", totalOps, len(pks))
+	}
+	for node, n := range res.OpsPerNode {
+		if ops[node] != n {
+			t.Fatalf("node %d: trace ops %d vs result ops %d", node, ops[node], n)
+		}
+	}
+}
+
+func TestCountAllOpsMatchNodeCounters(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 4})
+	pks := loadPartitions(t, c, 32, 5)
+	res, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if got := n.Served.Load(); got != int64(res.OpsPerNode[int(n.ID())]) {
+			t.Fatalf("node %d served %d vs master saw %d", n.ID(), got, res.OpsPerNode[int(n.ID())])
+		}
+	}
+}
+
+func TestVerboseMasterSlower(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 2, Codec: wire.SlowCodec{}})
+	pks := loadPartitions(t, c, 200, 2)
+	var log bytes.Buffer
+	verbose, err := c.Client().CountAll(pks, MasterOptions{Verbose: true, LogSink: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "crc=") {
+		t.Fatal("verbose mode produced no log lines")
+	}
+	plain, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verbose.Elements != plain.Elements {
+		t.Fatalf("verbose changed results: %d vs %d", verbose.Elements, plain.Elements)
+	}
+	// Verbose mode must cost more master send time. Wall-clock noise on
+	// tiny runs is real, so only require it not be dramatically faster.
+	if verbose.SendDuration < plain.SendDuration/2 {
+		t.Fatalf("verbose send %v unexpectedly below plain %v", verbose.SendDuration, plain.SendDuration)
+	}
+}
+
+func TestSlowCodecSendsMoreBytes(t *testing.T) {
+	fast := startTest(t, LocalOptions{Nodes: 2})
+	pksF := loadPartitions(t, fast, 50, 2)
+	resFast, err := fast.Client().CountAll(pksF, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := startTest(t, LocalOptions{Nodes: 2, Codec: wire.SlowCodec{}})
+	pksS := loadPartitions(t, slow, 50, 2)
+	resSlow, err := slow.Client().CountAll(pksS, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSlow.BytesSent < 3*resFast.BytesSent {
+		t.Fatalf("slow codec sent %dB vs fast %dB, want >= 3x", resSlow.BytesSent, resFast.BytesSent)
+	}
+}
+
+func imbalanceOf(ops map[int]int, nodes int) float64 {
+	total, max := 0, 0
+	for _, n := range ops {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(total) / float64(nodes)
+	return (float64(max) - mean) / mean
+}
+
+func TestReplicaSelectionBalancesLoad(t *testing.T) {
+	// With rf=3 over 4 nodes, least-issued replica selection must beat
+	// primary-only routing on load balance.
+	c := startTest(t, LocalOptions{Nodes: 4, ReplicationFactor: 3})
+	pks := loadPartitions(t, c, 60, 5)
+
+	primary, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected, err := c.Client().CountAll(pks, MasterOptions{SelectReplica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selected.Elements != primary.Elements {
+		t.Fatalf("replica selection changed results: %d vs %d", selected.Elements, primary.Elements)
+	}
+	pImb := imbalanceOf(primary.OpsPerNode, 4)
+	sImb := imbalanceOf(selected.OpsPerNode, 4)
+	if sImb >= pImb {
+		t.Fatalf("replica selection imbalance %.2f not below primary %.2f", sImb, pImb)
+	}
+	// With 60 keys and 3-of-4 replicas, least-issued should be nearly
+	// perfectly balanced.
+	if sImb > 0.15 {
+		t.Fatalf("replica-selected imbalance %.2f, want near zero", sImb)
+	}
+}
+
+func TestReplicaSelectionWithoutReplicasIsSafe(t *testing.T) {
+	// rf=1: selection has no choices; results must still be correct.
+	c := startTest(t, LocalOptions{Nodes: 3})
+	pks := loadPartitions(t, c, 20, 4)
+	res, err := c.Client().CountAll(pks, MasterOptions{SelectReplica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != 80 || res.Errors != 0 {
+		t.Fatalf("elements %d errors %d", res.Elements, res.Errors)
+	}
+}
+
+func TestCountAllNodeFailure(t *testing.T) {
+	// Killing one node mid-cluster must surface as per-request errors,
+	// not a hang or a wrong total.
+	c := startTest(t, LocalOptions{Nodes: 3})
+	pks := loadPartitions(t, c, 30, 2)
+	victim := c.Nodes[1]
+	victim.Close()
+	res, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		// The send itself may fail if the victim owned the first key;
+		// that is an acceptable failure mode too.
+		return
+	}
+	expectedLost := 0
+	for _, pk := range pks {
+		if c.Ring.Primary(pk) == victim.ID() {
+			expectedLost++
+		}
+	}
+	if res.Errors != expectedLost {
+		t.Fatalf("errors %d want %d (keys owned by dead node)", res.Errors, expectedLost)
+	}
+	if res.Elements != uint64(2*(len(pks)-expectedLost)) {
+		t.Fatalf("elements %d inconsistent with %d lost partitions", res.Elements, expectedLost)
+	}
+}
+
+func TestStageSpansAreOrdered(t *testing.T) {
+	c := startTest(t, LocalOptions{Nodes: 2})
+	pks := loadPartitions(t, c, 20, 10)
+	res, err := c.Client().CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byReq := map[uint64]map[stages.Stage]stages.Span{}
+	for _, s := range res.Trace.Spans() {
+		if byReq[s.RequestID] == nil {
+			byReq[s.RequestID] = map[stages.Stage]stages.Span{}
+		}
+		byReq[s.RequestID][s.Stage] = s
+	}
+	for id, spans := range byReq {
+		m2s, q, db, s2m := spans[stages.MasterToSlave], spans[stages.InQueue], spans[stages.InDB], spans[stages.SlaveToMaster]
+		if !(m2s.End <= q.Start+1 && q.End <= db.Start+1 && db.End <= s2m.Start+1) {
+			t.Fatalf("request %d: stages out of order: %v %v %v %v", id, m2s, q, db, s2m)
+		}
+	}
+}
+
+func TestTCPNode(t *testing.T) {
+	l, err := transport.ListenTCP("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := StartNode(l, NodeOptions{ID: 0, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	conn, err := transport.DialTCP(l.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := transport.NewClient(conn)
+	defer cli.Close()
+	codec := wire.FastCodec{}
+	payload, _ := codec.Marshal(&wire.PutRequest{PK: "tcp", CK: []byte("ck"), Value: []byte{7}})
+	resp, err := cli.Call(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := codec.Unmarshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := msg.(*wire.PutResponse); pr.ErrMsg != "" {
+		t.Fatal(pr.ErrMsg)
+	}
+	v, found, _ := node.Engine().Get("tcp", []byte("ck"))
+	if !found || v[0] != 7 {
+		t.Fatalf("value not stored over TCP: %v %v", v, found)
+	}
+}
+
+func TestStartLocalValidation(t *testing.T) {
+	if _, err := StartLocal(LocalOptions{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := StartTCP(LocalOptions{Nodes: 0}); err == nil {
+		t.Fatal("zero TCP nodes accepted")
+	}
+}
+
+func TestTCPClusterEndToEnd(t *testing.T) {
+	c, err := StartTCP(LocalOptions{Nodes: 3, Storage: storage.Options{DisableWAL: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli := c.Client()
+	pks := make([]string, 24)
+	for p := range pks {
+		pk := fmt.Sprintf("tcp-%03d", p)
+		pks[p] = pk
+		for e := 0; e < 10; e++ {
+			if err := cli.Put(pk, []byte{byte(e)}, []byte{byte(e % 2)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.CountAll(pks, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != 240 || res.Errors != 0 {
+		t.Fatalf("elements %d errors %d over TCP", res.Elements, res.Errors)
+	}
+}
+
+func BenchmarkCountAll100Keys4Nodes(b *testing.B) {
+	c, err := StartLocal(LocalOptions{Nodes: 4, Storage: storage.Options{DisableWAL: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	cli := c.Client()
+	pks := make([]string, 100)
+	for p := range pks {
+		pk := fmt.Sprintf("cube-%04d", p)
+		pks[p] = pk
+		for e := 0; e < 100; e++ {
+			cli.Put(pk, []byte(fmt.Sprintf("%06d", e)), []byte{byte(e % 4)})
+		}
+	}
+	c.FlushAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.CountAll(pks, MasterOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+// This file implements the paper's stated future work (Section IX):
+// extending the database model to hierarchical storage architectures in
+// the style of the Knights Landing CPU — several memory/storage tiers
+// (MCDRAM, DDR, NVM, SSD, rotational disk) with very different service
+// speeds, where a request's cost depends on which tier its data lives
+// in.
+
+// Tier is one level of the storage hierarchy.
+type Tier struct {
+	// Name is a human-readable label (e.g. "MCDRAM", "DDR4", "NVM").
+	Name string
+	// LatencyFactor multiplies the base DBModel service time when a
+	// request is served from this tier. The fastest tier is typically
+	// < 1 (the base fit blends tiers), deeper tiers are > 1.
+	LatencyFactor float64
+	// CapacityBytes is how much of the working set the tier can hold.
+	CapacityBytes int64
+}
+
+// KNLTiers returns an illustrative Knights-Landing-style hierarchy: 16GB
+// of fast on-package memory, 96GB of DRAM, then NVM and a rotational
+// tier. Factors are indicative ratios, not measurements.
+func KNLTiers() []Tier {
+	return []Tier{
+		{Name: "MCDRAM", LatencyFactor: 0.6, CapacityBytes: 16 << 30},
+		{Name: "DDR4", LatencyFactor: 1.0, CapacityBytes: 96 << 30},
+		{Name: "NVM", LatencyFactor: 4.0, CapacityBytes: 512 << 30},
+		{Name: "HDD", LatencyFactor: 40.0, CapacityBytes: 4 << 40},
+	}
+}
+
+// HierarchicalDB wraps a DBModel with a storage hierarchy: requests are
+// served from the shallowest tiers first (waterfall placement of the
+// working set), and the effective per-request cost is the
+// capacity-weighted mix of tier costs.
+type HierarchicalDB struct {
+	Base  DBModel
+	Tiers []Tier
+	// WorkingSetBytes is the total bytes the query's working set spans.
+	WorkingSetBytes int64
+}
+
+// TierShares returns the fraction of the working set resident in each
+// tier under waterfall placement: fill the fastest tier, overflow to the
+// next. Shares sum to 1 when capacity suffices; any overflow beyond the
+// last tier is attributed to the last tier.
+func (h HierarchicalDB) TierShares() []float64 {
+	shares := make([]float64, len(h.Tiers))
+	if h.WorkingSetBytes <= 0 || len(h.Tiers) == 0 {
+		return shares
+	}
+	remaining := h.WorkingSetBytes
+	for i, t := range h.Tiers {
+		take := remaining
+		if i < len(h.Tiers)-1 && take > t.CapacityBytes {
+			take = t.CapacityBytes
+		}
+		shares[i] = float64(take) / float64(h.WorkingSetBytes)
+		remaining -= take
+		if remaining <= 0 {
+			break
+		}
+	}
+	return shares
+}
+
+// EffectiveFactor returns the capacity-weighted latency multiplier for
+// the current working set.
+func (h HierarchicalDB) EffectiveFactor() float64 {
+	shares := h.TierShares()
+	f := 0.0
+	for i, s := range shares {
+		f += s * h.Tiers[i].LatencyFactor
+	}
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// PerRequestMs is the hierarchical Formula 8: the flat DBmodel scaled by
+// the working set's tier mix.
+func (h HierarchicalDB) PerRequestMs(rowSize float64) float64 {
+	return h.Base.PerRequestMs(rowSize) * h.EffectiveFactor()
+}
+
+// WithHierarchy returns a copy of the system whose database cost is
+// scaled for a working set of the given size on the given tiers — the
+// tool the paper's future work asks for ("predict the time of serving
+// requests out of each of these devices").
+func (s System) WithHierarchy(tiers []Tier, workingSetBytes int64) System {
+	h := HierarchicalDB{Base: s.DB, Tiers: tiers, WorkingSetBytes: workingSetBytes}
+	factor := h.EffectiveFactor()
+	out := s
+	// Scale both branches of the piecewise fit; intercept and slope
+	// scale together because the tier factor applies to the whole
+	// service time.
+	out.DB.LeftA *= factor
+	out.DB.LeftB *= factor
+	out.DB.RightA *= factor
+	out.DB.RightB *= factor
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTierSharesWaterfall(t *testing.T) {
+	h := HierarchicalDB{
+		Tiers: []Tier{
+			{Name: "fast", LatencyFactor: 0.5, CapacityBytes: 100},
+			{Name: "slow", LatencyFactor: 10, CapacityBytes: 1000},
+		},
+	}
+	// Working set fits in the fast tier.
+	h.WorkingSetBytes = 80
+	s := h.TierShares()
+	if s[0] != 1.0 || s[1] != 0.0 {
+		t.Fatalf("small working set shares %v want [1 0]", s)
+	}
+	// Working set spills.
+	h.WorkingSetBytes = 400
+	s = h.TierShares()
+	if math.Abs(s[0]-0.25) > 1e-9 || math.Abs(s[1]-0.75) > 1e-9 {
+		t.Fatalf("spilled shares %v want [0.25 0.75]", s)
+	}
+	// Overflow beyond the last tier still lands on the last tier.
+	h.WorkingSetBytes = 10000
+	s = h.TierShares()
+	if math.Abs(s[0]+s[1]-1.0) > 1e-9 {
+		t.Fatalf("shares %v must sum to 1", s)
+	}
+}
+
+func TestTierSharesDegenerate(t *testing.T) {
+	h := HierarchicalDB{}
+	if got := h.TierShares(); len(got) != 0 {
+		t.Fatal("no tiers must mean no shares")
+	}
+	h = HierarchicalDB{Tiers: KNLTiers()}
+	for _, s := range h.TierShares() { // zero working set
+		if s != 0 {
+			t.Fatal("zero working set must have zero shares")
+		}
+	}
+	if h.EffectiveFactor() != 1 {
+		t.Fatal("degenerate factor must be 1")
+	}
+}
+
+func TestEffectiveFactorGrowsWithWorkingSet(t *testing.T) {
+	tiers := KNLTiers()
+	small := HierarchicalDB{Tiers: tiers, WorkingSetBytes: 1 << 30}
+	big := HierarchicalDB{Tiers: tiers, WorkingSetBytes: 1 << 41}
+	if small.EffectiveFactor() >= big.EffectiveFactor() {
+		t.Fatalf("factor must grow with working set: %.2f vs %.2f",
+			small.EffectiveFactor(), big.EffectiveFactor())
+	}
+	// A working set inside MCDRAM must be faster than the flat model.
+	if small.EffectiveFactor() >= 1 {
+		t.Fatalf("in-MCDRAM factor %.2f must be < 1", small.EffectiveFactor())
+	}
+}
+
+func TestHierarchicalPerRequest(t *testing.T) {
+	base := PaperDBModel()
+	h := HierarchicalDB{Base: base, Tiers: KNLTiers(), WorkingSetBytes: 1 << 30}
+	flat := base.PerRequestMs(500)
+	tiered := h.PerRequestMs(500)
+	if math.Abs(tiered-flat*h.EffectiveFactor()) > 1e-9 {
+		t.Fatalf("hierarchical cost %.4f inconsistent with factor", tiered)
+	}
+}
+
+func TestWithHierarchyScalesSystem(t *testing.T) {
+	s := PaperSystem()
+	// A working set that spills deep into NVM slows predictions down.
+	slow := s.WithHierarchy(KNLTiers(), 300<<30)
+	pFlat := s.Predict(1_000_000, 4000, 8)
+	pSlow := slow.Predict(1_000_000, 4000, 8)
+	if pSlow.SlaveMs <= pFlat.SlaveMs {
+		t.Fatalf("NVM-resident working set must be slower: %.1f vs %.1f",
+			pSlow.SlaveMs, pFlat.SlaveMs)
+	}
+	// And an in-MCDRAM working set speeds them up.
+	fast := s.WithHierarchy(KNLTiers(), 1<<30)
+	pFast := fast.Predict(1_000_000, 4000, 8)
+	if pFast.SlaveMs >= pFlat.SlaveMs {
+		t.Fatalf("MCDRAM working set must be faster: %.1f vs %.1f",
+			pFast.SlaveMs, pFlat.SlaveMs)
+	}
+}
+
+func TestHierarchyShiftsOptimalKeys(t *testing.T) {
+	// The optimizer still works against a tiered database; with a much
+	// slower DB the master matters relatively less, so the optimum must
+	// not collapse.
+	s := PaperSystem().WithHierarchy(KNLTiers(), 2<<40)
+	k, p := s.OptimalKeys(1_000_000, 8, 100, 100000)
+	if k <= 0 || p.TotalMs <= 0 {
+		t.Fatalf("optimizer failed on tiered system: k=%d %+v", k, p)
+	}
+}

@@ -1,0 +1,381 @@
+// Package core implements the paper's primary contribution: the
+// analytical performance model of Sections VI-VII for distributed
+// master-slave applications on key-value stores.
+//
+// The model composes per-component regressions (measured on a concrete
+// hardware/software stack, or taken from the paper's published fit) into
+// an end-to-end prediction
+//
+//	total = max{ master_speed, slowest_slave, result_fetching }   (Formula 2)
+//
+// with
+//
+//	master_speed    = keys · time_msg                              (Formula 3)
+//	slowest_slave   = key_max · DBmodel                            (Formula 4)
+//	key_max         = keys/n + sqrt(keys·ln(n)/n)                  (Formula 5)
+//	DBmodel         = querytime(rowsize)/parallelism(rowsize)      (Formula 8)
+//
+// where querytime is the piecewise-linear database latency (Formula 6,
+// with the column-index break at 1425 items) and parallelism is the
+// logarithmic speed-up fit (Formula 7). The imbalance ratio
+//
+//	p ≈ sqrt(ln(n)·n/m)                                            (Formula 1)
+//
+// follows Berenbrink et al.'s heavily-loaded balls-into-bins bound.
+//
+// On top of the forward model the package provides the paper's analysis
+// tools: the optimal-partition-count optimizer (Figure 9), the loss
+// decomposition between imbalance and database efficiency (Figure 10),
+// and the single-master scalability limits (Section VII, Figure 11).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ImbalanceRatio is Formula 1: the expected relative overload of the
+// most loaded node when m keys spread over n nodes, p ≈ sqrt(ln(n)·n/m).
+// Zero when m or n make the question degenerate.
+func ImbalanceRatio(keys, nodes int) float64 {
+	if keys <= 0 || nodes <= 1 {
+		return 0
+	}
+	return math.Sqrt(math.Log(float64(nodes)) * float64(nodes) / float64(keys))
+}
+
+// MaxKeysPerNode is Formula 5: the high-probability number of keys on
+// the most loaded of n nodes, keys/n + sqrt(keys·ln(n)/n).
+func MaxKeysPerNode(keys, nodes int) float64 {
+	if keys <= 0 || nodes <= 0 {
+		return 0
+	}
+	n := float64(nodes)
+	m := float64(keys)
+	return m/n + math.Sqrt(m*math.Log(n)/n)
+}
+
+// DBModel is the database component model: Formulas 6, 7 and 8. Times
+// are in milliseconds and row sizes in elements, as in the paper.
+type DBModel struct {
+	// Piecewise query latency (Formula 6). Break is the row size at
+	// which the column index appears (1425 items ≈ 64KB in the paper).
+	Break  float64
+	LeftA  float64 // intercept for rowSize <= Break
+	LeftB  float64 // slope for rowSize <= Break
+	RightA float64 // intercept for rowSize > Break
+	RightB float64 // slope for rowSize > Break
+	// Parallelism speed-up fit (Formula 7): ParA + ParB·ln(rowSize),
+	// clamped to at least 1.
+	ParA, ParB float64
+}
+
+// QueryTimeMs is Formula 6: single-request latency for a row of the
+// given size, in milliseconds.
+func (m DBModel) QueryTimeMs(rowSize float64) float64 {
+	if rowSize <= 0 {
+		rowSize = 1
+	}
+	if rowSize > m.Break {
+		return m.RightA + m.RightB*rowSize
+	}
+	return m.LeftA + m.LeftB*rowSize
+}
+
+// Speedup is Formula 7: the throughput gain available from running
+// requests of this row size at their optimal parallelism, never below 1.
+func (m DBModel) Speedup(rowSize float64) float64 {
+	if rowSize <= 0 {
+		rowSize = 1
+	}
+	s := m.ParA + m.ParB*math.Log(rowSize)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// PerRequestMs is Formula 8, DBmodel: the effective per-request cost of
+// a node that processes requests of this row size at optimal
+// parallelism.
+func (m DBModel) PerRequestMs(rowSize float64) float64 {
+	return m.QueryTimeMs(rowSize) / m.Speedup(rowSize)
+}
+
+// PaperDBModel returns the constants the paper fitted on its
+// Cassandra/Xeon stack (Formulas 6 and 7 verbatim).
+func PaperDBModel() DBModel {
+	return DBModel{
+		Break: 1425,
+		LeftA: 1.163, LeftB: 0.0387,
+		RightA: 0.773, RightB: 0.0439,
+		ParA: 12.562, ParB: -1.084,
+	}
+}
+
+// System is the full Formula 2 model: the database plus the master's
+// messaging costs.
+type System struct {
+	DB DBModel
+	// MsgSendMs is time_msg of Formula 3: the master's end-to-end cost
+	// to issue one request, in milliseconds.
+	MsgSendMs float64
+	// MsgRecvMs is the master's per-result cost in the result-fetching
+	// phase, in milliseconds.
+	MsgRecvMs float64
+	// GCFraction inflates the prediction multiplicatively to account
+	// for collector pauses; the paper adds it only for the
+	// coarse-grained validation line ("dbModel+GC" in Figure 8).
+	GCFraction float64
+}
+
+// The paper's measured master costs (Section V-B): 150 µs per message
+// with Java default serialization, 19 µs after the Kryo optimization.
+const (
+	PaperSlowMsgMs = 0.150
+	PaperFastMsgMs = 0.019
+)
+
+// PaperSystem returns the paper's complete fitted system with the
+// optimized (fast) master.
+func PaperSystem() System {
+	return System{DB: PaperDBModel(), MsgSendMs: PaperFastMsgMs, MsgRecvMs: PaperFastMsgMs / 2}
+}
+
+// PaperSlowSystem returns the paper's system before the serialization
+// fix: the master that needed 1.5 s to issue ten thousand messages.
+func PaperSlowSystem() System {
+	return System{DB: PaperDBModel(), MsgSendMs: PaperSlowMsgMs, MsgRecvMs: PaperSlowMsgMs / 2}
+}
+
+// Bottleneck identifies which Formula 2 term dominates a prediction.
+type Bottleneck string
+
+// The three candidate bottlenecks of Formula 2.
+const (
+	BottleneckMaster Bottleneck = "master"
+	BottleneckSlave  Bottleneck = "slowest-slave"
+	BottleneckFetch  Bottleneck = "result-fetching"
+)
+
+// Prediction is the model output for one configuration.
+type Prediction struct {
+	Keys       int
+	Nodes      int
+	RowSize    float64
+	KeysMax    float64 // Formula 5
+	MasterMs   float64 // Formula 3
+	SlaveMs    float64 // Formula 4
+	FetchMs    float64
+	TotalMs    float64 // Formula 2 (including GC inflation if configured)
+	Bottleneck Bottleneck
+	// BalancedMs is the hypothetical slave time under a perfectly
+	// uniform distribution (keys/n instead of key_max) — the paper's
+	// "balanced" line in Figures 1 and 5.
+	BalancedMs float64
+}
+
+func (p Prediction) String() string {
+	return fmt.Sprintf("keys=%d nodes=%d rowSize=%.0f: total=%.1fms (master=%.1f slave=%.1f fetch=%.1f, %s-bound)",
+		p.Keys, p.Nodes, p.RowSize, p.TotalMs, p.MasterMs, p.SlaveMs, p.FetchMs, p.Bottleneck)
+}
+
+// Predict evaluates Formula 2 for a query over totalElements elements
+// split into `keys` partitions on `nodes` nodes.
+func (s System) Predict(totalElements, keys, nodes int) Prediction {
+	if keys < 1 {
+		keys = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	rowSize := float64(totalElements) / float64(keys)
+	keysMax := MaxKeysPerNode(keys, nodes)
+	per := s.DB.PerRequestMs(rowSize)
+
+	p := Prediction{
+		Keys:       keys,
+		Nodes:      nodes,
+		RowSize:    rowSize,
+		KeysMax:    keysMax,
+		MasterMs:   float64(keys) * s.MsgSendMs,
+		SlaveMs:    keysMax * per,
+		FetchMs:    float64(keys) * s.MsgRecvMs,
+		BalancedMs: float64(keys) / float64(nodes) * per,
+	}
+	p.TotalMs = p.MasterMs
+	p.Bottleneck = BottleneckMaster
+	if p.SlaveMs > p.TotalMs {
+		p.TotalMs = p.SlaveMs
+		p.Bottleneck = BottleneckSlave
+	}
+	if p.FetchMs > p.TotalMs {
+		p.TotalMs = p.FetchMs
+		p.Bottleneck = BottleneckFetch
+	}
+	p.TotalMs *= 1 + s.GCFraction
+	return p
+}
+
+// OptimalKeys searches [minKeys, maxKeys] for the partition count that
+// minimizes the predicted total time — the optimizer behind Figure 9.
+// The search is exhaustive over a geometric grid followed by a local
+// refinement, which is robust to the discontinuity at DB.Break.
+func (s System) OptimalKeys(totalElements, nodes, minKeys, maxKeys int) (int, Prediction) {
+	if minKeys < 1 {
+		minKeys = 1
+	}
+	if maxKeys < minKeys {
+		maxKeys = minKeys
+	}
+	bestKeys := minKeys
+	best := s.Predict(totalElements, minKeys, nodes)
+	// Geometric sweep: ~1% steps.
+	for k := minKeys; k <= maxKeys; k = grow(k) {
+		if p := s.Predict(totalElements, k, nodes); p.TotalMs < best.TotalMs {
+			best, bestKeys = p, k
+		}
+	}
+	// Local refinement around the winner.
+	lo, hi := bestKeys-bestKeys/50-2, bestKeys+bestKeys/50+2
+	if lo < minKeys {
+		lo = minKeys
+	}
+	if hi > maxKeys {
+		hi = maxKeys
+	}
+	for k := lo; k <= hi; k++ {
+		if p := s.Predict(totalElements, k, nodes); p.TotalMs < best.TotalMs {
+			best, bestKeys = p, k
+		}
+	}
+	return bestKeys, best
+}
+
+func grow(k int) int {
+	next := k + k/100
+	if next == k {
+		return k + 1
+	}
+	return next
+}
+
+// Loss decomposes the gap to ideal linear scalability at a given
+// configuration — the two stacked contributions of Figure 10.
+type Loss struct {
+	// TotalPct is how much slower the predicted time is than ideal
+	// linear scaling of the single-node optimum, in percent.
+	TotalPct float64
+	// ImbalancePct is the share caused by workload imbalance (key_max
+	// versus keys/n).
+	ImbalancePct float64
+	// EfficiencyPct is the remainder: database efficiency the optimizer
+	// sacrificed by moving away from the single-node-optimal partition
+	// count (plus any master/fetch overhead).
+	EfficiencyPct float64
+}
+
+// LossAtOptimum computes Figure 10's numbers for one node count: how far
+// the best achievable configuration stays from ideal scaling, and how
+// much of that is imbalance versus sacrificed database efficiency.
+func (s System) LossAtOptimum(totalElements, nodes, minKeys, maxKeys int) Loss {
+	_, single := s.OptimalKeys(totalElements, 1, minKeys, maxKeys)
+	ideal := single.TotalMs / float64(nodes)
+	_, multi := s.OptimalKeys(totalElements, nodes, minKeys, maxKeys)
+
+	total := (multi.TotalMs - ideal) / ideal * 100
+	// Imbalance share: the same configuration with a perfectly uniform
+	// distribution would run in BalancedMs.
+	imb := (multi.TotalMs - multi.BalancedMs*(1+s.GCFraction)) / ideal * 100
+	if imb < 0 {
+		imb = 0
+	}
+	eff := total - imb
+	if eff < 0 {
+		eff = 0
+	}
+	return Loss{TotalPct: total, ImbalancePct: imb, EfficiencyPct: eff}
+}
+
+// MasterLimit sweeps node counts and returns the first cluster size at
+// which the master's send time exceeds the slaves' database time under
+// the per-node-optimal partitioning — Figure 11's crossover (~70 servers
+// with the paper's constants). Returns 0 if no crossover occurs up to
+// maxNodes.
+func (s System) MasterLimit(totalElements, minKeys, maxKeys, maxNodes int) int {
+	for n := 1; n <= maxNodes; n++ {
+		_, p := s.OptimalKeys(totalElements, n, minKeys, maxKeys)
+		if p.MasterMs >= p.SlaveMs {
+			return n
+		}
+	}
+	return 0
+}
+
+// PredictP2P evaluates the peer-to-peer variant the paper's
+// introduction weighs against master-slave ("a master with a centralised
+// logic is easier to implement but the capability of a single node might
+// constrain the performance"): every node issues its own 1/n share of
+// the requests, so the per-node send cost shrinks with the cluster while
+// the database term is unchanged. Coordination overhead per node is
+// charged as one extra message exchange with every peer.
+func (s System) PredictP2P(totalElements, keys, nodes int) Prediction {
+	p := s.Predict(totalElements, keys, nodes)
+	if nodes < 1 {
+		nodes = 1
+	}
+	// Each peer sends only its share, plus a round of coordination.
+	p.MasterMs = float64(keys)/float64(nodes)*s.MsgSendMs +
+		float64(nodes-1)*s.MsgSendMs
+	p.FetchMs = float64(keys) / float64(nodes) * s.MsgRecvMs
+	p.TotalMs = p.MasterMs
+	p.Bottleneck = BottleneckMaster
+	if p.SlaveMs > p.TotalMs {
+		p.TotalMs = p.SlaveMs
+		p.Bottleneck = BottleneckSlave
+	}
+	if p.FetchMs > p.TotalMs {
+		p.TotalMs = p.FetchMs
+		p.Bottleneck = BottleneckFetch
+	}
+	p.TotalMs *= 1 + s.GCFraction
+	return p
+}
+
+// ArchitectureCrossover returns the first cluster size at which the
+// peer-to-peer organisation beats master-slave at each one's optimal
+// partition count — the design question the paper's introduction opens
+// with. Returns 0 if master-slave holds up to maxNodes.
+func (s System) ArchitectureCrossover(totalElements, minKeys, maxKeys, maxNodes int) int {
+	for n := 1; n <= maxNodes; n++ {
+		_, ms := s.OptimalKeys(totalElements, n, minKeys, maxKeys)
+		// P2P optimum: search the same key grid against PredictP2P.
+		best := math.Inf(1)
+		for k := minKeys; k <= maxKeys; k = grow(k) {
+			if p := s.PredictP2P(totalElements, k, n); p.TotalMs < best {
+				best = p.TotalMs
+			}
+		}
+		if best < ms.TotalMs*0.98 { // require a real win, not rounding
+			return n
+		}
+	}
+	return 0
+}
+
+// ReplicaSelectionLimit is the Section VII back-of-envelope: a master
+// that must keep every node's pipeline full (parallelism·nodes requests
+// in flight, refreshed every perRequestMs) runs out of cycles when
+// parallelism·nodes·msgSend ≥ perRequestMs. Returns the largest node
+// count that still fits (the paper rounds its example to ~32 nodes).
+func (s System) ReplicaSelectionLimit(rowSize float64, parallelismPerNode int) int {
+	per := s.DB.QueryTimeMs(rowSize) // latency of one request at depth P
+	if s.MsgSendMs <= 0 {
+		return math.MaxInt32
+	}
+	n := per / (float64(parallelismPerNode) * s.MsgSendMs)
+	if n < 1 {
+		return 0
+	}
+	return int(n)
+}

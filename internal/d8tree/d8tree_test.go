@@ -1,0 +1,337 @@
+package d8tree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"scalekv/internal/core"
+	"scalekv/internal/row"
+)
+
+// memStore is a minimal in-memory Store for tests.
+type memStore struct {
+	mu   sync.Mutex
+	data map[string]map[string][]byte
+	puts int
+}
+
+func newMemStore() *memStore {
+	return &memStore{data: map[string]map[string][]byte{}}
+}
+
+func (m *memStore) Put(pk string, ck, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.data[pk] == nil {
+		m.data[pk] = map[string][]byte{}
+	}
+	m.data[pk][string(ck)] = append([]byte(nil), value...)
+	m.puts++
+	return nil
+}
+
+func (m *memStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var cks []string
+	for ck := range m.data[pk] {
+		cks = append(cks, ck)
+	}
+	sort.Strings(cks)
+	var out []row.Cell
+	for _, ck := range cks {
+		out = append(out, row.Cell{CK: []byte(ck), Value: m.data[pk][ck]})
+	}
+	return out, nil
+}
+
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			ID:   uint64(i),
+			X:    rng.Float64(),
+			Y:    rng.Float64(),
+			Z:    rng.Float64(),
+			Type: uint8(rng.Intn(4)),
+		}
+	}
+	return pts
+}
+
+func buildTree(t *testing.T, pts []Point, maxLevel int) (*Tree, *memStore) {
+	t.Helper()
+	st := newMemStore()
+	tr := New(st, Options{MaxLevel: maxLevel})
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, st
+}
+
+func TestDenormalizationFactor(t *testing.T) {
+	pts := randomPoints(50, 1)
+	tr, st := buildTree(t, pts, 3)
+	// Every point is written once per level 0..3.
+	if st.puts != 50*4 {
+		t.Fatalf("%d puts want %d", st.puts, 200)
+	}
+	if tr.Count() != 50 {
+		t.Fatalf("count %d want 50", tr.Count())
+	}
+}
+
+func TestInsertRejectsOutOfCube(t *testing.T) {
+	tr := New(newMemStore(), Options{})
+	for _, p := range []Point{
+		{X: -0.1, Y: 0.5, Z: 0.5},
+		{X: 0.5, Y: 1.0, Z: 0.5},
+		{X: 0.5, Y: 0.5, Z: 2},
+	} {
+		if err := tr.Insert(p); err == nil {
+			t.Fatalf("accepted out-of-cube point %+v", p)
+		}
+	}
+}
+
+func TestCubeKeyBoundaries(t *testing.T) {
+	// Level 1 splits each axis in two.
+	if k := CubeKey(1, 0.49, 0.49, 0.49); k != "L1-0-0-0" {
+		t.Fatalf("low half key %q", k)
+	}
+	if k := CubeKey(1, 0.51, 0.51, 0.51); k != "L1-1-1-1" {
+		t.Fatalf("high half key %q", k)
+	}
+	// Level 0 is a single cube.
+	if k := CubeKey(0, 0.9, 0.1, 0.5); k != "L0-0-0-0" {
+		t.Fatalf("root key %q", k)
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(2000, 7)
+	tr, _ := buildTree(t, pts, 3)
+	box := Box{MinX: 0.2, MinY: 0.3, MinZ: 0.1, MaxX: 0.6, MaxY: 0.7, MaxZ: 0.5}
+
+	var want []uint64
+	for _, p := range pts {
+		if box.Contains(p) {
+			want = append(want, p.ID)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	for level := 0; level <= 3; level++ {
+		res, err := tr.Query(box, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, len(res.Points))
+		for i, p := range res.Points {
+			got[i] = p.ID
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("level %d: %d points want %d", level, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("level %d: result set differs at %d", level, i)
+			}
+		}
+	}
+}
+
+func TestLevelTradeoff(t *testing.T) {
+	pts := randomPoints(3000, 3)
+	tr, _ := buildTree(t, pts, 3)
+	small := Box{MinX: 0.4, MinY: 0.4, MinZ: 0.4, MaxX: 0.45, MaxY: 0.45, MaxZ: 0.45}
+	coarse, err := tr.Query(small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := tr.Query(small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answer, different cost profile: the coarse level reads one
+	// huge cube (many cells scanned), the fine level touches more keys
+	// but scans fewer cells.
+	if coarse.CubesRead != 1 {
+		t.Fatalf("level 0 read %d cubes", coarse.CubesRead)
+	}
+	if fine.CellsScanned >= coarse.CellsScanned {
+		t.Fatalf("fine level scanned %d >= coarse %d", fine.CellsScanned, coarse.CellsScanned)
+	}
+	if len(fine.Points) != len(coarse.Points) {
+		t.Fatalf("levels disagree: %d vs %d points", len(fine.Points), len(coarse.Points))
+	}
+}
+
+func TestCubesForBoxCounts(t *testing.T) {
+	full := Box{MaxX: 1, MaxY: 1, MaxZ: 1}
+	for level := 0; level <= 3; level++ {
+		want := 1 << (3 * level) // 8^level
+		if got := len(CubesForBox(level, full)); got != want {
+			t.Fatalf("level %d: %d cubes want %d", level, got, want)
+		}
+	}
+	// An octant-aligned box at level 1 touches exactly one cube.
+	octant := Box{MaxX: 0.5, MaxY: 0.5, MaxZ: 0.5}
+	if got := len(CubesForBox(1, octant)); got != 1 {
+		t.Fatalf("aligned octant: %d cubes want 1", got)
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, Point{
+			ID: uint64(i), X: 0.5, Y: 0.5, Z: 0.5, Type: uint8(i % 3),
+		})
+	}
+	tr, _ := buildTree(t, pts, 2)
+	counts, err := tr.CountByType(Box{MaxX: 1, MaxY: 1, MaxZ: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ty := uint8(0); ty < 3; ty++ {
+		if counts[ty] != 100 {
+			t.Fatalf("type %d: %d want 100", ty, counts[ty])
+		}
+	}
+}
+
+func TestPlanQueryPrefersFinerForSmallBoxes(t *testing.T) {
+	st := newMemStore()
+	tr := New(st, Options{MaxLevel: 4})
+	sys := core.PaperSystem()
+	const elements = 1_000_000
+
+	tiny := Box{MinX: 0.4, MinY: 0.4, MinZ: 0.4, MaxX: 0.41, MaxY: 0.41, MaxZ: 0.41}
+	huge := Box{MaxX: 1, MaxY: 1, MaxZ: 1}
+	tinyPlan := tr.PlanQuery(tiny, sys, 8, elements)
+	hugePlan := tr.PlanQuery(huge, sys, 8, elements)
+	// A tiny box should be answered at a deep level (read one small
+	// cube, not the 250k-element root).
+	if tinyPlan.Level < hugePlan.Level {
+		t.Fatalf("tiny box plans level %d, huge box level %d — planner inverted",
+			tinyPlan.Level, hugePlan.Level)
+	}
+	if tinyPlan.Prediction.TotalMs <= 0 || hugePlan.Prediction.TotalMs <= 0 {
+		t.Fatal("plans carry no prediction")
+	}
+}
+
+// Property: for random boxes and every level, the query returns exactly
+// the brute-force result set.
+func TestQuickRandomBoxes(t *testing.T) {
+	pts := randomPoints(1500, 13)
+	tr, _ := buildTree(t, pts, 3)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := rng.Float64(), rng.Float64()
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		z0, z1 := rng.Float64(), rng.Float64()
+		if z0 > z1 {
+			z0, z1 = z1, z0
+		}
+		box := Box{MinX: x0, MaxX: x1, MinY: y0, MaxY: y1, MinZ: z0, MaxZ: z1}
+		want := 0
+		for _, p := range pts {
+			if box.Contains(p) {
+				want++
+			}
+		}
+		level := rng.Intn(4)
+		res, err := tr.Query(box, level)
+		if err != nil {
+			t.Fatalf("trial %d level %d: %v", trial, level, err)
+		}
+		if len(res.Points) != want {
+			t.Fatalf("trial %d level %d: %d points want %d (box %+v)",
+				trial, level, len(res.Points), want, box)
+		}
+	}
+}
+
+func TestQueryLevelValidation(t *testing.T) {
+	tr := New(newMemStore(), Options{MaxLevel: 2})
+	if _, err := tr.Query(Box{MaxX: 1, MaxY: 1, MaxZ: 1}, 3); err == nil {
+		t.Fatal("level above max accepted")
+	}
+	if _, err := tr.Query(Box{MaxX: 1, MaxY: 1, MaxZ: 1}, -1); err == nil {
+		t.Fatal("negative level accepted")
+	}
+}
+
+func TestDecodeCorruptValue(t *testing.T) {
+	if _, err := decodePoint(1, []byte{1, 2, 3}); err == nil {
+		t.Fatal("short value accepted")
+	}
+}
+
+func TestPointRoundTrip(t *testing.T) {
+	p := Point{ID: 99, X: 0.125, Y: 0.625, Z: 0.999, Type: 7}
+	got, err := decodePoint(99, encodePoint(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip %+v -> %+v", p, got)
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	if v := (Box{MaxX: 1, MaxY: 1, MaxZ: 1}).Volume(); v != 1 {
+		t.Fatalf("unit box volume %v", v)
+	}
+	if v := (Box{MaxX: 0.5, MaxY: 0.5, MaxZ: 0.5}).Volume(); v != 0.125 {
+		t.Fatalf("octant volume %v", v)
+	}
+	if v := (Box{MinX: 0.9, MaxX: 0.1, MaxY: 1, MaxZ: 1}).Volume(); v != 0 {
+		t.Fatalf("inverted box volume %v", v)
+	}
+}
+
+func BenchmarkInsertLevel4(b *testing.B) {
+	st := newMemStore()
+	tr := New(st, Options{MaxLevel: 4})
+	pts := randomPoints(b.N, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(pts[i])
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	st := newMemStore()
+	tr := New(st, Options{MaxLevel: 3})
+	for _, p := range randomPoints(5000, 1) {
+		tr.Insert(p)
+	}
+	box := Box{MinX: 0.25, MinY: 0.25, MinZ: 0.25, MaxX: 0.75, MaxY: 0.75, MaxZ: 0.75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Query(box, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleCubeKey() {
+	fmt.Println(CubeKey(2, 0.3, 0.6, 0.9))
+	// Output: L2-1-2-3
+}

@@ -1,0 +1,307 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"runtime"
+
+	"scalekv/internal/stats"
+	"scalekv/internal/storage"
+)
+
+// Fig6Options sizes the response-time-versus-row-size measurement.
+type Fig6Options struct {
+	// Dir is the engine directory; empty means a temp dir (removed
+	// afterwards).
+	Dir string
+	// MaxRow is the largest row size; 0 means 10000 (the paper's
+	// range).
+	MaxRow int
+	// Strata is the number of row-size ranges; 0 means 20.
+	Strata int
+	// PerStratum is how many partitions to materialize per range;
+	// 0 means 5.
+	PerStratum int
+	// Reps is how many times each partition is read; 0 means 3.
+	Reps int
+	// Seed fixes sampling.
+	Seed int64
+}
+
+// cellValueSize makes one serialized cell ≈ 46 bytes so the 64KB column
+// index threshold falls at ≈ 1425 rows, the paper's break point.
+const cellValueSize = 38
+
+// buildStratified materializes partitions whose row sizes cover
+// [1, maxRow] in equal strata and returns (pk -> rowSize).
+func buildStratified(e *storage.Engine, maxRow, strata, perStratum int, rng *rand.Rand) (map[string]int, error) {
+	sizes := map[string]int{}
+	plan := stats.StratifiedPlan(1, maxRow, strata, perStratum)
+	val := make([]byte, cellValueSize)
+	for si, s := range plan {
+		for j := 0; j < s.Want; j++ {
+			size := s.Lo + rng.Intn(s.Hi-s.Lo)
+			pk := fmt.Sprintf("row-s%02d-p%02d", si, j)
+			sizes[pk] = size
+			for c := 0; c < size; c++ {
+				ck := []byte(fmt.Sprintf("%06d", c))
+				val[0] = byte(c % 4)
+				if err := e.Put(pk, ck, val); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return sizes, e.Flush()
+}
+
+func openFigEngine(dir string) (*storage.Engine, func(), error) {
+	cleanup := func() {}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "scalekv-fig-")
+		if err != nil {
+			return nil, nil, err
+		}
+		dir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	e, err := storage.Open(storage.Options{
+		Dir:            dir,
+		DisableWAL:     true,
+		FlushThreshold: 1 << 30, // flush once, by hand
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return e, func() { e.Close(); cleanup() }, nil
+}
+
+// Fig6 measures the real storage engine's response time against row
+// size — the methodology step that produced the paper's Formula 6 — and
+// refits the piecewise model on this stack's numbers.
+func Fig6(opts Fig6Options) (*Table, error) {
+	if opts.MaxRow <= 0 {
+		opts.MaxRow = 10000
+	}
+	if opts.Strata <= 0 {
+		opts.Strata = 20
+	}
+	if opts.PerStratum <= 0 {
+		opts.PerStratum = 5
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 3
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	e, done, err := openFigEngine(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	sizes, err := buildStratified(e, opts.MaxRow, opts.Strata, opts.PerStratum, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm the page cache once, then measure in random order.
+	pks := make([]string, 0, len(sizes))
+	for pk := range sizes {
+		pks = append(pks, pk)
+	}
+	for _, pk := range pks {
+		if _, err := e.ScanPartition(pk, nil, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Per partition keep the minimum across repetitions: the noise
+	// floor filters out scheduler and GC interference, which on a busy
+	// host dwarfs the per-row cost being measured. Two read paths are
+	// measured: the full-partition aggregation read (the paper's
+	// Figure 6 measurement) and a fixed-width tail slice, where the
+	// column index's cost asymmetry is directly visible on this stack —
+	// unindexed partitions scan from the start, indexed ones seek.
+	fullMs := make(map[string]float64, len(pks))
+	tailMs := make(map[string]float64, len(pks))
+	for rep := 0; rep < opts.Reps; rep++ {
+		stats.Shuffle(pks, rng)
+		for _, pk := range pks {
+			start := time.Now()
+			if _, err := e.ScanPartition(pk, nil, nil); err != nil {
+				return nil, err
+			}
+			elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+			if cur, ok := fullMs[pk]; !ok || elapsed < cur {
+				fullMs[pk] = elapsed
+			}
+			// Tail slice: the last up-to-100 rows of the partition.
+			from := sizes[pk] - 100
+			if from < 0 {
+				from = 0
+			}
+			start = time.Now()
+			if _, err := e.ScanPartition(pk, []byte(fmt.Sprintf("%06d", from)), nil); err != nil {
+				return nil, err
+			}
+			elapsed = float64(time.Since(start)) / float64(time.Millisecond)
+			if cur, ok := tailMs[pk]; !ok || elapsed < cur {
+				tailMs[pk] = elapsed
+			}
+		}
+	}
+	var xs, ys, tys []float64
+	perStratumFull := make(map[int][]float64)
+	perStratumTail := make(map[int][]float64)
+	for _, pk := range pks {
+		xs = append(xs, float64(sizes[pk]))
+		ys = append(ys, fullMs[pk])
+		tys = append(tys, tailMs[pk])
+		stratum := (sizes[pk] - 1) * opts.Strata / opts.MaxRow
+		perStratumFull[stratum] = append(perStratumFull[stratum], fullMs[pk])
+		perStratumTail[stratum] = append(perStratumTail[stratum], tailMs[pk])
+	}
+
+	t := &Table{
+		ID:      "Fig6",
+		Title:   "Response time versus row size (real engine, 64KB column index)",
+		Columns: []string{"row_size_range", "samples", "full_read_ms", "tail_slice_ms"},
+	}
+	width := opts.MaxRow / opts.Strata
+	for s := 0; s < opts.Strata; s++ {
+		full := stats.Summarize(perStratumFull[s])
+		if full.N == 0 {
+			continue
+		}
+		tail := stats.Summarize(perStratumTail[s])
+		t.AddRow(fmt.Sprintf("%d-%d", s*width+1, (s+1)*width), d(full.N), f4(full.Mean), f4(tail.Mean))
+	}
+	if fit, err := stats.FitPiecewise(xs, ys, 8); err == nil {
+		t.AddNote("full-read fit: %s", fit)
+	}
+	if fit, err := stats.FitPiecewise(xs, tys, 8); err == nil {
+		t.AddNote("tail-slice fit: %s — the slope collapses once the column index exists (~1425 rows)", fit)
+	}
+	t.AddNote("paper (Formula 6): break 1425; left 1.163+0.0387x; right 0.773+0.0439x [ms]")
+	t.AddNote("this engine's per-row cost is ~100x below the paper's Cassandra, so the full-read jump at the break is within noise here; the tail-slice series exposes the same column-index mechanism directly (unindexed: scan from start; indexed: seek)")
+	return t, nil
+}
+
+// Fig7Options sizes the parallel speed-up measurement.
+type Fig7Options struct {
+	Dir        string
+	MaxRow     int // 0 = 10000
+	Strata     int // 0 = 10
+	PerStratum int // 0 = 8
+	// TaskFactor multiplies partitions into read tasks per
+	// measurement; 0 = 8.
+	TaskFactor int
+	Seed       int64
+}
+
+// Fig7 measures the throughput speed-up of issuing partition reads in
+// parallel, per row-size stratum, and refits the paper's logarithmic
+// parallelism model (Formula 7) on this stack.
+func Fig7(opts Fig7Options) (*Table, error) {
+	if opts.MaxRow <= 0 {
+		opts.MaxRow = 10000
+	}
+	if opts.Strata <= 0 {
+		opts.Strata = 10
+	}
+	if opts.PerStratum <= 0 {
+		opts.PerStratum = 8
+	}
+	if opts.TaskFactor <= 0 {
+		opts.TaskFactor = 8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	e, done, err := openFigEngine(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	sizes, err := buildStratified(e, opts.MaxRow, opts.Strata, opts.PerStratum, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	byStratum := make(map[int][]string)
+	for pk, size := range sizes {
+		s := (size - 1) * opts.Strata / opts.MaxRow
+		byStratum[s] = append(byStratum[s], pk)
+	}
+
+	t := &Table{
+		ID:      "Fig7",
+		Title:   "Speed-up of parallel queries versus row size (real engine)",
+		Columns: []string{"row_size_range", "best_speedup", "best_parallelism", "serial_ms_per_req"},
+	}
+	parallelisms := []int{1, 2, 4, 8, 16, 32}
+	var xs, ys []float64
+	width := opts.MaxRow / opts.Strata
+	for s := 0; s < opts.Strata; s++ {
+		pks := byStratum[s]
+		if len(pks) == 0 {
+			continue
+		}
+		// Tasks: every partition read TaskFactor times.
+		tasks := make([]string, 0, len(pks)*opts.TaskFactor)
+		for i := 0; i < opts.TaskFactor; i++ {
+			tasks = append(tasks, pks...)
+		}
+		// Warm.
+		for _, pk := range pks {
+			if _, err := e.ScanPartition(pk, nil, nil); err != nil {
+				return nil, err
+			}
+		}
+		serial := timeTasks(e, tasks, 1)
+		bestSpeedup, bestP := 1.0, 1
+		for _, p := range parallelisms[1:] {
+			elapsed := timeTasks(e, tasks, p)
+			if sp := float64(serial) / float64(elapsed); sp > bestSpeedup {
+				bestSpeedup, bestP = sp, p
+			}
+		}
+		mid := float64(s*width + width/2)
+		xs = append(xs, mid)
+		ys = append(ys, bestSpeedup)
+		t.AddRow(fmt.Sprintf("%d-%d", s*width+1, (s+1)*width),
+			f2(bestSpeedup), d(bestP),
+			f4(float64(serial)/float64(time.Millisecond)/float64(len(tasks))))
+	}
+	if fit, err := stats.FitLog(xs, ys); err == nil {
+		t.AddNote("fitted: %s", fit)
+		t.AddNote("paper (Formula 7): 12.562 - 1.084*ln(rowSize) on a 16-thread Xeon")
+		t.AddNote("this host has %d hardware threads, which caps the attainable speed-up; the declining-with-size shape is the reproduced quantity", maxProcs())
+	} else {
+		t.AddNote("log fit failed: %v", err)
+	}
+	return t, nil
+}
+
+func timeTasks(e *storage.Engine, tasks []string, parallelism int) time.Duration {
+	start := time.Now()
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, pk := range tasks {
+		pk := pk
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e.ScanPartition(pk, nil, nil)
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func maxProcs() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,220 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 7)
+	out := tab.Render()
+	for _, needle := range []string{"X", "demo", "a", "bb", "hello 7"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("render missing %q:\n%s", needle, out)
+		}
+	}
+	tsv := tab.TSV()
+	if !strings.HasPrefix(tsv, "a\tbb\n1\t2\n") {
+		t.Fatalf("bad TSV: %q", tsv)
+	}
+}
+
+func TestFig1ShapeAndCompleteness(t *testing.T) {
+	tab := Fig1(3)
+	if len(tab.Rows) != 3*len(ClusterSizes) {
+		t.Fatalf("%d rows want %d", len(tab.Rows), 3*len(ClusterSizes))
+	}
+	// Extract the 16-node overhead per workload.
+	overhead := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] == "16" {
+			overhead[row[0]] = cellFloat(t, row[5])
+		}
+	}
+	if !(overhead["medium-grained"] < overhead["coarse-grained"] &&
+		overhead["coarse-grained"] < overhead["fine-grained"]) {
+		t.Fatalf("16-node overhead ordering wrong: %v", overhead)
+	}
+}
+
+func TestFig5FineGrainedWins(t *testing.T) {
+	tab := Fig5(3)
+	observed := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] == "16" {
+			observed[row[0]] = cellFloat(t, row[2])
+		}
+	}
+	if !(observed["fine-grained"] < observed["medium-grained"] &&
+		observed["fine-grained"] < observed["coarse-grained"]) {
+		t.Fatalf("fine-grained does not win at 16 nodes: %v", observed)
+	}
+}
+
+func TestFig2PerNodeRows(t *testing.T) {
+	tab := Fig2(5)
+	if len(tab.Rows) != 16 {
+		t.Fatalf("%d rows want 16", len(tab.Rows))
+	}
+	totalOps := 0
+	for _, row := range tab.Rows {
+		totalOps += int(cellFloat(t, row[1]))
+	}
+	if totalOps != 100 {
+		t.Fatalf("ops sum %d want 100", totalOps)
+	}
+}
+
+func TestFig3DensitySumsToOne(t *testing.T) {
+	tab := Fig3(1, 20000)
+	var sum float64
+	for _, row := range tab.Rows {
+		sum += cellFloat(t, row[1])
+	}
+	if sum < 0.98 || sum > 1.02 {
+		t.Fatalf("density sums to %.3f", sum)
+	}
+	if len(tab.Notes) < 3 {
+		t.Fatal("Fig3 must note observed, predicted and P[more unbalanced]")
+	}
+}
+
+func TestFig4HasBothPatterns(t *testing.T) {
+	tab := Fig4(11)
+	// 4 stages x 2 workloads.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows want 8", len(tab.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tab.Rows {
+		names[row[0]] = true
+	}
+	if !names["medium-grained"] || !names["fine-grained"] {
+		t.Fatalf("missing workloads: %v", names)
+	}
+}
+
+func TestFig8RowsAndErrorBounded(t *testing.T) {
+	tab := Fig8(3)
+	if len(tab.Rows) != 3*len(ClusterSizes) {
+		t.Fatalf("%d rows want %d", len(tab.Rows), 3*len(ClusterSizes))
+	}
+	for _, row := range tab.Rows {
+		errPct := cellFloat(t, row[5])
+		if errPct < -60 || errPct > 60 {
+			t.Fatalf("model error %s%% for %s/%s nodes out of band", row[5], row[0], row[1])
+		}
+	}
+}
+
+func TestFig9OptimalKeysGrow(t *testing.T) {
+	tab := Fig9()
+	prev := 0.0
+	for _, row := range tab.Rows {
+		k := cellFloat(t, row[1])
+		if k < prev {
+			t.Fatalf("optimal keys shrank: %v", tab.Rows)
+		}
+		prev = k
+	}
+}
+
+func TestFig10LossComponents(t *testing.T) {
+	tab := Fig10()
+	for _, row := range tab.Rows {
+		total := cellFloat(t, row[1])
+		imb := cellFloat(t, row[2])
+		eff := cellFloat(t, row[3])
+		if imb+eff > total*1.05+0.2 {
+			t.Fatalf("components %v exceed total %v", imb+eff, total)
+		}
+	}
+}
+
+func TestFig11CrossoverNoted(t *testing.T) {
+	tab := Fig11()
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "master send time first matches") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Fig11 missing crossover note")
+	}
+	// At 128 nodes the bottleneck column must say master.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[5] != "master" {
+		t.Fatalf("at 128 nodes bottleneck is %q want master", last[5])
+	}
+	// At 1 node it must be the slave.
+	if tab.Rows[0][5] != "slowest-slave" {
+		t.Fatalf("at 1 node bottleneck is %q want slowest-slave", tab.Rows[0][5])
+	}
+}
+
+func TestCodecsTable(t *testing.T) {
+	tab := Codecs()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows want 2", len(tab.Rows))
+	}
+	slowBytes := cellFloat(t, tab.Rows[0][3])
+	fastBytes := cellFloat(t, tab.Rows[1][3])
+	if slowBytes < 3*fastBytes {
+		t.Fatalf("slow codec bytes %v not >= 3x fast %v", slowBytes, fastBytes)
+	}
+	slowUs := cellFloat(t, tab.Rows[0][2])
+	fastUs := cellFloat(t, tab.Rows[1][2])
+	if slowUs <= fastUs {
+		t.Fatalf("slow codec %vus not slower than fast %vus", slowUs, fastUs)
+	}
+}
+
+// Small-scale smoke runs of the real-engine figures; full-size runs live
+// in cmd/kvbench and bench_test.go.
+func TestFig6Small(t *testing.T) {
+	tab, err := Fig6(Fig6Options{
+		Dir: t.TempDir(), MaxRow: 3000, Strata: 6, PerStratum: 3, Reps: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Latency must grow with row size: compare first and last stratum.
+	first := cellFloat(t, tab.Rows[0][2])
+	last := cellFloat(t, tab.Rows[len(tab.Rows)-1][2])
+	if last <= first {
+		t.Fatalf("latency did not grow with row size: %v .. %v", first, last)
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	tab, err := Fig7(Fig7Options{
+		Dir: t.TempDir(), MaxRow: 2000, Strata: 4, PerStratum: 4, TaskFactor: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if sp := cellFloat(t, row[1]); sp < 1 {
+			t.Fatalf("speedup %v below 1", sp)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package figures contains one driver per figure of the paper's
+// evaluation. Each driver runs the corresponding experiment — on the
+// simulated cluster, the real storage engine, or the analytical model —
+// and returns a Table whose rows are the series the paper plots.
+// cmd/kvbench renders them; bench_test.go wraps each in a benchmark.
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: named columns, formatted rows,
+// and free-form notes (the "reading" of the figure).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render draws the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// TSV renders the table as tab-separated values for plotting tools.
+func (t *Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+func d(v int) string       { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,132 @@
+// Package hashring implements the DHT placement layer: a Cassandra-style
+// token ring over murmur tokens with virtual nodes and replication. This
+// is the "pseudo-random hash function to place an object in one node"
+// whose balls-into-bins imbalance (Formula 1) the paper studies.
+package hashring
+
+import (
+	"fmt"
+	"sort"
+
+	"scalekv/internal/murmur"
+)
+
+// NodeID identifies a cluster node.
+type NodeID int
+
+// Ring maps partition keys to nodes via token ownership: a key belongs
+// to the first vnode token clockwise from the key's token.
+type Ring struct {
+	tokens []tokenEntry // sorted by token
+	nodes  []NodeID
+	vnodes int
+}
+
+type tokenEntry struct {
+	token int64
+	node  NodeID
+}
+
+// New builds a ring of n nodes with the given number of virtual nodes
+// each. Tokens are derived deterministically from (node, vnode) so every
+// process sharing the topology agrees on placement. vnodes < 1 is
+// clamped to 1.
+func New(n, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{vnodes: vnodes}
+	for i := 0; i < n; i++ {
+		r.nodes = append(r.nodes, NodeID(i))
+		for v := 0; v < vnodes; v++ {
+			tok := murmur.Token([]byte(fmt.Sprintf("node-%d-vnode-%d", i, v)))
+			r.tokens = append(r.tokens, tokenEntry{token: tok, node: NodeID(i)})
+		}
+	}
+	sort.Slice(r.tokens, func(a, b int) bool { return r.tokens[a].token < r.tokens[b].token })
+	return r
+}
+
+// Nodes returns the ring's node IDs.
+func (r *Ring) Nodes() []NodeID { return append([]NodeID(nil), r.nodes...) }
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// owner returns the index into tokens owning the given token.
+func (r *Ring) owner(tok int64) int {
+	i := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].token >= tok })
+	if i == len(r.tokens) {
+		i = 0 // wrap around
+	}
+	return i
+}
+
+// Primary returns the node owning pk.
+func (r *Ring) Primary(pk string) NodeID {
+	if len(r.tokens) == 0 {
+		return -1
+	}
+	return r.tokens[r.owner(murmur.Token([]byte(pk)))].node
+}
+
+// Replicas returns rf distinct nodes for pk: the owner plus the next
+// distinct nodes walking the ring clockwise, Cassandra's SimpleStrategy.
+func (r *Ring) Replicas(pk string, rf int) []NodeID {
+	if len(r.tokens) == 0 || rf < 1 {
+		return nil
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	out := make([]NodeID, 0, rf)
+	seen := make(map[NodeID]bool, rf)
+	i := r.owner(murmur.Token([]byte(pk)))
+	for len(out) < rf {
+		e := r.tokens[i%len(r.tokens)]
+		if !seen[e.node] {
+			seen[e.node] = true
+			out = append(out, e.node)
+		}
+		i++
+	}
+	return out
+}
+
+// Distribution counts how many of the given keys land on each node —
+// the input to every imbalance measurement in the paper.
+func (r *Ring) Distribution(keys []string) map[NodeID]int {
+	out := make(map[NodeID]int, len(r.nodes))
+	for _, n := range r.nodes {
+		out[n] = 0
+	}
+	for _, k := range keys {
+		out[r.Primary(k)]++
+	}
+	return out
+}
+
+// MaxLoad returns the highest key count over nodes for the given keys,
+// and the node holding it.
+func (r *Ring) MaxLoad(keys []string) (NodeID, int) {
+	dist := r.Distribution(keys)
+	var bestNode NodeID = -1
+	best := -1
+	for _, n := range r.nodes { // deterministic order
+		if dist[n] > best {
+			best, bestNode = dist[n], n
+		}
+	}
+	return bestNode, best
+}
+
+// Imbalance returns the relative overload of the most loaded node:
+// (max - mean) / mean, the paper's p. Zero when there are no keys.
+func (r *Ring) Imbalance(keys []string) float64 {
+	if len(keys) == 0 || len(r.nodes) == 0 {
+		return 0
+	}
+	_, max := r.MaxLoad(keys)
+	mean := float64(len(keys)) / float64(len(r.nodes))
+	return (float64(max) - mean) / mean
+}

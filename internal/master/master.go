@@ -1,0 +1,321 @@
+// Package master reproduces the paper's Section V prototype on the
+// discrete-event simulator: a master that knows every key up front
+// issues one aggregation request per key to the key's node; each node
+// serves requests from a FIFO queue through a bounded-parallelism
+// database whose service times come from the calibrated model
+// (Formulas 6-7); responses flow back to the single-threaded master.
+//
+// Because time is virtual, a 16-node (or 128-node) scaling sweep runs in
+// milliseconds on any machine while preserving exactly the phenomena the
+// paper measures: workload imbalance across nodes, queueing at the
+// database, the master's serialization cost, and the idle "white spots"
+// when the master cannot feed the cluster fast enough.
+package master
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"scalekv/internal/core"
+	"scalekv/internal/sim"
+	"scalekv/internal/stages"
+)
+
+// Calibration holds the per-component service times the simulation runs
+// on. The defaults mirror the paper's measured stack.
+type Calibration struct {
+	// DB is the database latency/parallelism model (Formulas 6-7).
+	DB core.DBModel
+	// MsgSendMs is the master's CPU cost to serialize and send one
+	// request (the paper: 0.150 slow, 0.019 optimized).
+	MsgSendMs float64
+	// MsgRecvMs is the master's CPU cost to process one response.
+	MsgRecvMs float64
+	// NetOneWayMs is the one-way network latency per message.
+	NetOneWayMs float64
+	// NoiseSigma is the lognormal service-time noise the paper observed
+	// ("considerable variance in all our tests"); 0 disables noise.
+	NoiseSigma float64
+}
+
+// PaperCalibration returns the paper's measured constants; fastMaster
+// selects the optimized (Kryo) master versus the original one.
+func PaperCalibration(fastMaster bool) Calibration {
+	c := Calibration{
+		DB:          core.PaperDBModel(),
+		NetOneWayMs: 0.05, // intra-cluster GbE hop
+		NoiseSigma:  0.15,
+	}
+	if fastMaster {
+		c.MsgSendMs = core.PaperFastMsgMs
+	} else {
+		c.MsgSendMs = core.PaperSlowMsgMs
+	}
+	// Response deserialization ran on the driver's IO threads in the
+	// paper's Akka stack; the master actor only pays a small aggregation
+	// step per response, so the send cost dominates (Figure 4's fine
+	// profile: total ≈ send phase).
+	c.MsgRecvMs = c.MsgSendMs / 10
+	return c
+}
+
+// Config describes one simulated query execution.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Keys is the number of partitions the query touches.
+	Keys int
+	// RowSize is the number of elements per partition.
+	RowSize int
+	// DBParallelism is each node's concurrent-request limit (the
+	// paper's driver used up to 32); 0 means 16.
+	DBParallelism int
+	// Calib supplies component costs; the zero value is replaced by
+	// PaperCalibration(true).
+	Calib Calibration
+	// Seed drives key placement and service noise.
+	Seed int64
+	// Assignment optionally overrides placement: Assignment[i] is the
+	// node of key i. Nil means uniform random placement (the paper's
+	// DHT model).
+	Assignment []int
+	// Placement selects the allocation policy when Assignment is nil.
+	Placement Placement
+}
+
+// Placement is the key-to-node allocation policy — the Section VIII
+// design axis.
+type Placement int
+
+// Placement policies.
+const (
+	// PlacementSingleChoice is plain DHT hashing: one uniform random
+	// node per key (Formula 1 imbalance).
+	PlacementSingleChoice Placement = iota
+	// PlacementTwoChoice is Mitzenmacher's power of two choices: the
+	// less-loaded of two random nodes, reducing the overload to
+	// O(log log n). It requires the placer to know per-node load.
+	PlacementTwoChoice
+)
+
+// Result collects everything the figures read off one run.
+type Result struct {
+	// Total is the virtual time until the master processed the last
+	// response.
+	Total time.Duration
+	// SendComplete is when the master finished issuing requests —
+	// Figure 4's master-to-slaves horizon.
+	SendComplete time.Duration
+	// OpsPerNode counts requests per node (Figure 2 top chart).
+	OpsPerNode map[int]int
+	// NodeFinish is each node's last database completion (Figure 2:
+	// "the slowest node dictates the overall time").
+	NodeFinish map[int]time.Duration
+	// Trace holds per-request stage spans (Figures 2 and 4).
+	Trace *stages.Trace
+	// MaxQueueDepth is the deepest any node's request queue got.
+	MaxQueueDepth int
+	// DBIdle is per-node idle time in the database stage over the
+	// query's duration — the "white spots" of Figure 4.
+	DBIdle map[int]time.Duration
+}
+
+// Imbalance returns (maxOps - meanOps) / meanOps, the measured
+// counterpart of Formula 1.
+func (r *Result) Imbalance() float64 {
+	if len(r.OpsPerNode) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, n := range r.OpsPerNode {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(total) / float64(len(r.OpsPerNode))
+	if mean == 0 {
+		return 0
+	}
+	return (float64(max) - mean) / mean
+}
+
+// BalancedEstimate applies the paper's Figure 1 method: the time the
+// query would have taken had the observed load been spread uniformly,
+// obtained by deflating the observed time by the measured imbalance.
+func (r *Result) BalancedEstimate() time.Duration {
+	imb := r.Imbalance()
+	return time.Duration(float64(r.Total) / (1 + imb))
+}
+
+type request struct {
+	id        uint64
+	node      int
+	rowSize   int
+	sentAt    time.Duration // master began serializing
+	enqueued  time.Duration // arrived in the node queue
+	dbStart   time.Duration
+	dbEnd     time.Duration
+	completed time.Duration
+}
+
+func msDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Run executes one simulated query and returns its measurements.
+func Run(cfg Config) *Result {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Keys < 1 {
+		cfg.Keys = 1
+	}
+	if cfg.DBParallelism <= 0 {
+		cfg.DBParallelism = 16
+	}
+	if cfg.Calib.DB.Break == 0 && cfg.Calib.MsgSendMs == 0 {
+		cfg.Calib = PaperCalibration(true)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	assign := cfg.Assignment
+	if assign == nil {
+		assign = make([]int, cfg.Keys)
+		switch cfg.Placement {
+		case PlacementTwoChoice:
+			load := make([]int, cfg.Nodes)
+			for i := range assign {
+				a, b := rng.Intn(cfg.Nodes), rng.Intn(cfg.Nodes)
+				if load[b] < load[a] {
+					a = b
+				}
+				assign[i] = a
+				load[a]++
+			}
+		default: // single choice
+			for i := range assign {
+				assign[i] = rng.Intn(cfg.Nodes)
+			}
+		}
+	}
+
+	s := sim.New()
+	trace := stages.NewTrace()
+	res := &Result{
+		OpsPerNode: make(map[int]int),
+		NodeFinish: make(map[int]time.Duration),
+		Trace:      trace,
+		DBIdle:     make(map[int]time.Duration),
+	}
+
+	nodeQueues := make([]*sim.Queue, cfg.Nodes)
+	for i := range nodeQueues {
+		nodeQueues[i] = s.NewQueue("node")
+	}
+	respQueue := s.NewQueue("responses")
+
+	// Per-node busy-worker counters drive the concurrency-dependent
+	// interference factor.
+	active := make([]int, cfg.Nodes)
+
+	// Pre-draw service noise so placement and noise are independent of
+	// scheduling order (determinism across runs is by construction; this
+	// keeps it stable under refactors too).
+	noise := make([]float64, cfg.Keys)
+	for i := range noise {
+		if cfg.Calib.NoiseSigma > 0 {
+			sigma := cfg.Calib.NoiseSigma
+			noise[i] = math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+		} else {
+			noise[i] = 1
+		}
+	}
+
+	// Slave workers: DBParallelism per node.
+	for n := 0; n < cfg.Nodes; n++ {
+		n := n
+		for w := 0; w < cfg.DBParallelism; w++ {
+			s.Spawn("worker", func(p *sim.Proc) {
+				for {
+					req := p.Get(nodeQueues[n]).(*request)
+					req.dbStart = p.Now()
+					trace.Record(req.id, n, stages.InQueue, req.enqueued, req.dbStart)
+
+					// Interference: with c busy workers the node's
+					// aggregate speed-up is capped by Formula 7, so each
+					// request stretches by c/min(speedup, c).
+					active[n]++
+					c := float64(active[n])
+					base := cfg.Calib.DB.QueryTimeMs(float64(req.rowSize))
+					gain := math.Min(cfg.Calib.DB.Speedup(float64(req.rowSize)), c)
+					service := base * c / gain * noise[req.id]
+					p.Sleep(msDur(service))
+					active[n]--
+
+					req.dbEnd = p.Now()
+					trace.Record(req.id, n, stages.InDB, req.dbStart, req.dbEnd)
+					if req.dbEnd > res.NodeFinish[n] {
+						res.NodeFinish[n] = req.dbEnd
+					}
+					res.OpsPerNode[n]++
+					// Response travels back over the network.
+					r := req
+					s.At(msDur(cfg.Calib.NetOneWayMs), func() { respQueue.Put(r) })
+				}
+			})
+		}
+	}
+
+	// The master: sequential send loop, then sequential collect loop —
+	// the single-threaded actor of the paper's prototype.
+	s.Spawn("master", func(p *sim.Proc) {
+		for i := 0; i < cfg.Keys; i++ {
+			req := &request{id: uint64(i), node: assign[i], rowSize: cfg.RowSize, sentAt: p.Now()}
+			p.Sleep(msDur(cfg.Calib.MsgSendMs)) // serialize + send CPU
+			r := req
+			s.At(msDur(cfg.Calib.NetOneWayMs), func() {
+				r.enqueued = s.Now()
+				trace.Record(r.id, r.node, stages.MasterToSlave, r.sentAt, r.enqueued)
+				nodeQueues[r.node].Put(r)
+			})
+		}
+		res.SendComplete = p.Now()
+		for i := 0; i < cfg.Keys; i++ {
+			req := p.Get(respQueue).(*request)
+			p.Sleep(msDur(cfg.Calib.MsgRecvMs))
+			req.completed = p.Now()
+			trace.Record(req.id, req.node, stages.SlaveToMaster, req.dbEnd, req.completed)
+		}
+		res.Total = p.Now()
+	})
+
+	s.Run()
+
+	for _, q := range nodeQueues {
+		if q.MaxDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = q.MaxDepth
+		}
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		res.DBIdle[n] = trace.IdleTime(n, stages.InDB, res.Total)
+	}
+	return res
+}
+
+// RunScaling executes the same workload on each cluster size and
+// returns the results in order — the sweep behind Figures 1 and 5.
+func RunScaling(nodes []int, keys, rowSize int, calib Calibration, seed int64) []*Result {
+	out := make([]*Result, len(nodes))
+	for i, n := range nodes {
+		out[i] = Run(Config{
+			Nodes:   n,
+			Keys:    keys,
+			RowSize: rowSize,
+			Calib:   calib,
+			Seed:    seed + int64(i)*7919,
+		})
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package master
+
+import (
+	"testing"
+	"time"
+
+	"scalekv/internal/stages"
+)
+
+// The paper's three data models over one million elements.
+const (
+	coarseKeys, coarseRow = 100, 10000
+	mediumKeys, mediumRow = 1000, 1000
+	fineKeys, fineRow     = 10000, 100
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Nodes: 8, Keys: 500, RowSize: 200, Seed: 42}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Total != b.Total || a.SendComplete != b.SendComplete {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", a.Total, a.SendComplete, b.Total, b.SendComplete)
+	}
+	if a.Imbalance() != b.Imbalance() {
+		t.Fatal("nondeterministic imbalance")
+	}
+}
+
+func TestAllRequestsServed(t *testing.T) {
+	res := Run(Config{Nodes: 4, Keys: 200, RowSize: 100, Seed: 1})
+	total := 0
+	for _, n := range res.OpsPerNode {
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("served %d want 200", total)
+	}
+	// Four stage spans per request.
+	if res.Trace.Len() != 4*200 {
+		t.Fatalf("trace %d spans want %d", res.Trace.Len(), 800)
+	}
+}
+
+func TestExplicitAssignmentRespected(t *testing.T) {
+	assign := make([]int, 30)
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	res := Run(Config{Nodes: 3, Keys: 30, RowSize: 10, Assignment: assign, Seed: 5})
+	for n := 0; n < 3; n++ {
+		if res.OpsPerNode[n] != 10 {
+			t.Fatalf("node %d served %d want 10", n, res.OpsPerNode[n])
+		}
+	}
+	if res.Imbalance() != 0 {
+		t.Fatalf("uniform assignment has imbalance %.3f", res.Imbalance())
+	}
+}
+
+func TestSlowestNodeDictatesTotal(t *testing.T) {
+	// Figure 2's reading: the node with the most requests finishes last
+	// and dictates the query time.
+	res := Run(Config{Nodes: 16, Keys: 100, RowSize: coarseRow, Seed: 7,
+		Calib: PaperCalibration(true)})
+	maxOpsNode, maxOps := -1, -1
+	for n, ops := range res.OpsPerNode {
+		if ops > maxOps {
+			maxOps, maxOpsNode = ops, n
+		}
+	}
+	var lastFinish time.Duration
+	lastNode := -1
+	for n, f := range res.NodeFinish {
+		if f > lastFinish {
+			lastFinish, lastNode = f, n
+		}
+	}
+	// The two usually coincide; with service noise they can differ by
+	// one, so accept the last node being within one op of the max.
+	if res.OpsPerNode[lastNode] < maxOps-1 {
+		t.Fatalf("last node %d served %d, max-ops node %d served %d — no correlation",
+			lastNode, res.OpsPerNode[lastNode], maxOpsNode, maxOps)
+	}
+	// Total must be at least the last node's finish.
+	if res.Total < lastFinish {
+		t.Fatalf("total %v before last DB finish %v", res.Total, lastFinish)
+	}
+}
+
+func TestCoarseImbalanceNearFormula(t *testing.T) {
+	// 100 keys on 16 nodes: Formula 5 predicts ~10.4 on the most loaded
+	// node, i.e. imbalance ~66%. Individual seeds vary widely (that is
+	// Figure 3's point), so average over seeds.
+	var sum float64
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		res := Run(Config{Nodes: 16, Keys: 100, RowSize: 10, Seed: seed})
+		sum += res.Imbalance()
+	}
+	mean := sum / trials
+	if mean < 0.30 || mean > 1.0 {
+		t.Fatalf("mean imbalance %.2f, Formula 1 predicts ~0.66", mean)
+	}
+}
+
+// Figure 1: with the slow master, fine-grained stops scaling (the
+// master cannot feed 16 nodes), while coarse suffers imbalance.
+func TestFigure1ShapeSlowMaster(t *testing.T) {
+	calib := PaperCalibration(false)
+	overhead := func(keys, rowSize int) float64 {
+		one := Run(Config{Nodes: 1, Keys: keys, RowSize: rowSize, Calib: calib, Seed: 3})
+		sixteen := Run(Config{Nodes: 16, Keys: keys, RowSize: rowSize, Calib: calib, Seed: 3})
+		ideal := one.Total / 16
+		return float64(sixteen.Total-ideal) / float64(ideal)
+	}
+	coarse := overhead(coarseKeys, coarseRow)
+	medium := overhead(mediumKeys, mediumRow)
+	fine := overhead(fineKeys, fineRow)
+	// Paper's ordering at 16 nodes: medium (62%) < coarse (108%) <
+	// fine (180%).
+	if !(medium < coarse && coarse < fine) {
+		t.Fatalf("overhead ordering wrong: medium=%.0f%% coarse=%.0f%% fine=%.0f%%",
+			medium*100, coarse*100, fine*100)
+	}
+	if fine < 1.0 {
+		t.Fatalf("fine-grained overhead %.0f%% too small — master bottleneck missing", fine*100)
+	}
+}
+
+// Figure 5: the optimized master restores fine-grained scalability and
+// makes it the fastest model on 4+ nodes.
+func TestFigure5ShapeFastMaster(t *testing.T) {
+	calib := PaperCalibration(true)
+	run := func(keys, rowSize, nodes int) time.Duration {
+		return Run(Config{Nodes: nodes, Keys: keys, RowSize: rowSize, Calib: calib, Seed: 3}).Total
+	}
+	for _, nodes := range []int{4, 8, 16} {
+		fine := run(fineKeys, fineRow, nodes)
+		medium := run(mediumKeys, mediumRow, nodes)
+		coarse := run(coarseKeys, coarseRow, nodes)
+		if !(fine < medium && fine < coarse) {
+			t.Fatalf("at %d nodes fine (%v) must beat medium (%v) and coarse (%v)",
+				nodes, fine, medium, coarse)
+		}
+	}
+	// Near-linear scaling for fine-grained with the fast master.
+	one := run(fineKeys, fineRow, 1)
+	sixteen := run(fineKeys, fineRow, 16)
+	overhead := float64(sixteen-one/16) / float64(one/16)
+	if overhead > 0.8 {
+		t.Fatalf("fine-grained overhead %.0f%% with fast master, want near-linear", overhead*100)
+	}
+}
+
+// Figure 4, upper pattern: fine-grained with the slow master leaves the
+// database starved — requests spend no time in queue and the master's
+// send phase spans almost the whole query.
+func TestFigure4FineGrainedMasterBound(t *testing.T) {
+	res := Run(Config{Nodes: 16, Keys: fineKeys, RowSize: fineRow,
+		Calib: PaperCalibration(false), Seed: 11})
+	if float64(res.SendComplete) < 0.8*float64(res.Total) {
+		t.Fatalf("send phase %v vs total %v — master not the bottleneck", res.SendComplete, res.Total)
+	}
+	// Queues stay shallow: the DB outruns the master.
+	if res.MaxQueueDepth > fineKeys/10 {
+		t.Fatalf("queue depth %d too deep for a starved database", res.MaxQueueDepth)
+	}
+	// In-queue time is negligible next to in-DB time.
+	inQueue := res.Trace.StageTotal(stages.InQueue)
+	inDB := res.Trace.StageTotal(stages.InDB)
+	if inQueue > inDB/4 {
+		t.Fatalf("in-queue %v vs in-db %v — expected an empty queue stage", inQueue, inDB)
+	}
+}
+
+// Figure 4, lower pattern: medium-grained with the slow master congests
+// the database — requests wait in queue.
+func TestFigure4MediumGrainedDBBound(t *testing.T) {
+	res := Run(Config{Nodes: 16, Keys: mediumKeys, RowSize: mediumRow,
+		Calib: PaperCalibration(false), Seed: 11})
+	// The master finishes sending well before the query completes.
+	if float64(res.SendComplete) > 0.6*float64(res.Total) {
+		t.Fatalf("send phase %v vs total %v — master unexpectedly slow", res.SendComplete, res.Total)
+	}
+	// Significant queueing: Cassandra is "not fast enough to satisfy
+	// all of the requests as quickly as they arrive".
+	inQueue := res.Trace.StageTotal(stages.InQueue)
+	if inQueue == 0 {
+		t.Fatal("no in-queue time despite a congested database")
+	}
+	if res.MaxQueueDepth < 5 {
+		t.Fatalf("queue depth %d, expected congestion", res.MaxQueueDepth)
+	}
+}
+
+// Master optimization effect (Section V-B): the send phase shrinks by
+// almost an order of magnitude.
+func TestSerializationOptimizationEffect(t *testing.T) {
+	slow := Run(Config{Nodes: 16, Keys: fineKeys, RowSize: fineRow,
+		Calib: PaperCalibration(false), Seed: 2})
+	fast := Run(Config{Nodes: 16, Keys: fineKeys, RowSize: fineRow,
+		Calib: PaperCalibration(true), Seed: 2})
+	ratio := float64(slow.SendComplete) / float64(fast.SendComplete)
+	if ratio < 5 || ratio > 12 {
+		t.Fatalf("send-phase ratio %.1fx, paper measured ~7.8x (1.5s -> 192ms)", ratio)
+	}
+	// Absolute paper numbers: ~1.5s and ~192ms for 10k messages.
+	if slow.SendComplete < 1200*time.Millisecond || slow.SendComplete > 1800*time.Millisecond {
+		t.Fatalf("slow send %v want ~1.5s", slow.SendComplete)
+	}
+	if fast.SendComplete < 150*time.Millisecond || fast.SendComplete > 250*time.Millisecond {
+		t.Fatalf("fast send %v want ~192ms", fast.SendComplete)
+	}
+	if fast.Total >= slow.Total {
+		t.Fatal("optimization did not improve total time")
+	}
+}
+
+// Two-choice placement must cut the imbalance well below single-choice
+// (Mitzenmacher; the paper's Section VIII alternative).
+func TestTwoChoicePlacementBalances(t *testing.T) {
+	var single, double float64
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		s := Run(Config{Nodes: 16, Keys: 100, RowSize: 10, Seed: seed})
+		d := Run(Config{Nodes: 16, Keys: 100, RowSize: 10, Seed: seed,
+			Placement: PlacementTwoChoice})
+		single += s.Imbalance()
+		double += d.Imbalance()
+	}
+	if double >= single/2 {
+		t.Fatalf("two-choice mean imbalance %.2f not well below single-choice %.2f",
+			double/trials, single/trials)
+	}
+}
+
+func TestBalancedEstimate(t *testing.T) {
+	res := Run(Config{Nodes: 16, Keys: 100, RowSize: coarseRow, Seed: 9})
+	if res.BalancedEstimate() > res.Total {
+		t.Fatal("balanced estimate above observed total")
+	}
+	if res.Imbalance() < 0 {
+		t.Fatal("negative imbalance")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	results := RunScaling([]int{1, 2, 4}, 400, 100, PaperCalibration(true), 1)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[2].Total >= results[0].Total {
+		t.Fatalf("no scaling: 1 node %v vs 4 nodes %v", results[0].Total, results[2].Total)
+	}
+}
+
+func TestDegenerateConfig(t *testing.T) {
+	res := Run(Config{}) // everything clamps to minimum
+	if res.Total <= 0 {
+		t.Fatal("empty config must still run one key on one node")
+	}
+}
+
+func TestDBIdleTracked(t *testing.T) {
+	res := Run(Config{Nodes: 4, Keys: 2000, RowSize: 50,
+		Calib: PaperCalibration(false), Seed: 13})
+	// A master-bound run must show database idle gaps.
+	idle := time.Duration(0)
+	for _, d := range res.DBIdle {
+		idle += d
+	}
+	if idle == 0 {
+		t.Fatal("no DB idle time recorded in a master-bound run")
+	}
+}
+
+func BenchmarkSimFine16Nodes(b *testing.B) {
+	cfg := Config{Nodes: 16, Keys: fineKeys, RowSize: fineRow, Calib: PaperCalibration(true)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		Run(cfg)
+	}
+}

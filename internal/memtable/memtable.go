@@ -1,0 +1,138 @@
+// Package memtable implements the in-memory, mutable head of the storage
+// engine: a skip list of internal keys guarded by an RWMutex. Writes land
+// here first; when the payload size crosses the engine's flush threshold
+// the memtable is frozen and written out as an SSTable.
+package memtable
+
+import (
+	"bytes"
+	"sync"
+
+	"scalekv/internal/enc"
+	"scalekv/internal/row"
+	"scalekv/internal/skiplist"
+)
+
+// Memtable is a sorted, concurrent map from (partition key, clustering
+// key) to value.
+type Memtable struct {
+	mu   sync.RWMutex
+	list *skiplist.List
+}
+
+// New creates an empty memtable; the seed drives skip-list tower heights
+// so tests are reproducible.
+func New(seed int64) *Memtable {
+	return &Memtable{list: skiplist.New(seed)}
+}
+
+// Put stores value under (pk, ck). The ck and value slices are copied.
+func (m *Memtable) Put(pk string, ck, value []byte) {
+	ik := enc.EncodeInternalKey(pk, ck)
+	v := append([]byte(nil), value...)
+	m.mu.Lock()
+	m.list.Set(ik, v)
+	m.mu.Unlock()
+}
+
+// Get returns the value for (pk, ck).
+func (m *Memtable) Get(pk string, ck []byte) ([]byte, bool) {
+	ik := enc.EncodeInternalKey(pk, ck)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.Get(ik)
+}
+
+// Delete removes (pk, ck) and reports whether it was present.
+func (m *Memtable) Delete(pk string, ck []byte) bool {
+	ik := enc.EncodeInternalKey(pk, ck)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.list.Delete(ik)
+}
+
+// ScanPartition returns every cell of the partition with from <= CK < to,
+// in clustering order. Nil bounds mean unbounded.
+func (m *Memtable) ScanPartition(pk string, from, to []byte) []row.Cell {
+	start := enc.PartitionPrefix(pk)
+	if from != nil {
+		start = enc.EncodeInternalKey(pk, from)
+	}
+	end := enc.PartitionEnd(pk)
+	if to != nil {
+		end = enc.EncodeInternalKey(pk, to)
+	}
+	var cells []row.Cell
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for it := m.list.Seek(start); it.Valid(); it.Next() {
+		if bytes.Compare(it.Key(), end) >= 0 {
+			break
+		}
+		_, ck, err := enc.DecodeInternalKey(it.Key())
+		if err != nil {
+			continue // unreachable for keys written by Put
+		}
+		cells = append(cells, row.Cell{CK: ck, Value: it.Value()})
+	}
+	return cells
+}
+
+// Len returns the number of cells stored.
+func (m *Memtable) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.Len()
+}
+
+// Bytes returns the approximate payload size.
+func (m *Memtable) Bytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.Bytes()
+}
+
+// Entry is one internal-key/value pair yielded by Each.
+type Entry struct {
+	PK    string
+	CK    []byte
+	Value []byte
+}
+
+// Each calls fn for every cell in internal-key order. It is used by the
+// flush path, which owns the frozen memtable, so it holds only a read
+// lock.
+func (m *Memtable) Each(fn func(Entry) error) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for it := m.list.First(); it.Valid(); it.Next() {
+		pk, ck, err := enc.DecodeInternalKey(it.Key())
+		if err != nil {
+			continue
+		}
+		if err := fn(Entry{PK: pk, CK: ck, Value: it.Value()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitions returns the distinct partition keys present, in key order.
+func (m *Memtable) Partitions() []string {
+	var out []string
+	last := ""
+	first := true
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for it := m.list.First(); it.Valid(); it.Next() {
+		pk, _, err := enc.DecodeInternalKey(it.Key())
+		if err != nil {
+			continue
+		}
+		if first || pk != last {
+			out = append(out, pk)
+			last, first = pk, false
+		}
+	}
+	return out
+}

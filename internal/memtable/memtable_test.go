@@ -1,0 +1,224 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New(1)
+	m.Put("p1", []byte("c1"), []byte("v1"))
+	m.Put("p1", []byte("c2"), []byte("v2"))
+	m.Put("p2", []byte("c1"), []byte("v3"))
+	v, ok := m.Get("p1", []byte("c1"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("got %q,%v", v, ok)
+	}
+	if _, ok := m.Get("p3", []byte("c1")); ok {
+		t.Fatal("found absent partition")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("len %d want 3", m.Len())
+	}
+}
+
+func TestValueIsCopied(t *testing.T) {
+	m := New(1)
+	buf := []byte("original")
+	m.Put("p", []byte("c"), buf)
+	copy(buf, "CLOBBER!")
+	v, _ := m.Get("p", []byte("c"))
+	if string(v) != "original" {
+		t.Fatalf("stored value aliased caller buffer: %q", v)
+	}
+}
+
+func TestScanPartitionIsolation(t *testing.T) {
+	m := New(1)
+	// Partition keys chosen so one is a prefix of another.
+	for i := 0; i < 5; i++ {
+		m.Put("a", []byte{byte(i)}, []byte("va"))
+		m.Put("ab", []byte{byte(i)}, []byte("vab"))
+	}
+	cells := m.ScanPartition("a", nil, nil)
+	if len(cells) != 5 {
+		t.Fatalf("partition a has %d cells want 5", len(cells))
+	}
+	for _, c := range cells {
+		if string(c.Value) != "va" {
+			t.Fatalf("cell from wrong partition: %q", c.Value)
+		}
+	}
+}
+
+func TestScanPartitionRange(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 10; i++ {
+		m.Put("p", []byte{byte(i)}, []byte{byte(i)})
+	}
+	cells := m.ScanPartition("p", []byte{3}, []byte{7})
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells want 4", len(cells))
+	}
+	if cells[0].CK[0] != 3 || cells[3].CK[0] != 6 {
+		t.Fatalf("range [%d,%d] want [3,6]", cells[0].CK[0], cells[3].CK[0])
+	}
+}
+
+func TestScanOrdering(t *testing.T) {
+	m := New(1)
+	for i := 9; i >= 0; i-- { // insert in reverse
+		m.Put("p", []byte{byte(i)}, nil)
+	}
+	cells := m.ScanPartition("p", nil, nil)
+	for i, c := range cells {
+		if c.CK[0] != byte(i) {
+			t.Fatalf("position %d has ck %d", i, c.CK[0])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New(1)
+	m.Put("p", []byte("c"), []byte("v"))
+	if !m.Delete("p", []byte("c")) {
+		t.Fatal("delete failed")
+	}
+	if m.Delete("p", []byte("c")) {
+		t.Fatal("double delete succeeded")
+	}
+	if m.Len() != 0 {
+		t.Fatal("len not zero after delete")
+	}
+}
+
+func TestEachVisitsAllSorted(t *testing.T) {
+	m := New(1)
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.Put(fmt.Sprintf("p%02d", i%10), []byte{byte(i / 10)}, []byte{1})
+	}
+	var count int
+	lastPK := ""
+	var lastCK []byte
+	err := m.Each(func(e Entry) error {
+		if e.PK < lastPK {
+			t.Fatalf("partition order violated: %q after %q", e.PK, lastPK)
+		}
+		if e.PK == lastPK && bytes.Compare(e.CK, lastCK) <= 0 {
+			t.Fatalf("ck order violated in %q", e.PK)
+		}
+		lastPK, lastCK = e.PK, e.CK
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("visited %d want %d", count, n)
+	}
+}
+
+func TestEachStopsOnError(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 10; i++ {
+		m.Put("p", []byte{byte(i)}, nil)
+	}
+	calls := 0
+	wantErr := fmt.Errorf("stop")
+	err := m.Each(func(Entry) error {
+		calls++
+		if calls == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	m := New(1)
+	for _, pk := range []string{"z", "a", "m", "a", "z"} {
+		m.Put(pk, []byte("c"), nil)
+	}
+	got := m.Partitions()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestBytesTracksPayload(t *testing.T) {
+	m := New(1)
+	m.Put("p", []byte("ck"), []byte("value"))
+	if m.Bytes() <= 0 {
+		t.Fatal("bytes not tracked")
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 1000; i++ {
+		m.Put("warm", []byte(fmt.Sprintf("%04d", i)), []byte("v"))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m.ScanPartition("warm", nil, nil)
+					m.Get("warm", []byte("0500"))
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		m.Put("writes", []byte(fmt.Sprintf("%04d", i)), []byte("v"))
+	}
+	close(stop)
+	wg.Wait()
+	if got := len(m.ScanPartition("writes", nil, nil)); got != 2000 {
+		t.Fatalf("writer landed %d cells want 2000", got)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New(1)
+	cks := make([][]byte, b.N)
+	for i := range cks {
+		cks[i] = []byte(fmt.Sprintf("%09d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put("bench", cks[i], cks[i])
+	}
+}
+
+func BenchmarkScanPartition1000(b *testing.B) {
+	m := New(1)
+	for i := 0; i < 1000; i++ {
+		m.Put("bench", []byte(fmt.Sprintf("%09d", i)), make([]byte, 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.ScanPartition("bench", nil, nil); len(got) != 1000 {
+			b.Fatal("bad scan")
+		}
+	}
+}

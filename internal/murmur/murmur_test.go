@@ -1,0 +1,150 @@
+package murmur
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3_x64_128, seed 0, as produced by the
+// canonical C++ implementation.
+var refVectors = []struct {
+	in     string
+	h1, h2 uint64
+}{
+	{"", 0x0000000000000000, 0x0000000000000000},
+	{"hello", 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+	{"hello, world", 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+	{"19 Jan 2038 at 3:14:07 AM", 0xb89e5988b737affc, 0x664fc2950231b2cb},
+	{"The quick brown fox jumps over the lazy dog.", 0xcd99481f9ee902c9, 0x695da1a38987b6e7},
+}
+
+func TestSum128ReferenceVectors(t *testing.T) {
+	for _, v := range refVectors {
+		h1, h2 := Sum128([]byte(v.in))
+		if h1 != v.h1 || h2 != v.h2 {
+			t.Errorf("Sum128(%q) = %#x,%#x want %#x,%#x", v.in, h1, h2, v.h1, v.h2)
+		}
+	}
+}
+
+func TestSum128SeedDiffersFromSeedZero(t *testing.T) {
+	in := []byte("partition-key-42")
+	h1a, h2a := Sum128Seed(in, 0)
+	h1b, h2b := Sum128Seed(in, 1)
+	if h1a == h1b && h2a == h2b {
+		t.Fatalf("seeds 0 and 1 collide on %q", in)
+	}
+}
+
+func TestSum64MatchesSum128FirstWord(t *testing.T) {
+	for _, v := range refVectors {
+		if got := Sum64([]byte(v.in)); got != v.h1 {
+			t.Errorf("Sum64(%q) = %#x want %#x", v.in, got, v.h1)
+		}
+	}
+}
+
+func TestStringSum64MatchesByteVersion(t *testing.T) {
+	f := func(s string) bool {
+		return StringSum64(s) == Sum64([]byte(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenIsSignedFirstWord(t *testing.T) {
+	for _, v := range refVectors {
+		if got := Token([]byte(v.in)); got != int64(v.h1) {
+			t.Errorf("Token(%q) = %d want %d", v.in, got, int64(v.h1))
+		}
+	}
+}
+
+// The hash must read every byte: flipping any single bit must change the
+// output (with overwhelming probability; equality would be a 2^-128 event,
+// so treat it as failure).
+func TestAvalancheSingleBitFlip(t *testing.T) {
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	h1, h2 := Sum128(base)
+	for i := 0; i < len(base)*8; i++ {
+		mut := make([]byte, len(base))
+		copy(mut, base)
+		mut[i/8] ^= 1 << (i % 8)
+		m1, m2 := Sum128(mut)
+		if m1 == h1 && m2 == h2 {
+			t.Fatalf("bit flip at %d did not change hash", i)
+		}
+	}
+}
+
+// All tail lengths 0..15 must be exercised and produce distinct values for
+// distinct inputs of the same length.
+func TestTailLengths(t *testing.T) {
+	for n := 0; n <= 48; n++ {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		for i := 0; i < n; i++ {
+			a[i] = byte(i)
+			b[i] = byte(i + 1)
+		}
+		ah1, ah2 := Sum128(a)
+		bh1, bh2 := Sum128(b)
+		if n > 0 && ah1 == bh1 && ah2 == bh2 {
+			t.Errorf("len %d: distinct inputs hash equal", n)
+		}
+		// Determinism.
+		ch1, ch2 := Sum128(a)
+		if ch1 != ah1 || ch2 != ah2 {
+			t.Errorf("len %d: hash not deterministic", n)
+		}
+	}
+}
+
+// Tokens of sequential integer keys should look uniform over the int64
+// range: check that the fraction landing in the upper half is near 1/2.
+func TestTokenUniformity(t *testing.T) {
+	const n = 20000
+	var upper int
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		if Token(buf[:]) >= 0 {
+			upper++
+		}
+	}
+	frac := float64(upper) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("non-negative token fraction %.4f, want ~0.5", frac)
+	}
+}
+
+func TestQuickDeterminism(t *testing.T) {
+	f := func(b []byte) bool {
+		h1a, h2a := Sum128(b)
+		h1b, h2b := Sum128(b)
+		return h1a == h1b && h2a == h2b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum128_16B(b *testing.B) { benchSum(b, 16) }
+func BenchmarkSum128_1K(b *testing.B)  { benchSum(b, 1024) }
+
+func benchSum(b *testing.B, size int) {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum128(data)
+	}
+}

@@ -1,0 +1,129 @@
+// Package row defines the cell and partition types shared by the
+// memtable, SSTable, storage engine and cluster read/write paths.
+//
+// The data model is Cassandra's wide-column layout as the paper describes
+// it: "a partitioned distributed HashMap where each entry contains another
+// SortedMap". A Partition is one entry of the outer hash map (placed on a
+// node by its key's murmur token); its Cells are the inner sorted map,
+// ordered by clustering key.
+package row
+
+import "bytes"
+
+// Cell is one clustering-key/value pair inside a partition.
+type Cell struct {
+	CK    []byte
+	Value []byte
+}
+
+// Size returns the payload size of the cell in bytes.
+func (c Cell) Size() int { return len(c.CK) + len(c.Value) }
+
+// Partition is a partition key together with its cells sorted by
+// clustering key.
+type Partition struct {
+	Key   string
+	Cells []Cell
+}
+
+// Size returns the total payload size of the partition in bytes.
+func (p *Partition) Size() int {
+	s := len(p.Key)
+	for _, c := range p.Cells {
+		s += c.Size()
+	}
+	return s
+}
+
+// Find returns the index of the cell with the given clustering key, or
+// -1. The cells must be sorted by clustering key.
+func (p *Partition) Find(ck []byte) int {
+	lo, hi := 0, len(p.Cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(p.Cells[mid].CK, ck) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.Cells) && bytes.Equal(p.Cells[lo].CK, ck) {
+		return lo
+	}
+	return -1
+}
+
+// SliceRange returns the sub-slice of cells with from <= CK < to.
+// A nil `to` means "until the end"; a nil `from` means "from the start".
+func (p *Partition) SliceRange(from, to []byte) []Cell {
+	lo := 0
+	if from != nil {
+		lo = lowerBound(p.Cells, from)
+	}
+	hi := len(p.Cells)
+	if to != nil {
+		hi = lowerBound(p.Cells, to)
+	}
+	if lo > hi {
+		return nil
+	}
+	return p.Cells[lo:hi]
+}
+
+func lowerBound(cells []Cell, ck []byte) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(cells[mid].CK, ck) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Merge combines cells from multiple sorted sources into one sorted run.
+// Later sources win on clustering-key collisions (the storage engine
+// passes sources from oldest SSTable to newest memtable).
+func Merge(sources ...[]Cell) []Cell {
+	switch len(sources) {
+	case 0:
+		return nil
+	case 1:
+		return sources[0]
+	}
+	total := 0
+	for _, s := range sources {
+		total += len(s)
+	}
+	out := make([]Cell, 0, total)
+	idx := make([]int, len(sources))
+	for {
+		// Find the smallest head key across all sources.
+		var minKey []byte
+		found := false
+		for si := range sources {
+			if idx[si] >= len(sources[si]) {
+				continue
+			}
+			k := sources[si][idx[si]].CK
+			if !found || bytes.Compare(k, minKey) < 0 {
+				minKey, found = k, true
+			}
+		}
+		if !found {
+			return out
+		}
+		// The newest source holding minKey wins; every source holding it
+		// advances so older duplicates are dropped.
+		var winner Cell
+		for si := range sources {
+			if idx[si] < len(sources[si]) && bytes.Equal(sources[si][idx[si]].CK, minKey) {
+				winner = sources[si][idx[si]] // ascending si: last assignment is newest
+				idx[si]++
+			}
+		}
+		out = append(out, winner)
+	}
+}

@@ -1,0 +1,178 @@
+package row
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ck(i int) []byte { return []byte(fmt.Sprintf("ck%04d", i)) }
+
+func mkPartition(n int) *Partition {
+	p := &Partition{Key: "pk"}
+	for i := 0; i < n; i++ {
+		p.Cells = append(p.Cells, Cell{CK: ck(i), Value: []byte{byte(i)}})
+	}
+	return p
+}
+
+func TestFind(t *testing.T) {
+	p := mkPartition(100)
+	for i := 0; i < 100; i++ {
+		if got := p.Find(ck(i)); got != i {
+			t.Fatalf("Find(%d) = %d", i, got)
+		}
+	}
+	if p.Find([]byte("absent")) != -1 {
+		t.Fatal("found absent ck")
+	}
+	empty := &Partition{}
+	if empty.Find(ck(0)) != -1 {
+		t.Fatal("found in empty partition")
+	}
+}
+
+func TestSliceRange(t *testing.T) {
+	p := mkPartition(10)
+	got := p.SliceRange(ck(3), ck(7))
+	if len(got) != 4 {
+		t.Fatalf("got %d cells want 4", len(got))
+	}
+	if !bytes.Equal(got[0].CK, ck(3)) || !bytes.Equal(got[3].CK, ck(6)) {
+		t.Fatalf("range bounds wrong: %q..%q", got[0].CK, got[3].CK)
+	}
+	if all := p.SliceRange(nil, nil); len(all) != 10 {
+		t.Fatalf("full range %d want 10", len(all))
+	}
+	if head := p.SliceRange(nil, ck(2)); len(head) != 2 {
+		t.Fatalf("head range %d want 2", len(head))
+	}
+	if tail := p.SliceRange(ck(8), nil); len(tail) != 2 {
+		t.Fatalf("tail range %d want 2", len(tail))
+	}
+	if none := p.SliceRange(ck(5), ck(5)); len(none) != 0 {
+		t.Fatalf("empty range returned %d cells", len(none))
+	}
+}
+
+func TestSize(t *testing.T) {
+	p := &Partition{Key: "ab", Cells: []Cell{{CK: []byte("c"), Value: []byte("dd")}}}
+	if p.Size() != 2+1+2 {
+		t.Fatalf("size %d want 5", p.Size())
+	}
+	if p.Cells[0].Size() != 3 {
+		t.Fatalf("cell size %d want 3", p.Cells[0].Size())
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	a := []Cell{{CK: ck(0)}, {CK: ck(2)}}
+	b := []Cell{{CK: ck(1)}, {CK: ck(3)}}
+	got := Merge(a, b)
+	if len(got) != 4 {
+		t.Fatalf("merged %d cells want 4", len(got))
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(got[i].CK, ck(i)) {
+			t.Fatalf("position %d: %q", i, got[i].CK)
+		}
+	}
+}
+
+func TestMergeNewestWins(t *testing.T) {
+	older := []Cell{{CK: ck(1), Value: []byte("old")}}
+	newer := []Cell{{CK: ck(1), Value: []byte("new")}}
+	got := Merge(older, newer)
+	if len(got) != 1 || string(got[0].Value) != "new" {
+		t.Fatalf("got %v, want single cell with value new", got)
+	}
+	// Reversed argument order flips the winner.
+	got = Merge(newer, older)
+	if len(got) != 1 || string(got[0].Value) != "old" {
+		t.Fatalf("got %v, want single cell with value old", got)
+	}
+}
+
+func TestMergeThreeWay(t *testing.T) {
+	s0 := []Cell{{CK: ck(0), Value: []byte("s0")}, {CK: ck(5), Value: []byte("s0")}}
+	s1 := []Cell{{CK: ck(0), Value: []byte("s1")}, {CK: ck(3), Value: []byte("s1")}}
+	s2 := []Cell{{CK: ck(5), Value: []byte("s2")}}
+	got := Merge(s0, s1, s2)
+	want := map[string]string{"ck0000": "s1", "ck0003": "s1", "ck0005": "s2"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d cells want %d", len(got), len(want))
+	}
+	for _, c := range got {
+		if want[string(c.CK)] != string(c.Value) {
+			t.Fatalf("cell %q has value %q want %q", c.CK, c.Value, want[string(c.CK)])
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if got := Merge(); got != nil {
+		t.Fatal("no sources must merge to nil")
+	}
+	one := []Cell{{CK: ck(1)}}
+	if got := Merge(one); len(got) != 1 {
+		t.Fatal("single source must pass through")
+	}
+	if got := Merge(nil, one, nil); len(got) != 1 {
+		t.Fatalf("nil sources must be skipped, got %d", len(got))
+	}
+}
+
+// Property: Merge output is sorted, duplicate-free, and contains exactly
+// the union of input keys.
+func TestMergeProperty(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		mk := func(raw []uint8, tag string) []Cell {
+			seen := map[uint8]bool{}
+			var keys []int
+			for _, k := range raw {
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, int(k))
+				}
+			}
+			sort.Ints(keys)
+			cells := make([]Cell, len(keys))
+			for i, k := range keys {
+				cells[i] = Cell{CK: ck(k), Value: []byte(tag)}
+			}
+			return cells
+		}
+		a, b := mk(aRaw, "a"), mk(bRaw, "b")
+		got := Merge(a, b)
+		union := map[string]bool{}
+		for _, c := range a {
+			union[string(c.CK)] = true
+		}
+		inB := map[string]bool{}
+		for _, c := range b {
+			union[string(c.CK)] = true
+			inB[string(c.CK)] = true
+		}
+		if len(got) != len(union) {
+			return false
+		}
+		for i, c := range got {
+			if i > 0 && bytes.Compare(got[i-1].CK, c.CK) >= 0 {
+				return false // not strictly ascending
+			}
+			wantVal := "a"
+			if inB[string(c.CK)] {
+				wantVal = "b" // newer source wins
+			}
+			if string(c.Value) != wantVal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package sim is a deterministic discrete-event simulator with
+// process-style semantics: simulation actors are goroutines that block
+// on virtual time (Sleep), FIFO queues (Get/Put) and capacity-limited
+// resources (Acquire/Release), while the scheduler runs exactly one
+// process at a time and advances a virtual clock between events.
+//
+// It substitutes for the paper's 16-node physical cluster: the
+// master-slave prototype of Section V runs unchanged on top of it, with
+// per-component service times drawn from the calibrated model, so
+// scaling sweeps to 128 nodes execute in milliseconds on a laptop while
+// preserving queueing behaviour, workload imbalance and crossovers.
+//
+// Determinism: events at equal times fire in schedule order (a strict
+// sequence number breaks ties), and only one goroutine is runnable at
+// any instant, so a simulation with a fixed seed produces identical
+// traces on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sim owns the virtual clock and the event queue.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+
+	yield   chan struct{} // running process -> scheduler handshake
+	killed  bool
+	wg      sync.WaitGroup
+	nprocs  int
+	blocked int // processes parked on queues/resources (not timed)
+
+	queues    []*Queue
+	resources []*Resource
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc
+	fn  func() // callback event; runs inline in the scheduler, must not block
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (s *Sim) schedule(at time.Duration, p *Proc) {
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, p: p})
+}
+
+// At schedules fn to run at the given delay from now. The callback runs
+// inside the scheduler and must not block; it is the cheap way to model
+// in-flight messages (delayed queue Puts) without a goroutine per
+// message.
+func (s *Sim) At(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Proc is the handle a simulation process uses to interact with virtual
+// time. All methods must be called from the process's own goroutine.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+type killSentinel struct{}
+
+// Spawn registers a new process starting at the current virtual time.
+// It may be called before Run or from inside a running process.
+func (s *Sim) Spawn(name string, fn func(*Proc)) {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{}, 1)}
+	s.nprocs++
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killSentinel); !isKill {
+					panic(r)
+				}
+				return // killed: exit silently, no yield
+			}
+		}()
+		if _, ok := <-p.resume; !ok {
+			panic(killSentinel{})
+		}
+		fn(p)
+		p.dead = true
+		s.nprocs--
+		s.yield <- struct{}{}
+	}()
+	s.schedule(s.now, p)
+}
+
+// park gives control back to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.sim.yield <- struct{}{}
+	if _, ok := <-p.resume; !ok {
+		panic(killSentinel{})
+	}
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p)
+	p.park()
+}
+
+// Run executes events until none remain, then returns the final virtual
+// time. Processes still parked on queues or resources when the event
+// queue drains are considered daemons and are terminated.
+func (s *Sim) Run() time.Duration {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.fn != nil {
+			s.now = ev.at
+			ev.fn()
+			continue
+		}
+		if ev.p.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.p.resume <- struct{}{}
+		<-s.yield
+	}
+	s.kill()
+	return s.now
+}
+
+// kill terminates daemon processes still blocked after the run.
+func (s *Sim) kill() {
+	if s.killed {
+		return
+	}
+	s.killed = true
+	// Closing resume unblocks parked processes into the kill panic.
+	// Processes blocked in queue waiters are parked on resume too.
+	for _, q := range s.queues {
+		for _, w := range q.waiters {
+			close(w.resume)
+		}
+		q.waiters = nil
+	}
+	for _, r := range s.resources {
+		for _, w := range r.waiters {
+			close(w.resume)
+		}
+		r.waiters = nil
+	}
+	s.wg.Wait()
+}
+
+// Deadlocked reports whether processes remain blocked with no pending
+// events — useful in tests to assert clean shutdown.
+func (s *Sim) Deadlocked() bool {
+	return s.events.Len() == 0 && s.blocked > 0
+}
+
+// --- Queues -------------------------------------------------------------
+
+// Queue is an unbounded FIFO channel between processes. Put is
+// instantaneous; Get blocks until an item is available.
+type Queue struct {
+	sim     *Sim
+	name    string
+	items   []any
+	waiters []*Proc
+	// MaxDepth tracks the high-water mark, a congestion metric the
+	// Figure 4 analysis reads ("requests spend a considerable time
+	// waiting in-queue").
+	MaxDepth int
+}
+
+// NewQueue creates a queue registered with the simulation (registration
+// lets Run terminate daemon consumers cleanly).
+func (s *Sim) NewQueue(name string) *Queue {
+	q := &Queue{sim: s, name: name}
+	s.queues = append(s.queues, q)
+	return q
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends an item and wakes one waiting consumer.
+func (q *Queue) Put(v any) {
+	q.items = append(q.items, v)
+	if len(q.items) > q.MaxDepth {
+		q.MaxDepth = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.sim.blocked--
+		q.sim.schedule(q.sim.now, w)
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty.
+func (p *Proc) Get(q *Queue) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.sim.blocked++
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue) TryGet() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// --- Resources ----------------------------------------------------------
+
+// Resource models a capacity-limited server (CPU slots, a database's
+// concurrent-request limit). Acquire blocks while all slots are taken.
+type Resource struct {
+	sim      *Sim
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// Busy accumulates slot-time for utilization accounting.
+	Busy       time.Duration
+	lastChange time.Duration
+}
+
+// NewResource creates a resource with the given slot count.
+func (s *Sim) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Resource{sim: s, name: name, capacity: capacity}
+	s.resources = append(s.resources, r)
+	return r
+}
+
+// Acquire takes one slot, blocking until one frees.
+func (p *Proc) Acquire(r *Resource) {
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		p.sim.blocked++
+		p.park()
+	}
+	r.accumulate()
+	r.inUse++
+}
+
+// Release frees one slot and wakes one waiter.
+func (p *Proc) Release(r *Resource) {
+	if r.inUse == 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	r.accumulate()
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		p.sim.blocked--
+		p.sim.schedule(p.sim.now, w)
+	}
+}
+
+func (r *Resource) accumulate() {
+	r.Busy += time.Duration(r.inUse) * (r.sim.now - r.lastChange)
+	r.lastChange = r.sim.now
+}
+
+// Utilization returns mean busy slots / capacity over [0, horizon].
+func (r *Resource) Utilization(horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	busy := r.Busy + time.Duration(r.inUse)*(r.sim.now-r.lastChange)
+	return float64(busy) / float64(horizon) / float64(r.capacity)
+}
+
+// InUse returns the currently held slot count.
+func (r *Resource) InUse() int { return r.inUse }

@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := New()
+	var woke time.Duration
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(ms(100))
+		woke = p.Now()
+	})
+	wall := time.Now()
+	end := s.Run()
+	if woke != ms(100) || end != ms(100) {
+		t.Fatalf("woke at %v, end %v, want 100ms", woke, end)
+	}
+	if real := time.Since(wall); real > 50*time.Millisecond {
+		t.Fatalf("virtual sleep took %v of wall time", real)
+	}
+}
+
+func TestNegativeSleepClamps(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) { p.Sleep(-5) })
+	if end := s.Run(); end != 0 {
+		t.Fatalf("end %v want 0", end)
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var order []string
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			delay := ms((5 - i) * 10)
+			s.Spawn(name, func(p *Proc) {
+				p.Sleep(delay)
+				order = append(order, p.Name())
+			})
+		}
+		s.Run()
+		return order
+	}
+	first := run()
+	want := []string{"e", "d", "c", "b", "a"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order %v want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic length")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("trial %d: order %v differs from %v", trial, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestEqualTimeFiresInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			p.Sleep(ms(10)) // all wake at the same instant
+			order = append(order, name)
+		})
+	}
+	s.Run()
+	if order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("tie-break order %v", order)
+	}
+}
+
+func TestQueuePutGet(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var got []int
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Get(q).(int))
+		}
+	})
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(ms(10))
+			q.Put(i)
+		}
+	})
+	end := s.Run()
+	if end != ms(30) {
+		t.Fatalf("end %v want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueFIFOAcrossWaiters(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var order []string
+	for _, name := range []string{"w1", "w2"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			v := p.Get(q)
+			order = append(order, name+":"+v.(string))
+		})
+	}
+	s.Spawn("producer", func(p *Proc) {
+		p.Sleep(ms(1))
+		q.Put("a")
+		q.Put("b")
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "w1:a" || order[1] != "w2:b" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestQueueMaxDepth(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			q.Put(i)
+		}
+	})
+	s.Spawn("slowConsumer", func(p *Proc) {
+		p.Sleep(ms(1))
+		for i := 0; i < 10; i++ {
+			p.Get(q)
+		}
+	})
+	s.Run()
+	if q.MaxDepth != 10 {
+		t.Fatalf("max depth %d want 10", q.MaxDepth)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestTryGet(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue")
+	}
+	q.Put(42)
+	v, ok := q.TryGet()
+	if !ok || v.(int) != 42 {
+		t.Fatalf("TryGet got %v,%v", v, ok)
+	}
+}
+
+func TestDaemonConsumerTerminated(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	s.Spawn("daemon", func(p *Proc) {
+		for {
+			p.Get(q) // waits forever after the producer stops
+		}
+	})
+	s.Spawn("producer", func(p *Proc) {
+		q.Put(1)
+		p.Sleep(ms(5))
+		q.Put(2)
+	})
+	end := s.Run() // must return despite the blocked daemon
+	if end != ms(5) {
+		t.Fatalf("end %v want 5ms", end)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	s := New()
+	r := s.NewResource("db", 2)
+	maxSeen := 0
+	active := 0
+	for i := 0; i < 6; i++ {
+		s.Spawn("job", func(p *Proc) {
+			p.Acquire(r)
+			active++
+			if active > maxSeen {
+				maxSeen = active
+			}
+			p.Sleep(ms(10))
+			active--
+			p.Release(r)
+		})
+	}
+	end := s.Run()
+	if maxSeen != 2 {
+		t.Fatalf("max concurrency %d want 2", maxSeen)
+	}
+	// 6 jobs, 2 at a time, 10ms each: 30ms.
+	if end != ms(30) {
+		t.Fatalf("end %v want 30ms", end)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := s.NewResource("db", 2)
+	s.Spawn("job", func(p *Proc) {
+		p.Acquire(r)
+		p.Sleep(ms(10))
+		p.Release(r)
+	})
+	end := s.Run()
+	// One of two slots busy for the whole horizon: 50%.
+	if u := r.Utilization(end); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %.2f want 0.5", u)
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	s := New()
+	r := s.NewResource("db", 1)
+	panicked := make(chan bool, 1)
+	s.Spawn("bad", func(p *Proc) {
+		defer func() {
+			panicked <- recover() != nil
+			// Re-yield so the scheduler does not hang on this process.
+			panic(killSentinel{})
+		}()
+		p.Release(r)
+	})
+	go func() { s.Run() }()
+	select {
+	case ok := <-panicked:
+		if !ok {
+			t.Fatal("release of idle resource did not panic")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New()
+	var childRan bool
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(ms(5))
+		p.sim.Spawn("child", func(c *Proc) {
+			c.Sleep(ms(5))
+			childRan = true
+		})
+	})
+	end := s.Run()
+	if !childRan || end != ms(10) {
+		t.Fatalf("childRan=%v end=%v", childRan, end)
+	}
+}
+
+func TestResourceCapacityClamp(t *testing.T) {
+	s := New()
+	r := s.NewResource("x", 0)
+	if r.capacity != 1 {
+		t.Fatalf("capacity %d want clamp to 1", r.capacity)
+	}
+}
+
+// A master-slave shaped smoke test: one producer fans requests to two
+// servers through queues; each server has service capacity 1.
+func TestMasterSlaveShape(t *testing.T) {
+	s := New()
+	queues := []*Queue{s.NewQueue("s0"), s.NewQueue("s1")}
+	var served [2]int
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("slave", func(p *Proc) {
+			for {
+				p.Get(queues[i])
+				p.Sleep(ms(10)) // service time
+				served[i]++
+			}
+		})
+	}
+	s.Spawn("master", func(p *Proc) {
+		for r := 0; r < 10; r++ {
+			p.Sleep(ms(1)) // per-message send cost
+			queues[r%2].Put(r)
+		}
+	})
+	end := s.Run()
+	if served[0]+served[1] != 10 {
+		t.Fatalf("served %v want 10 total", served)
+	}
+	// 5 requests per slave at 10ms serial each, sends interleave:
+	// the last request lands at 10ms and finishes 50ms after the
+	// slave's pipeline started. End must be near 10+50.
+	if end < ms(50) || end > ms(62) {
+		t.Fatalf("end %v outside expected window", end)
+	}
+}
+
+func TestAtCallback(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var got any
+	s.Spawn("consumer", func(p *Proc) {
+		got = p.Get(q)
+	})
+	// Model a message in flight: delivered 7ms from now with no
+	// dedicated goroutine.
+	s.At(ms(7), func() { q.Put("delivered") })
+	end := s.Run()
+	if got != "delivered" || end != ms(7) {
+		t.Fatalf("got %v at %v", got, end)
+	}
+}
+
+func TestAtNegativeDelayClamps(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(-ms(5), func() { ran = true })
+	if end := s.Run(); !ran || end != 0 {
+		t.Fatalf("ran=%v end=%v", ran, end)
+	}
+}
+
+func TestAtOrderingAmongCallbacks(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(ms(5), func() { order = append(order, 2) })
+	s.At(ms(1), func() { order = append(order, 1) })
+	s.At(ms(5), func() { order = append(order, 3) }) // same time: schedule order
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}

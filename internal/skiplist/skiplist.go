@@ -1,0 +1,151 @@
+// Package skiplist provides an ordered byte-key map used as the memtable
+// substrate. A skip list gives O(log n) insert and seek with cheap ordered
+// iteration, which is what the write path (inserts in arbitrary order) and
+// the read path (clustering-key range scans) both need.
+//
+// The list is not safe for concurrent use on its own; the memtable layers
+// an RWMutex on top, mirroring the single-writer flush discipline of the
+// storage engine.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const maxHeight = 20
+
+// List is an ordered map from []byte keys to []byte values.
+type List struct {
+	head   *node
+	height int
+	length int
+	rng    *rand.Rand
+	bytes  int64 // approximate payload size, drives memtable flush
+}
+
+type node struct {
+	key   []byte
+	value []byte
+	next  []*node
+}
+
+// New creates an empty list. Tower heights are drawn from the given seed
+// so tests are reproducible.
+func New(seed int64) *List {
+	return &List{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return l.length }
+
+// Bytes returns the approximate payload size (keys + values) in bytes.
+func (l *List) Bytes() int64 { return l.bytes }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE locates the first node with key >= target. prev, when non-nil,
+// receives the predecessor at every level (for insertion).
+func (l *List) findGE(key []byte, prev []*node) *node {
+	x := l.head
+	for level := l.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Set inserts or replaces the value for key. The key and value slices are
+// stored as given; callers that reuse buffers must copy first.
+func (l *List) Set(key, value []byte) {
+	prev := make([]*node, maxHeight)
+	for i := range prev {
+		prev[i] = l.head
+	}
+	if n := l.findGE(key, prev); n != nil && bytes.Equal(n.key, key) {
+		l.bytes += int64(len(value) - len(n.value))
+		n.value = value
+		return
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		l.height = h
+	}
+	n := &node{key: key, value: value, next: make([]*node, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	l.length++
+	l.bytes += int64(len(key) + len(value))
+}
+
+// Get returns the value stored for key, or nil and false.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// Delete removes key and reports whether it was present.
+func (l *List) Delete(key []byte) bool {
+	prev := make([]*node, maxHeight)
+	for i := range prev {
+		prev[i] = l.head
+	}
+	n := l.findGE(key, prev)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for level := 0; level < len(n.next); level++ {
+		if prev[level].next[level] == n {
+			prev[level].next[level] = n.next[level]
+		}
+	}
+	l.length--
+	l.bytes -= int64(len(n.key) + len(n.value))
+	return true
+}
+
+// Iterator walks entries in ascending key order.
+type Iterator struct {
+	n *node
+}
+
+// Seek positions an iterator at the first entry with key >= target.
+func (l *List) Seek(key []byte) *Iterator {
+	return &Iterator{n: l.findGE(key, nil)}
+}
+
+// First positions an iterator at the smallest entry.
+func (l *List) First() *Iterator {
+	return &Iterator{n: l.head.next[0]}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key. Only valid when Valid() is true.
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current value. Only valid when Valid() is true.
+func (it *Iterator) Value() []byte { return it.n.value }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.n = it.n.next[0] }

@@ -1,0 +1,219 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	l := New(1)
+	l.Set([]byte("b"), []byte("2"))
+	l.Set([]byte("a"), []byte("1"))
+	l.Set([]byte("c"), []byte("3"))
+	for _, k := range []string{"a", "b", "c"} {
+		v, ok := l.Get([]byte(k))
+		if !ok {
+			t.Fatalf("missing key %q", k)
+		}
+		if string(v) == "" {
+			t.Fatalf("empty value for %q", k)
+		}
+	}
+	if _, ok := l.Get([]byte("zz")); ok {
+		t.Fatal("found absent key")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len %d want 3", l.Len())
+	}
+}
+
+func TestOverwriteKeepsLength(t *testing.T) {
+	l := New(1)
+	l.Set([]byte("k"), []byte("old"))
+	l.Set([]byte("k"), []byte("newvalue"))
+	if l.Len() != 1 {
+		t.Fatalf("len %d want 1", l.Len())
+	}
+	v, _ := l.Get([]byte("k"))
+	if string(v) != "newvalue" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := New(1)
+	l.Set([]byte("key1"), []byte("vvvv"))
+	if l.Bytes() != 8 {
+		t.Fatalf("bytes %d want 8", l.Bytes())
+	}
+	l.Set([]byte("key1"), []byte("vv")) // shrink value
+	if l.Bytes() != 6 {
+		t.Fatalf("bytes %d want 6", l.Bytes())
+	}
+	l.Delete([]byte("key1"))
+	if l.Bytes() != 0 {
+		t.Fatalf("bytes %d want 0 after delete", l.Bytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 100; i++ {
+		l.Set([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	for i := 0; i < 100; i += 2 {
+		if !l.Delete([]byte(fmt.Sprintf("k%03d", i))) {
+			t.Fatalf("delete k%03d failed", i)
+		}
+	}
+	if l.Delete([]byte("absent")) {
+		t.Fatal("deleted absent key")
+	}
+	if l.Len() != 50 {
+		t.Fatalf("len %d want 50", l.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := l.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("k%03d present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New(42)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		l.Set([]byte(k), []byte(k))
+	}
+	var got []string
+	for it := l.First(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 100; i += 10 {
+		l.Set([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	it := l.Seek([]byte("k015"))
+	if !it.Valid() || string(it.Key()) != "k020" {
+		t.Fatalf("seek landed on %q want k020", it.Key())
+	}
+	it = l.Seek([]byte("k090"))
+	if !it.Valid() || string(it.Key()) != "k090" {
+		t.Fatalf("exact seek landed on %q want k090", it.Key())
+	}
+	it = l.Seek([]byte("k999"))
+	if it.Valid() {
+		t.Fatal("seek past end must be invalid")
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	l := New(1)
+	if it := l.First(); it.Valid() {
+		t.Fatal("empty list iterator valid")
+	}
+	if l.Delete([]byte("x")) {
+		t.Fatal("delete on empty list returned true")
+	}
+}
+
+// Property: the skip list agrees with a reference map plus sorted keys.
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	l := New(7)
+	ref := map[string]string{}
+	for op := 0; op < 5000; op++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val-%d", op)
+			l.Set([]byte(k), []byte(v))
+			ref[k] = v
+		case 2:
+			got := l.Delete([]byte(k))
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: delete(%q)=%v want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+	if l.Len() != len(ref) {
+		t.Fatalf("len %d want %d", l.Len(), len(ref))
+	}
+	var refKeys []string
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Strings(refKeys)
+	i := 0
+	for it := l.First(); it.Valid(); it.Next() {
+		if string(it.Key()) != refKeys[i] {
+			t.Fatalf("iteration position %d: %q want %q", i, it.Key(), refKeys[i])
+		}
+		if string(it.Value()) != ref[refKeys[i]] {
+			t.Fatalf("value mismatch at %q", it.Key())
+		}
+		i++
+	}
+	if i != len(refKeys) {
+		t.Fatalf("iterated %d keys want %d", i, len(refKeys))
+	}
+}
+
+func TestQuickSetThenGet(t *testing.T) {
+	l := New(5)
+	f := func(key, value []byte) bool {
+		k := append([]byte(nil), key...)
+		v := append([]byte(nil), value...)
+		l.Set(k, v)
+		got, ok := l.Get(k)
+		return ok && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%09d", i*2654435761%1000000007))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Set(keys[i], keys[i])
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New(1)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%09d", i))
+		l.Set(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get([]byte(fmt.Sprintf("key-%09d", i%n)))
+	}
+}

@@ -1,0 +1,279 @@
+// Package stages is the Aeneas-style high-resolution tracer of the
+// paper's Section IV-B: instead of box metrics (page faults, IO), it
+// records the time every request spends in each primary data-flow phase —
+// master-to-slave, in-queue, in-cassandra, slave-to-master — which is the
+// decomposition that made the paper's bottlenecks visible.
+//
+// Times are stored as offsets from the query start, so the tracer works
+// identically under the wall clock and under the discrete-event
+// simulator's virtual clock.
+package stages
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage enumerates the paper's four request phases.
+type Stage int
+
+// The four stages of Section V-B, in pipeline order.
+const (
+	MasterToSlave Stage = iota
+	InQueue
+	InDB
+	SlaveToMaster
+	numStages
+)
+
+// String returns the paper's name for the stage.
+func (s Stage) String() string {
+	switch s {
+	case MasterToSlave:
+		return "master-to-slaves"
+	case InQueue:
+		return "in-queue"
+	case InDB:
+		return "in-cassandra"
+	case SlaveToMaster:
+		return "slaves-to-master"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Stages lists all stages in pipeline order.
+func Stages() []Stage {
+	return []Stage{MasterToSlave, InQueue, InDB, SlaveToMaster}
+}
+
+// Span is one request's residence in one stage on one node.
+type Span struct {
+	RequestID uint64
+	Node      int
+	Stage     Stage
+	Start     time.Duration // offset from query start
+	End       time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Trace collects spans concurrently and answers the aggregate questions
+// the figures need.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one span. Safe for concurrent use.
+func (t *Trace) Record(reqID uint64, node int, stage Stage, start, end time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{RequestID: reqID, Node: node, Stage: stage, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of every recorded span.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// OpsPerNode counts requests that reached the database stage on each
+// node — the top bar chart of Figure 2.
+func (t *Trace) OpsPerNode() map[int]int {
+	out := map[int]int{}
+	for _, s := range t.Spans() {
+		if s.Stage == InDB {
+			out[s.Node]++
+		}
+	}
+	return out
+}
+
+// StageDurations returns every span length of a stage grouped by node —
+// the bottom chart of Figure 2 (for InDB) and the rows of Figure 4.
+func (t *Trace) StageDurations(stage Stage) map[int][]time.Duration {
+	out := map[int][]time.Duration{}
+	for _, s := range t.Spans() {
+		if s.Stage == stage {
+			out[s.Node] = append(out[s.Node], s.Duration())
+		}
+	}
+	return out
+}
+
+// StageTotal sums all span lengths of a stage across nodes.
+func (t *Trace) StageTotal(stage Stage) time.Duration {
+	var sum time.Duration
+	for _, s := range t.Spans() {
+		if s.Stage == stage {
+			sum += s.Duration()
+		}
+	}
+	return sum
+}
+
+// StageEnd returns the latest End across spans of a stage; for
+// MasterToSlave this is the paper's "time the master finished sending".
+func (t *Trace) StageEnd(stage Stage) time.Duration {
+	var max time.Duration
+	for _, s := range t.Spans() {
+		if s.Stage == stage && s.End > max {
+			max = s.End
+		}
+	}
+	return max
+}
+
+// BusyWindows merges a node's spans of one stage into disjoint busy
+// windows; gaps between windows are the idle "white spots" the paper
+// reads off Figure 4 to conclude Cassandra was starved.
+func (t *Trace) BusyWindows(node int, stage Stage) []Span {
+	var spans []Span
+	for _, s := range t.Spans() {
+		if s.Node == node && s.Stage == stage {
+			spans = append(spans, s)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var out []Span
+	for _, s := range spans {
+		if n := len(out); n > 0 && s.Start <= out[n-1].End {
+			if s.End > out[n-1].End {
+				out[n-1].End = s.End
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// IdleTime sums the gaps between a node's busy windows of one stage over
+// [0, horizon].
+func (t *Trace) IdleTime(node int, stage Stage, horizon time.Duration) time.Duration {
+	busy := t.BusyWindows(node, stage)
+	var covered time.Duration
+	for _, w := range busy {
+		end := w.End
+		if end > horizon {
+			end = horizon
+		}
+		if w.Start >= horizon {
+			break
+		}
+		covered += end - w.Start
+	}
+	if covered > horizon {
+		return 0
+	}
+	return horizon - covered
+}
+
+// Nodes returns the sorted set of node IDs that appear in the trace.
+func (t *Trace) Nodes() []int {
+	seen := map[int]bool{}
+	for _, s := range t.Spans() {
+		seen[s.Node] = true
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteCSV streams the raw spans as CSV (request_id, node, stage,
+// start_us, end_us), the Aeneas export format for offline analysis of a
+// run's profile.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "request_id,node,stage,start_us,end_us"); err != nil {
+		return err
+	}
+	for _, s := range t.Spans() {
+		_, err := fmt.Fprintf(w, "%d,%d,%s,%d,%d\n",
+			s.RequestID, s.Node, s.Stage, s.Start.Microseconds(), s.End.Microseconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderProfile draws a Figure 4-style text profile: one row per
+// (node, stage), each span as a '#' segment on a time axis of the given
+// width. Short events nearly vanish, congestion shows as long bars —
+// the same reading the paper applies.
+func (t *Trace) RenderProfile(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var horizon time.Duration
+	for _, s := range t.Spans() {
+		if s.End > horizon {
+			horizon = s.End
+		}
+	}
+	if horizon == 0 {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon: %v   (# >=85%% busy, + >=50%%, - >=15%%, . idle)\n", horizon)
+	cellW := float64(horizon) / float64(width)
+	for _, stage := range Stages() {
+		fmt.Fprintf(&b, "%s\n", stage)
+		for _, node := range t.Nodes() {
+			// Accumulate exact busy time per character cell so that
+			// many tiny events render as density, not as solid bars —
+			// the paper's "short-lasting events are almost invisible".
+			cover := make([]float64, width)
+			for _, s := range t.Spans() {
+				if s.Node != node || s.Stage != stage {
+					continue
+				}
+				lo := float64(s.Start) / cellW
+				hi := float64(s.End) / cellW
+				for c := int(lo); c < width && float64(c) < hi; c++ {
+					from := math.Max(lo, float64(c))
+					to := math.Min(hi, float64(c+1))
+					if to > from {
+						cover[c] += to - from
+					}
+				}
+			}
+			line := make([]byte, width)
+			for i, cv := range cover {
+				switch {
+				case cv >= 0.85:
+					line[i] = '#'
+				case cv >= 0.5:
+					line[i] = '+'
+				case cv >= 0.15:
+					line[i] = '-'
+				default:
+					line[i] = '.'
+				}
+			}
+			fmt.Fprintf(&b, "  node %-2d |%s|\n", node, line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package stages
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestRecordAndSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 0, MasterToSlave, ms(0), ms(1))
+	tr.Record(1, 0, InQueue, ms(1), ms(3))
+	tr.Record(1, 0, InDB, ms(3), ms(10))
+	tr.Record(1, 0, SlaveToMaster, ms(10), ms(11))
+	if tr.Len() != 4 {
+		t.Fatalf("len %d want 4", tr.Len())
+	}
+	spans := tr.Spans()
+	if spans[2].Duration() != ms(7) {
+		t.Fatalf("InDB duration %v want 7ms", spans[2].Duration())
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		MasterToSlave: "master-to-slaves",
+		InQueue:       "in-queue",
+		InDB:          "in-cassandra",
+		SlaveToMaster: "slaves-to-master",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q want %q", s, s.String(), name)
+		}
+	}
+	if Stage(99).String() == "" {
+		t.Error("unknown stage must still render")
+	}
+	if len(Stages()) != 4 {
+		t.Error("Stages() must list 4 stages")
+	}
+}
+
+func TestOpsPerNode(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.Record(uint64(i), i%3, InDB, ms(i), ms(i+1))
+		tr.Record(uint64(i), i%3, InQueue, ms(i), ms(i)) // not counted
+	}
+	ops := tr.OpsPerNode()
+	if ops[0] != 4 || ops[1] != 3 || ops[2] != 3 {
+		t.Fatalf("ops %v want 4/3/3", ops)
+	}
+}
+
+func TestStageDurationsAndTotal(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 0, InDB, ms(0), ms(5))
+	tr.Record(2, 0, InDB, ms(5), ms(8))
+	tr.Record(3, 1, InDB, ms(0), ms(2))
+	per := tr.StageDurations(InDB)
+	if len(per[0]) != 2 || len(per[1]) != 1 {
+		t.Fatalf("per-node %v", per)
+	}
+	if tr.StageTotal(InDB) != ms(10) {
+		t.Fatalf("total %v want 10ms", tr.StageTotal(InDB))
+	}
+	if tr.StageEnd(InDB) != ms(8) {
+		t.Fatalf("end %v want 8ms", tr.StageEnd(InDB))
+	}
+}
+
+func TestBusyWindowsMergesOverlaps(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 0, InDB, ms(0), ms(5))
+	tr.Record(2, 0, InDB, ms(3), ms(7)) // overlaps previous
+	tr.Record(3, 0, InDB, ms(10), ms(12))
+	windows := tr.BusyWindows(0, InDB)
+	if len(windows) != 2 {
+		t.Fatalf("windows %v want 2", windows)
+	}
+	if windows[0].Start != ms(0) || windows[0].End != ms(7) {
+		t.Fatalf("first window %+v", windows[0])
+	}
+}
+
+func TestIdleTime(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 0, InDB, ms(0), ms(2))
+	tr.Record(2, 0, InDB, ms(8), ms(10))
+	// Busy 4ms over a 10ms horizon: 6ms idle — the "white spots".
+	if idle := tr.IdleTime(0, InDB, ms(10)); idle != ms(6) {
+		t.Fatalf("idle %v want 6ms", idle)
+	}
+	// Horizon before the second window.
+	if idle := tr.IdleTime(0, InDB, ms(5)); idle != ms(3) {
+		t.Fatalf("idle %v want 3ms", idle)
+	}
+}
+
+func TestNodes(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 5, InDB, 0, 1)
+	tr.Record(2, 1, InDB, 0, 1)
+	tr.Record(3, 5, InQueue, 0, 1)
+	nodes := tr.Nodes()
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 5 {
+		t.Fatalf("nodes %v", nodes)
+	}
+}
+
+func TestRenderProfile(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 0, MasterToSlave, ms(0), ms(1))
+	tr.Record(1, 0, InDB, ms(1), ms(10))
+	out := tr.RenderProfile(40)
+	if !strings.Contains(out, "in-cassandra") {
+		t.Fatal("profile missing stage name")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("profile has no busy segments")
+	}
+	if empty := NewTrace().RenderProfile(40); !strings.Contains(empty, "empty") {
+		t.Fatal("empty trace must say so")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(1, 0, MasterToSlave, ms(0), ms(1))
+	tr.Record(1, 0, InDB, ms(1), ms(10))
+	var buf strings.Builder
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines want 3 (header + 2 spans)", len(lines))
+	}
+	if lines[0] != "request_id,node,stage,start_us,end_us" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.Contains(out, "1,0,in-cassandra,1000,10000") {
+		t.Fatalf("missing span row in:\n%s", out)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(uint64(i), g, InDB, ms(i), ms(i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 8000 {
+		t.Fatalf("len %d want 8000", tr.Len())
+	}
+}

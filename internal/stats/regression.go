@@ -1,0 +1,200 @@
+// Package stats provides the small statistical toolbox the paper's
+// methodology needs: ordinary-least-squares fits (linear and logarithmic),
+// piecewise-linear fits with automatic breakpoint search (Formula 6),
+// quantiles, histograms and stratified sampling.
+//
+// Everything is implemented from scratch on the standard library so the
+// module stays dependency-free and usable offline.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Linear is a fitted line y = Intercept + Slope*x together with the
+// goodness of fit over the data it was derived from.
+type Linear struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+	N         int
+}
+
+// Eval returns the fitted value at x.
+func (l Linear) Eval(x float64) float64 { return l.Intercept + l.Slope*x }
+
+func (l Linear) String() string {
+	return fmt.Sprintf("y = %.4g + %.4g*x (R²=%.3f, n=%d)", l.Intercept, l.Slope, l.R2, l.N)
+}
+
+// ErrInsufficientData is returned when a fit is requested over fewer
+// points than the model has parameters.
+var ErrInsufficientData = errors.New("stats: insufficient data for fit")
+
+// FitLinear computes the ordinary-least-squares line through (xs, ys).
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("stats: degenerate fit, all x equal")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := 0; i < n; i++ {
+			r := ys[i] - (intercept + slope*xs[i])
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Linear{Intercept: intercept, Slope: slope, R2: r2, N: n}, nil
+}
+
+// LogFit is a fitted curve y = Intercept + Slope*ln(x), the shape of the
+// paper's parallelism model (Formula 7).
+type LogFit struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+	N         int
+}
+
+// Eval returns the fitted value at x; x must be positive.
+func (l LogFit) Eval(x float64) float64 { return l.Intercept + l.Slope*math.Log(x) }
+
+func (l LogFit) String() string {
+	return fmt.Sprintf("y = %.4g + %.4g*ln(x) (R²=%.3f, n=%d)", l.Intercept, l.Slope, l.R2, l.N)
+}
+
+// FitLog computes the least-squares fit of y against ln(x). Points with
+// non-positive x are rejected.
+func FitLog(xs, ys []float64) (LogFit, error) {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogFit{}, fmt.Errorf("stats: non-positive x=%g in log fit", x)
+		}
+		lx[i] = math.Log(x)
+	}
+	lin, err := FitLinear(lx, ys)
+	if err != nil {
+		return LogFit{}, err
+	}
+	return LogFit{Intercept: lin.Intercept, Slope: lin.Slope, R2: lin.R2, N: lin.N}, nil
+}
+
+// Piecewise is two lines joined at Break: the left line applies for
+// x <= Break, the right line for x > Break. This is the form of the
+// paper's database latency model (Formula 6), where the break is the row
+// size at which Cassandra's column index starts to exist.
+type Piecewise struct {
+	Break float64
+	Left  Linear
+	Right Linear
+	// SSE is the total sum of squared residuals at the chosen break.
+	SSE float64
+}
+
+// Eval returns the fitted value at x.
+func (p Piecewise) Eval(x float64) float64 {
+	if x > p.Break {
+		return p.Right.Eval(x)
+	}
+	return p.Left.Eval(x)
+}
+
+func (p Piecewise) String() string {
+	return fmt.Sprintf("x<=%.0f: %s | x>%.0f: %s", p.Break, p.Left, p.Break, p.Right)
+}
+
+// FitPiecewise searches candidate breakpoints (each distinct x value,
+// excluding the extremes so both sides keep at least minSide points) and
+// returns the two-segment fit with the smallest total squared error.
+func FitPiecewise(xs, ys []float64, minSide int) (Piecewise, error) {
+	if len(xs) != len(ys) {
+		return Piecewise{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	if minSide < 2 {
+		minSide = 2
+	}
+	if len(xs) < 2*minSide {
+		return Piecewise{}, ErrInsufficientData
+	}
+	// Sort by x without mutating the caller's slices.
+	idx := sortedIndex(xs)
+	sx := make([]float64, len(xs))
+	sy := make([]float64, len(ys))
+	for i, j := range idx {
+		sx[i] = xs[j]
+		sy[i] = ys[j]
+	}
+
+	best := Piecewise{SSE: math.Inf(1)}
+	found := false
+	for cut := minSide; cut <= len(sx)-minSide; cut++ {
+		if cut < len(sx) && sx[cut] == sx[cut-1] {
+			continue // break must separate distinct x values
+		}
+		left, errL := FitLinear(sx[:cut], sy[:cut])
+		right, errR := FitLinear(sx[cut:], sy[cut:])
+		if errL != nil || errR != nil {
+			continue
+		}
+		sse := sumSquaredResiduals(sx[:cut], sy[:cut], left) +
+			sumSquaredResiduals(sx[cut:], sy[cut:], right)
+		if sse < best.SSE {
+			best = Piecewise{Break: sx[cut-1], Left: left, Right: right, SSE: sse}
+			found = true
+		}
+	}
+	if !found {
+		return Piecewise{}, errors.New("stats: no valid breakpoint")
+	}
+	return best, nil
+}
+
+func sumSquaredResiduals(xs, ys []float64, l Linear) float64 {
+	var s float64
+	for i := range xs {
+		r := ys[i] - l.Eval(xs[i])
+		s += r * r
+	}
+	return s
+}
+
+// sortedIndex returns the permutation that sorts xs ascending.
+func sortedIndex(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort is fine: fits are over hundreds of points at most.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && xs[idx[j]] < xs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

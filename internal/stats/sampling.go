@@ -1,0 +1,75 @@
+package stats
+
+import "math/rand"
+
+// Stratum describes one stratum of a stratified sampling plan: the
+// half-open value range [Lo, Hi) and how many samples to draw from it.
+type Stratum struct {
+	Lo, Hi int
+	Want   int
+}
+
+// StratifiedPlan builds n equal-width strata covering [lo, hi) with `want`
+// samples requested from each, mirroring the paper's Figure 6/7 sampling
+// ("the same number of random samples for each range of row size").
+func StratifiedPlan(lo, hi, n, want int) []Stratum {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + n
+	}
+	strata := make([]Stratum, n)
+	width := (hi - lo) / n
+	if width < 1 {
+		width = 1
+	}
+	for i := range strata {
+		sLo := lo + i*width
+		sHi := sLo + width
+		if i == n-1 {
+			sHi = hi
+		}
+		strata[i] = Stratum{Lo: sLo, Hi: sHi, Want: want}
+	}
+	return strata
+}
+
+// StratifiedSample partitions items by the value function into the given
+// strata and picks up to Want random representatives from each, using rng
+// for reproducibility. Items outside every stratum are ignored.
+func StratifiedSample[T any](items []T, value func(T) int, strata []Stratum, rng *rand.Rand) [][]T {
+	byStratum := make([][]T, len(strata))
+	for _, it := range items {
+		v := value(it)
+		for si, s := range strata {
+			if v >= s.Lo && v < s.Hi {
+				byStratum[si] = append(byStratum[si], it)
+				break
+			}
+		}
+	}
+	out := make([][]T, len(strata))
+	for si, pool := range byStratum {
+		want := strata[si].Want
+		if want >= len(pool) {
+			out[si] = pool
+			continue
+		}
+		// Partial Fisher-Yates: draw `want` distinct items.
+		picked := append([]T(nil), pool...)
+		for i := 0; i < want; i++ {
+			j := i + rng.Intn(len(picked)-i)
+			picked[i], picked[j] = picked[j], picked[i]
+		}
+		out[si] = picked[:want]
+	}
+	return out
+}
+
+// Shuffle permutes items in place using rng.
+func Shuffle[T any](items []T, rng *rand.Rand) {
+	rng.Shuffle(len(items), func(i, j int) {
+		items[i], items[j] = items[j], items[i]
+	})
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.Intercept, 3, 1e-9) || !almostEqual(l.Slope, 2, 1e-9) {
+		t.Fatalf("got %v want y=3+2x", l)
+	}
+	if !almostEqual(l.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v want 1", l.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 10+0.5*x+rng.NormFloat64())
+	}
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.Slope, 0.5, 0.01) {
+		t.Fatalf("slope %v want ~0.5", l.Slope)
+	}
+	if !almostEqual(l.Intercept, 10, 0.5) {
+		t.Fatalf("intercept %v want ~10", l.Intercept)
+	}
+	if l.R2 < 0.99 {
+		t.Fatalf("R2 %v too low", l.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for constant x")
+	}
+}
+
+func TestFitLogRecoversPaperFormula7(t *testing.T) {
+	// Generate points from the paper's parallelism model and refit.
+	var xs, ys []float64
+	for s := 100.0; s <= 10000; s += 250 {
+		xs = append(xs, s)
+		ys = append(ys, 12.562-1.084*math.Log(s))
+	}
+	f, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Intercept, 12.562, 1e-6) || !almostEqual(f.Slope, -1.084, 1e-6) {
+		t.Fatalf("got %v want paper constants", f)
+	}
+}
+
+func TestFitLogRejectsNonPositive(t *testing.T) {
+	if _, err := FitLog([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("want error for x=0")
+	}
+}
+
+func TestFitPiecewiseFindsBreak(t *testing.T) {
+	// Two segments mimicking Formula 6 with a break at 1425.
+	var xs, ys []float64
+	for x := 50.0; x <= 10000; x += 50 {
+		xs = append(xs, x)
+		if x > 1425 {
+			ys = append(ys, 0.773+0.0439*x)
+		} else {
+			ys = append(ys, 1.163+0.0387*x)
+		}
+	}
+	p, err := FitPiecewise(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Break < 1200 || p.Break > 1600 {
+		t.Fatalf("break %v, want near 1425", p.Break)
+	}
+	if !almostEqual(p.Left.Slope, 0.0387, 1e-4) || !almostEqual(p.Right.Slope, 0.0439, 1e-4) {
+		t.Fatalf("slopes %v / %v want 0.0387 / 0.0439", p.Left.Slope, p.Right.Slope)
+	}
+	// Eval must dispatch on the break.
+	if !almostEqual(p.Eval(100), 1.163+0.0387*100, 1e-6) {
+		t.Errorf("Eval left wrong: %v", p.Eval(100))
+	}
+	if !almostEqual(p.Eval(5000), 0.773+0.0439*5000, 1e-3) {
+		t.Errorf("Eval right wrong: %v", p.Eval(5000))
+	}
+}
+
+func TestFitPiecewiseUnsortedInput(t *testing.T) {
+	xs := []float64{10, 1, 7, 3, 9, 2, 8, 4, 6, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 5 {
+			ys[i] = 100 + x
+		} else {
+			ys[i] = 2 * x
+		}
+	}
+	p, err := FitPiecewise(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Break < 4 || p.Break > 6 {
+		t.Fatalf("break %v want ~5", p.Break)
+	}
+}
+
+func TestFitPiecewiseInsufficient(t *testing.T) {
+	if _, err := FitPiecewise([]float64{1, 2, 3}, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("want error for too few points")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || !almostEqual(s.Mean, 5.5, 1e-9) {
+		t.Fatalf("bad mean summary %+v", s)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Fatalf("bad min/max %+v", s)
+	}
+	if !almostEqual(s.P50, 5.5, 1e-9) {
+		t.Fatalf("P50 = %v want 5.5", s.P50)
+	}
+	if s.StdDev <= 0 {
+		t.Fatal("stddev must be positive")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero, got %+v", s)
+	}
+}
+
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		// Quantiles are bounded by min/max and monotone.
+		return s.P50 >= s.Min-1e-9 && s.P99 <= s.Max+1e-9 && s.P50 <= s.P95+1e-9 && s.P95 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i, c := range h.Buckets {
+		if c != 10 {
+			t.Fatalf("bucket %d = %d want 10", i, c)
+		}
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("outliers not tracked: %+v", h)
+	}
+	if h.Total() != 102 {
+		t.Fatalf("total %d want 102", h.Total())
+	}
+	if d := h.Density(0); !almostEqual(d, 0.1, 1e-9) {
+		t.Fatalf("density %v want 0.1", d)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(42)
+	}
+	h.Add(7)
+	if m := h.Mode(); m < 40 || m > 50 {
+		t.Fatalf("mode %v want in [40,50)", m)
+	}
+}
+
+func TestStratifiedPlanCoversRange(t *testing.T) {
+	strata := StratifiedPlan(0, 10000, 20, 30)
+	if len(strata) != 20 {
+		t.Fatalf("got %d strata", len(strata))
+	}
+	if strata[0].Lo != 0 || strata[len(strata)-1].Hi != 10000 {
+		t.Fatalf("range not covered: %+v", strata)
+	}
+	for i := 1; i < len(strata); i++ {
+		if strata[i].Lo != strata[i-1].Hi {
+			t.Fatalf("gap between strata %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	strata := StratifiedPlan(0, 1000, 10, 5)
+	got := StratifiedSample(items, func(v int) int { return v }, strata, rng)
+	if len(got) != 10 {
+		t.Fatalf("got %d strata", len(got))
+	}
+	for si, sample := range got {
+		if len(sample) != 5 {
+			t.Fatalf("stratum %d: %d samples want 5", si, len(sample))
+		}
+		seen := map[int]bool{}
+		for _, v := range sample {
+			if v < strata[si].Lo || v >= strata[si].Hi {
+				t.Fatalf("stratum %d: sample %d out of range", si, v)
+			}
+			if seen[v] {
+				t.Fatalf("stratum %d: duplicate sample %d", si, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestStratifiedSampleSmallPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := []int{1, 2}
+	strata := []Stratum{{Lo: 0, Hi: 10, Want: 5}}
+	got := StratifiedSample(items, func(v int) int { return v }, strata, rng)
+	if len(got[0]) != 2 {
+		t.Fatalf("want whole pool when pool < want, got %v", got[0])
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || MaxFloat(nil) != 0 {
+		t.Error("empty-sample helpers must return 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+	if MaxFloat([]float64{2, 9, 4}) != 9 {
+		t.Error("max wrong")
+	}
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean           float64
+	Min, Max       float64
+	StdDev         float64
+	P50, P95, P99  float64
+	Sum            float64
+	CoeffVariation float64
+}
+
+// Summarize computes descriptive statistics over xs. An empty sample
+// yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.Mean != 0 {
+		s.CoeffVariation = s.StdDev / s.Mean
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Quantile(sorted, 0.50)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of an ascending-sorted sample
+// using linear interpolation between closest ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MaxFloat returns the maximum of xs (and 0 for an empty sample).
+func MaxFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram is a fixed-width-bucket frequency count over a closed range.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	// Under and Over count samples outside [Lo, Hi).
+	Under, Over int
+	total       int
+}
+
+// NewHistogram creates a histogram of n equal-width buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i == len(h.Buckets) { // x == Hi-epsilon rounding
+		i--
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of observations recorded, including outliers.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Density returns bucket i's share of all in-range observations.
+func (h *Histogram) Density(i int) float64 {
+	in := h.total - h.Under - h.Over
+	if in == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(in)
+}
+
+// Mode returns the midpoint of the most populated bucket.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Buckets {
+		if c > h.Buckets[best] {
+			best = i
+		}
+	}
+	return h.BucketMid(best)
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist[%g,%g) n=%d buckets=%d under=%d over=%d",
+		h.Lo, h.Hi, h.total, len(h.Buckets), h.Under, h.Over)
+}

@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+
+	"scalekv/internal/row"
+)
+
+// rowCache is an LRU cache of fully-materialized partitions, playing the
+// role of Cassandra's row cache: it makes repeated reads of a hot
+// partition cheap, which is exactly the cache-affinity effect the paper
+// discusses when arguing against spreading reads across replicas.
+type rowCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	pk    string
+	cells []row.Cell
+}
+
+func newRowCache(capacity int) *rowCache {
+	return &rowCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *rowCache) get(pk string) ([]row.Cell, bool) {
+	if c == nil || c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[pk]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).cells, true
+}
+
+func (c *rowCache) put(pk string, cells []row.Cell) {
+	if c == nil || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[pk]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).cells = cells
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{pk: pk, cells: cells})
+	c.items[pk] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).pk)
+	}
+}
+
+// invalidate drops a partition after a write to it.
+func (c *rowCache) invalidate(pk string) {
+	if c == nil || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[pk]; ok {
+		c.ll.Remove(el)
+		delete(c.items, pk)
+	}
+}
+
+func (c *rowCache) stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,515 @@
+// Package storage assembles the local database node the paper's slaves
+// run: a log-structured wide-column engine with a write-ahead log, a
+// skip-list memtable, bloom-filtered SSTables with Cassandra-style column
+// indexes, size-triggered flushes, full compaction and an optional row
+// cache.
+//
+// The engine is the "in-cassandra" stage of the paper's four-phase
+// decomposition: the Figure 6/7 harness measures it directly to fit the
+// database model (Formulas 6-8).
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"scalekv/internal/memtable"
+	"scalekv/internal/row"
+	"scalekv/internal/sstable"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// FlushThreshold is the memtable payload size, in bytes, that
+	// triggers a flush to SSTable. 0 means 4MB.
+	FlushThreshold int64
+	// ColumnIndexSize forwards to the SSTable writer: chunk granularity
+	// of the column index. 0 means the Cassandra-like 64KB; negative
+	// disables column indexes (ablation knob).
+	ColumnIndexSize int
+	// RowCachePartitions enables an LRU row cache holding that many
+	// partitions. 0 disables it.
+	RowCachePartitions int
+	// DisableWAL turns off the commit log; used by bulk loads and
+	// benchmarks where durability is irrelevant.
+	DisableWAL bool
+	// CompactAfter triggers a full compaction once more than this many
+	// SSTables exist. 0 means 8.
+	CompactAfter int
+	// Seed drives the memtable skip list for reproducibility.
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FlushThreshold == 0 {
+		out.FlushThreshold = 4 << 20
+	}
+	if out.CompactAfter == 0 {
+		out.CompactAfter = 8
+	}
+	return out
+}
+
+// Metrics counts the engine's physical work. All fields are cumulative.
+type Metrics struct {
+	Puts            atomic.Int64
+	Gets            atomic.Int64
+	Scans           atomic.Int64
+	Flushes         atomic.Int64
+	Compactions     atomic.Int64
+	BloomSkips      atomic.Int64
+	SSTablesTouched atomic.Int64
+	CacheHits       atomic.Int64
+	CacheMisses     atomic.Int64
+}
+
+// Engine is a single-node wide-column store.
+type Engine struct {
+	opts Options
+
+	mu     sync.RWMutex
+	mem    *memtable.Memtable
+	tables []*sstable.Reader // oldest first
+	seq    int               // next sstable sequence number
+	wal    *wal
+	rcache *rowCache // nil when disabled
+	closed bool
+
+	Metrics Metrics
+}
+
+// Open creates or reopens an engine in opts.Dir, replaying any WAL left
+// by a previous process.
+func Open(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("storage: Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, mem: memtable.New(opts.Seed)}
+	if opts.RowCachePartitions > 0 {
+		e.rcache = newRowCache(opts.RowCachePartitions)
+	}
+
+	// Load existing SSTables in sequence order.
+	names, err := filepath.Glob(filepath.Join(opts.Dir, "sst-*.db"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r, err := sstable.Open(name)
+		if err != nil {
+			return nil, fmt.Errorf("storage: reopen %s: %w", name, err)
+		}
+		e.tables = append(e.tables, r)
+		var n int
+		fmt.Sscanf(filepath.Base(name), "sst-%06d.db", &n)
+		if n >= e.seq {
+			e.seq = n + 1
+		}
+	}
+
+	walPath := filepath.Join(opts.Dir, "wal.log")
+	if !opts.DisableWAL {
+		if err := replayWAL(walPath, func(op byte, pk string, ck, value []byte) {
+			switch op {
+			case walPut:
+				e.mem.Put(pk, ck, value)
+			case walDelete:
+				e.mem.Delete(pk, ck)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		if e.wal, err = openWAL(walPath); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// cache returns the row cache, which is nil when disabled; every
+// rowCache method tolerates a nil receiver.
+func (e *Engine) cache() *rowCache { return e.rcache }
+
+// Put stores value under (pk, ck).
+func (e *Engine) Put(pk string, ck, value []byte) error {
+	e.Metrics.Puts.Add(1)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("storage: engine closed")
+	}
+	if e.wal != nil {
+		if err := e.wal.append(walPut, pk, ck, value); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+	}
+	e.mem.Put(pk, ck, value)
+	needFlush := e.mem.Bytes() >= e.opts.FlushThreshold
+	e.mu.Unlock()
+	e.cache().invalidate(pk)
+	if needFlush {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Delete removes (pk, ck) from the memtable. Cross-SSTable tombstones
+// are not implemented: the paper's workloads are append-then-read-only,
+// so deletes only need to cover not-yet-flushed data.
+func (e *Engine) Delete(pk string, ck []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("storage: engine closed")
+	}
+	if e.wal != nil {
+		if err := e.wal.append(walDelete, pk, ck, nil); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+	}
+	e.mem.Delete(pk, ck)
+	e.mu.Unlock()
+	e.cache().invalidate(pk)
+	return nil
+}
+
+// Get returns the newest value for (pk, ck).
+func (e *Engine) Get(pk string, ck []byte) ([]byte, bool, error) {
+	e.Metrics.Gets.Add(1)
+	e.mu.RLock()
+	mem := e.mem
+	tables := e.tables
+	e.mu.RUnlock()
+
+	if v, ok := mem.Get(pk, ck); ok {
+		return v, true, nil
+	}
+	// Newest SSTable wins: scan from the end.
+	for i := len(tables) - 1; i >= 0; i-- {
+		t := tables[i]
+		if !t.MayContain(pk) {
+			e.Metrics.BloomSkips.Add(1)
+			continue
+		}
+		e.Metrics.SSTablesTouched.Add(1)
+		cells, err := t.ReadSlice(pk, ck, nextKey(ck))
+		if err == sstable.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if len(cells) > 0 && bytes.Equal(cells[0].CK, ck) {
+			return cells[0].Value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// nextKey returns the immediate successor of ck in byte order.
+func nextKey(ck []byte) []byte {
+	out := make([]byte, len(ck)+1)
+	copy(out, ck)
+	return out
+}
+
+// ScanPartition returns the merged cells of a partition with
+// from <= CK < to, newest version winning. Nil bounds mean unbounded.
+func (e *Engine) ScanPartition(pk string, from, to []byte) ([]row.Cell, error) {
+	e.Metrics.Scans.Add(1)
+	if from == nil && to == nil {
+		if cells, ok := e.cache().get(pk); ok {
+			e.Metrics.CacheHits.Add(1)
+			return cells, nil
+		}
+		e.Metrics.CacheMisses.Add(1)
+	}
+
+	e.mu.RLock()
+	mem := e.mem
+	tables := e.tables
+	e.mu.RUnlock()
+
+	// Sources oldest to newest so row.Merge lets the newest win.
+	sources := make([][]row.Cell, 0, len(tables)+1)
+	for _, t := range tables {
+		if !t.MayContain(pk) {
+			e.Metrics.BloomSkips.Add(1)
+			continue
+		}
+		e.Metrics.SSTablesTouched.Add(1)
+		cells, err := t.ReadSlice(pk, from, to)
+		if err == sstable.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, cells)
+	}
+	sources = append(sources, mem.ScanPartition(pk, from, to))
+	merged := row.Merge(sources...)
+	if from == nil && to == nil {
+		e.cache().put(pk, merged)
+	}
+	return merged, nil
+}
+
+// CountPartition returns the number of live cells in a partition.
+func (e *Engine) CountPartition(pk string) (int, error) {
+	cells, err := e.ScanPartition(pk, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(cells), nil
+}
+
+// AggregatePartition streams every cell of a partition through fn — the
+// "count by type" aggregation of the paper's prototype is built on this.
+func (e *Engine) AggregatePartition(pk string, fn func(ck, value []byte)) error {
+	cells, err := e.ScanPartition(pk, nil, nil)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		fn(c.CK, c.Value)
+	}
+	return nil
+}
+
+// Partitions returns the distinct partition keys across the memtable and
+// all SSTables, sorted ascending.
+func (e *Engine) Partitions() []string {
+	e.mu.RLock()
+	mem := e.mem
+	tables := e.tables
+	e.mu.RUnlock()
+
+	seen := map[string]bool{}
+	for _, pk := range mem.Partitions() {
+		seen[pk] = true
+	}
+	for _, t := range tables {
+		for _, pk := range t.Partitions() {
+			seen[pk] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for pk := range seen {
+		out = append(out, pk)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flush writes the current memtable to a new SSTable and truncates the
+// WAL. A no-op when the memtable is empty.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	if e.closed {
+		return errors.New("storage: engine closed")
+	}
+	if e.mem.Len() == 0 {
+		return nil
+	}
+	path := filepath.Join(e.opts.Dir, fmt.Sprintf("sst-%06d.db", e.seq))
+	nParts := len(e.mem.Partitions())
+	w, err := sstable.NewWriter(path, sstable.WriterOptions{
+		ColumnIndexSize:    e.opts.ColumnIndexSize,
+		ExpectedPartitions: nParts,
+	})
+	if err != nil {
+		return err
+	}
+	// Stream the memtable in order, grouping cells per partition.
+	var curPK string
+	var cur []row.Cell
+	first := true
+	flushPart := func() error {
+		if first {
+			return nil
+		}
+		return w.AddPartition(curPK, cur)
+	}
+	err = e.mem.Each(func(ent memtable.Entry) error {
+		if first || ent.PK != curPK {
+			if err := flushPart(); err != nil {
+				return err
+			}
+			curPK, cur, first = ent.PK, nil, false
+		}
+		cur = append(cur, row.Cell{CK: ent.CK, Value: ent.Value})
+		return nil
+	})
+	if err == nil {
+		err = flushPart()
+	}
+	if err != nil {
+		w.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	r, err := sstable.Open(path)
+	if err != nil {
+		return err
+	}
+	e.tables = append(e.tables, r)
+	e.seq++
+	e.mem = memtable.New(e.opts.Seed + int64(e.seq))
+	e.Metrics.Flushes.Add(1)
+	if e.wal != nil {
+		if err := e.wal.reset(); err != nil {
+			return err
+		}
+	}
+	if len(e.tables) > e.opts.CompactAfter {
+		return e.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges every SSTable into one, dropping shadowed cell
+// versions.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compactLocked()
+}
+
+func (e *Engine) compactLocked() error {
+	if len(e.tables) <= 1 {
+		return nil
+	}
+	// Union of partition keys across tables.
+	seen := map[string]bool{}
+	for _, t := range e.tables {
+		for _, pk := range t.Partitions() {
+			seen[pk] = true
+		}
+	}
+	pks := make([]string, 0, len(seen))
+	for pk := range seen {
+		pks = append(pks, pk)
+	}
+	sort.Strings(pks)
+
+	path := filepath.Join(e.opts.Dir, fmt.Sprintf("sst-%06d.db", e.seq))
+	w, err := sstable.NewWriter(path, sstable.WriterOptions{
+		ColumnIndexSize:    e.opts.ColumnIndexSize,
+		ExpectedPartitions: len(pks),
+	})
+	if err != nil {
+		return err
+	}
+	for _, pk := range pks {
+		sources := make([][]row.Cell, 0, len(e.tables))
+		for _, t := range e.tables {
+			cells, err := t.ReadSlice(pk, nil, nil)
+			if err == sstable.ErrNotFound {
+				continue
+			}
+			if err != nil {
+				w.Close()
+				os.Remove(path)
+				return err
+			}
+			sources = append(sources, cells)
+		}
+		if err := w.AddPartition(pk, row.Merge(sources...)); err != nil {
+			w.Close()
+			os.Remove(path)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	r, err := sstable.Open(path)
+	if err != nil {
+		return err
+	}
+	old := e.tables
+	e.tables = []*sstable.Reader{r}
+	e.seq++
+	e.Metrics.Compactions.Add(1)
+	for _, t := range old {
+		t.Close()
+	}
+	// Remove superseded files.
+	names, _ := filepath.Glob(filepath.Join(e.opts.Dir, "sst-*.db"))
+	for _, name := range names {
+		if name != path {
+			os.Remove(name)
+		}
+	}
+	return nil
+}
+
+// NumSSTables returns the current count of sorted runs.
+func (e *Engine) NumSSTables() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.tables)
+}
+
+// MemtableBytes returns the live memtable payload size.
+func (e *Engine) MemtableBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mem.Bytes()
+}
+
+// Close flushes and releases every resource. The engine is unusable
+// afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	e.closed = true
+	var firstErr error
+	for _, t := range e.tables {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if e.wal != nil {
+		if err := e.wal.sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := e.wal.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

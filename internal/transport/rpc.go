@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one request payload and returns the response
+// payload. Handlers run concurrently.
+type Handler func(payload []byte) []byte
+
+// Server accepts connections from a Listener and dispatches every
+// inbound frame to the handler, writing the response back under the same
+// correlation id.
+type Server struct {
+	l       Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   []Conn
+	closed  atomic.Bool
+}
+
+// Serve starts accepting in the background and returns immediately.
+func Serve(l Listener, handler Handler) *Server {
+	s := &Server{l: l, handler: handler}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveConn(conn)
+		}
+	}()
+	return s
+}
+
+func (s *Server) serveConn(conn Conn) {
+	defer s.wg.Done()
+	var writeMu sync.Mutex
+	var inflight sync.WaitGroup
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		inflight.Add(1)
+		go func(f Frame) {
+			defer inflight.Done()
+			resp := s.handler(f.Payload)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			// Send error only matters for liveness; the reader loop
+			// will observe the broken connection.
+			_ = conn.Send(Frame{Corr: f.Corr, Payload: resp})
+		}(f)
+	}
+	inflight.Wait()
+}
+
+// Close stops accepting and closes every open connection.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.l.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client pipelines requests over one connection, matching responses by
+// correlation id. Safe for concurrent use.
+type Client struct {
+	conn     Conn
+	mu       sync.Mutex
+	pending  map[uint64]chan []byte
+	nextCorr uint64
+	closed   bool
+	readErr  error
+	done     chan struct{}
+}
+
+// NewClient wraps a connection and starts its response dispatcher.
+func NewClient(conn Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan []byte), done: make(chan struct{})}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for corr, ch := range c.pending {
+				close(ch)
+				delete(c.pending, corr)
+			}
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.Corr]
+		if ok {
+			delete(c.pending, f.Corr)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f.Payload
+		}
+	}
+}
+
+// Go issues a request asynchronously; the returned channel yields the
+// response payload, or is closed on connection failure.
+func (c *Client) Go(payload []byte) (<-chan []byte, error) {
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextCorr++
+	corr := c.nextCorr
+	c.pending[corr] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Send(Frame{Corr: corr, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, corr)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Call issues a request and blocks for its response.
+func (c *Client) Call(payload []byte) ([]byte, error) {
+	ch, err := c.Go(payload)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, fmt.Errorf("transport: call failed: %w", err)
+	}
+	return resp, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,259 @@
+// Package transport provides the message-passing substrate of the real
+// (non-simulated) cluster: framed, correlation-tagged request/response
+// connections over TCP or over in-process pipes, with optional injected
+// latency for experiments.
+//
+// Frame layout: uint32 length | uint64 correlation id | payload. The
+// correlation id lets a client pipeline thousands of requests on one
+// connection — the behaviour the paper's master depends on — and match
+// responses arriving out of order.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frame is one tagged message.
+type Frame struct {
+	Corr    uint64
+	Payload []byte
+}
+
+// Conn is a bidirectional frame stream. Send and Recv are individually
+// safe for one concurrent caller each (one writer, one reader).
+type Conn interface {
+	Send(Frame) error
+	Recv() (Frame, error)
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// ErrClosed is returned by operations on closed connections.
+var ErrClosed = errors.New("transport: closed")
+
+// --- TCP ------------------------------------------------------------------
+
+type tcpConn struct {
+	c       net.Conn
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	latency time.Duration
+}
+
+// DialTCP connects to a TCP endpoint. A non-zero latency is added to
+// every Send, emulating a slower network for experiments.
+func DialTCP(addr string, latency time.Duration) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &tcpConn{c: c, latency: latency}, nil
+}
+
+func (t *tcpConn) Send(f Frame) error {
+	if t.latency > 0 {
+		time.Sleep(t.latency)
+	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint64(hdr[4:], f.Corr)
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(f.Payload)
+	return err
+}
+
+func (t *tcpConn) Recv() (Frame, error) {
+	t.readMu.Lock()
+	defer t.readMu.Unlock()
+	var hdr [12]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n > 64<<20 {
+		return Frame{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(t.c, payload); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Corr: binary.BigEndian.Uint64(hdr[4:]), Payload: payload}, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+type tcpListener struct {
+	l       net.Listener
+	latency time.Duration
+}
+
+// ListenTCP starts a TCP listener; addr ":0" picks a free port.
+func ListenTCP(addr string, latency time.Duration) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l, latency: latency}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c, latency: t.latency}, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// --- In-process -------------------------------------------------------------
+
+// Network is an in-process fabric: named endpoints connected by buffered
+// channels, with optional per-frame latency. It lets a whole cluster run
+// in one process for tests and small wall-clock experiments.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*pipeListener
+	// Latency is applied to every frame crossing the fabric.
+	Latency time.Duration
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*pipeListener)}
+}
+
+// Listen registers a named endpoint.
+func (n *Network) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &pipeListener{addr: addr, accept: make(chan Conn, 16), network: n}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a named endpoint.
+func (n *Network) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	client, server := pipePair(n)
+	select {
+	case l.accept <- server:
+		return client, nil
+	default:
+		return nil, fmt.Errorf("transport: accept backlog full at %q", addr)
+	}
+}
+
+func (n *Network) remove(addr string) {
+	n.mu.Lock()
+	delete(n.listeners, addr)
+	n.mu.Unlock()
+}
+
+type pipeListener struct {
+	addr    string
+	accept  chan Conn
+	network *Network
+	once    sync.Once
+}
+
+func (l *pipeListener) Accept() (Conn, error) {
+	c, ok := <-l.accept
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() {
+		l.network.remove(l.addr)
+		close(l.accept)
+	})
+	return nil
+}
+
+func (l *pipeListener) Addr() string { return l.addr }
+
+type pipeState struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+type pipeConn struct {
+	in      chan Frame
+	out     chan Frame
+	network *Network
+	state   *pipeState // shared by both ends: closing either closes the pipe
+}
+
+func pipePair(n *Network) (Conn, Conn) {
+	a2b := make(chan Frame, 1024)
+	b2a := make(chan Frame, 1024)
+	st := &pipeState{closed: make(chan struct{})}
+	a := &pipeConn{in: b2a, out: a2b, network: n, state: st}
+	b := &pipeConn{in: a2b, out: b2a, network: n, state: st}
+	return a, b
+}
+
+func (p *pipeConn) Send(f Frame) error {
+	if p.network.Latency > 0 {
+		time.Sleep(p.network.Latency)
+	}
+	select {
+	case <-p.state.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.out <- f:
+		return nil
+	case <-p.state.closed:
+		return ErrClosed
+	}
+}
+
+func (p *pipeConn) Recv() (Frame, error) {
+	select {
+	case f := <-p.in:
+		return f, nil
+	case <-p.state.closed:
+		// Drain anything already delivered before reporting closure.
+		select {
+		case f := <-p.in:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.state.once.Do(func() { close(p.state.closed) })
+	return nil
+}

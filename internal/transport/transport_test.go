@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(p []byte) []byte { return append([]byte("echo:"), p...) }
+
+func TestInProcessRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	conn, err := n.Dial("node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	resp, err := cli.Call([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp %q", resp)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	conn, err := DialTCP(l.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	resp, err := cli.Call([]byte("over-tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:over-tcp" {
+		t.Fatalf("resp %q", resp)
+	}
+}
+
+func TestPipelinedCallsMatchCorrelation(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	// Handler sleeps inversely to payload so responses come back out of
+	// order; correlation matching must still pair them correctly.
+	srv := Serve(l, func(p []byte) []byte {
+		if len(p) > 0 && p[0] == 'a' {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return p
+	})
+	defer srv.Close()
+
+	conn, _ := n.Dial("srv")
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	chA, err := cli.Go([]byte("a-slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chB, err := cli.Go([]byte("b-fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-chB; string(got) != "b-fast" {
+		t.Fatalf("B got %q", got)
+	}
+	if got := <-chA; string(got) != "a-slow" {
+		t.Fatalf("A got %q", got)
+	}
+}
+
+func TestManyConcurrentCalls(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	conn, _ := n.Dial("srv")
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				msg := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				resp, err := cli.Call(msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, append([]byte("echo:"), msg...)) {
+					errs <- fmt.Errorf("mismatched response %q for %q", resp, msg)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestMultipleClientsOneServer(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		conn, err := n.Dial("srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := NewClient(conn)
+		if _, err := cli.Call([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		cli.Close()
+	}
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("ghost"); err == nil {
+		t.Fatal("dial to unregistered address succeeded")
+	}
+}
+
+func TestListenTwiceFails(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Listen("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("dup"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+}
+
+func TestListenerCloseUnregisters(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("temp")
+	l.Close()
+	if _, err := n.Dial("temp"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("temp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallAfterServerClose(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	srv := Serve(l, echoHandler)
+	conn, _ := n.Dial("srv")
+	cli := NewClient(conn)
+	defer cli.Close()
+	if _, err := cli.Call([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cli.Call([]byte("after-close")); err == nil {
+		t.Fatal("call succeeded after server close")
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	srv := Serve(l, func(p []byte) []byte {
+		time.Sleep(200 * time.Millisecond)
+		return p
+	})
+	defer srv.Close()
+	conn, _ := n.Dial("srv")
+	cli := NewClient(conn)
+	ch, err := cli.Go([]byte("pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cli.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			// The response may have raced the close; both outcomes are
+			// acceptable, but a closed channel must not hang.
+			return
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call hung after close")
+	}
+}
+
+func TestNetworkLatencyApplied(t *testing.T) {
+	n := NewNetwork()
+	n.Latency = 30 * time.Millisecond
+	l, _ := n.Listen("srv")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	conn, _ := n.Dial("srv")
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	start := time.Now()
+	if _, err := cli.Call([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Request and response each cross the fabric once.
+	if took := time.Since(start); took < 55*time.Millisecond {
+		t.Fatalf("call took %v, latency not applied", took)
+	}
+}
+
+func TestTCPFrameSizeLimit(t *testing.T) {
+	l, _ := ListenTCP("127.0.0.1:0", 0)
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Handcraft an oversized frame header.
+		raw := conn.(*tcpConn).c
+		hdr := make([]byte, 12)
+		hdr[0] = 0xFF
+		hdr[1] = 0xFF
+		hdr[2] = 0xFF
+		hdr[3] = 0xFF
+		raw.Write(hdr)
+	}()
+	conn, err := DialTCP(l.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func BenchmarkInProcessCall(b *testing.B) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	srv := Serve(l, func(p []byte) []byte { return p })
+	defer srv.Close()
+	conn, _ := n.Dial("srv")
+	cli := NewClient(conn)
+	defer cli.Close()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	l, _ := ListenTCP("127.0.0.1:0", 0)
+	srv := Serve(l, func(p []byte) []byte { return p })
+	defer srv.Close()
+	conn, err := DialTCP(l.Addr(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"scalekv/internal/enc"
+	"scalekv/internal/row"
+)
+
+// FastCodec is the Kryo analogue: registered numeric type IDs and
+// hand-written binary encodings. Frame layout: uvarint typeID, then the
+// type's compact field encoding in declaration order, no names, no tags.
+type FastCodec struct{}
+
+// Name implements Codec.
+func (FastCodec) Name() string { return "fast" }
+
+// ErrTruncated reports a frame shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// Marshal implements Codec.
+func (FastCodec) Marshal(m Message) ([]byte, error) {
+	out := enc.AppendUvarint(nil, uint64(m.TypeID()))
+	switch v := m.(type) {
+	case *CountRequest:
+		out = enc.AppendUvarint(out, v.QueryID)
+		out = enc.AppendUvarint(out, uint64(v.Seq))
+		out = enc.AppendBytes(out, []byte(v.PK))
+		out = enc.AppendUvarint(out, uint64(v.TraceSendNanos))
+	case *CountResponse:
+		out = enc.AppendUvarint(out, v.QueryID)
+		out = enc.AppendUvarint(out, uint64(v.Seq))
+		out = enc.AppendUvarint(out, uint64(v.NodeID))
+		out = enc.AppendUvarint(out, v.Elements)
+		out = enc.AppendUvarint(out, uint64(len(v.Counts)))
+		for ty, n := range v.Counts {
+			out = append(out, ty)
+			out = enc.AppendUvarint(out, n)
+		}
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+		out = enc.AppendUvarint(out, uint64(v.RecvNanos))
+		out = enc.AppendUvarint(out, uint64(v.QueueNanos))
+		out = enc.AppendUvarint(out, uint64(v.DBNanos))
+	case *PutRequest:
+		out = enc.AppendBytes(out, []byte(v.PK))
+		out = enc.AppendBytes(out, v.CK)
+		out = enc.AppendBytes(out, v.Value)
+	case *PutResponse:
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *GetRequest:
+		out = enc.AppendBytes(out, []byte(v.PK))
+		out = enc.AppendBytes(out, v.CK)
+	case *GetResponse:
+		out = enc.AppendBytes(out, v.Value)
+		if v.Found {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *ScanRequest:
+		out = enc.AppendBytes(out, []byte(v.PK))
+		out = appendOptBytes(out, v.From)
+		out = appendOptBytes(out, v.To)
+	case *ScanResponse:
+		out = enc.AppendUvarint(out, uint64(len(v.Cells)))
+		for _, c := range v.Cells {
+			out = enc.AppendBytes(out, c.CK)
+			out = enc.AppendBytes(out, c.Value)
+		}
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	default:
+		return nil, fmt.Errorf("wire: fast codec cannot marshal %T", m)
+	}
+	return out, nil
+}
+
+// Unmarshal implements Codec.
+func (FastCodec) Unmarshal(data []byte) (Message, error) {
+	id, n := enc.Uvarint(data)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	m, err := newMessage(uint16(id))
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{buf: data[n:]}
+	switch v := m.(type) {
+	case *CountRequest:
+		v.QueryID = d.uvarint()
+		v.Seq = uint32(d.uvarint())
+		v.PK = string(d.bytes())
+		v.TraceSendNanos = int64(d.uvarint())
+	case *CountResponse:
+		v.QueryID = d.uvarint()
+		v.Seq = uint32(d.uvarint())
+		v.NodeID = uint32(d.uvarint())
+		v.Elements = d.uvarint()
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Counts = make(map[uint8]uint64, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				ty := d.byte()
+				v.Counts[ty] = d.uvarint()
+			}
+		}
+		v.ErrMsg = string(d.bytes())
+		v.RecvNanos = int64(d.uvarint())
+		v.QueueNanos = int64(d.uvarint())
+		v.DBNanos = int64(d.uvarint())
+	case *PutRequest:
+		v.PK = string(d.bytes())
+		v.CK = d.copyBytes()
+		v.Value = d.copyBytes()
+	case *PutResponse:
+		v.ErrMsg = string(d.bytes())
+	case *GetRequest:
+		v.PK = string(d.bytes())
+		v.CK = d.copyBytes()
+	case *GetResponse:
+		v.Value = d.copyBytes()
+		v.Found = d.byte() == 1
+		v.ErrMsg = string(d.bytes())
+	case *ScanRequest:
+		v.PK = string(d.bytes())
+		v.From = d.optBytes()
+		v.To = d.optBytes()
+	case *ScanResponse:
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Cells = make([]row.Cell, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Cells = append(v.Cells, row.Cell{CK: d.copyBytes(), Value: d.copyBytes()})
+			}
+		}
+		v.ErrMsg = string(d.bytes())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}
+
+// appendOptBytes encodes a possibly-nil byte slice: 0 = nil, 1 = present.
+func appendOptBytes(out, b []byte) []byte {
+	if b == nil {
+		return append(out, 0)
+	}
+	out = append(out, 1)
+	return enc.AppendBytes(out, b)
+}
+
+// decoder is a cursor over a frame with sticky error handling.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := enc.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = ErrTruncated
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.err = ErrTruncated
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+// bytes returns a view into the frame; valid until the frame is reused.
+func (d *decoder) bytes() []byte {
+	if d.err != nil {
+		return nil
+	}
+	b, n := enc.Bytes(d.buf)
+	if n == 0 {
+		d.err = ErrTruncated
+		return nil
+	}
+	d.buf = d.buf[n:]
+	return b
+}
+
+// copyBytes returns an owned copy, for fields that outlive the frame.
+func (d *decoder) copyBytes() []byte {
+	b := d.bytes()
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *decoder) optBytes() []byte {
+	if d.byte() == 0 {
+		return nil
+	}
+	return d.copyBytes()
+}

@@ -1,0 +1,165 @@
+// Package wire defines the messages exchanged between the master and the
+// slaves, and two interchangeable codecs that reproduce the paper's
+// Section V-B serialization experiment:
+//
+//   - SlowCodec is the analogue of Java's default serialization: a
+//     self-describing format that embeds the type name, every field name
+//     and a per-field type tag, and that is encoded and decoded through
+//     reflection. Flexible, and expensive in both CPU and bytes.
+//   - FastCodec is the analogue of Kryo with registered classes: each
+//     message type is pre-registered under a numeric ID and encodes
+//     through hand-written, allocation-light binary routines.
+//
+// The paper measured 150 µs/message with the default serializer and
+// 19 µs after switching — almost an order of magnitude — and a payload
+// drop from 7.5 MB to 900 KB for ten thousand messages. The codec
+// benchmarks in this package reproduce the ratio on the Go stack.
+package wire
+
+import (
+	"fmt"
+
+	"scalekv/internal/row"
+)
+
+// Message is implemented by every wire message.
+type Message interface {
+	// TypeID identifies the concrete message type in FastCodec frames.
+	TypeID() uint16
+}
+
+// Message type IDs. Stable on the wire; never reorder.
+const (
+	TypeCountRequest uint16 = iota + 1
+	TypeCountResponse
+	TypePutRequest
+	TypePutResponse
+	TypeGetRequest
+	TypeGetResponse
+	TypeScanRequest
+	TypeScanResponse
+)
+
+// CountRequest asks a slave to aggregate — count by type — one partition
+// stored locally. This is the paper's prototype query unit: the master
+// issues one CountRequest per key.
+type CountRequest struct {
+	QueryID uint64
+	Seq     uint32
+	PK      string
+	// TraceSendNanos carries the master's send timestamp so the slave
+	// can attribute the master-to-slave stage (Aeneas-style tracing).
+	TraceSendNanos int64
+}
+
+// TypeID implements Message.
+func (*CountRequest) TypeID() uint16 { return TypeCountRequest }
+
+// CountResponse returns the per-type counts of one partition.
+type CountResponse struct {
+	QueryID  uint64
+	Seq      uint32
+	NodeID   uint32
+	Elements uint64
+	Counts   map[uint8]uint64
+	ErrMsg   string
+	// Stage timings reported back for the profile harness (Figure 4):
+	// RecvNanos is the slave's absolute receive timestamp (same-host
+	// clock domain), QueueNanos the time spent waiting for a database
+	// slot and DBNanos the in-database service time.
+	RecvNanos  int64
+	QueueNanos int64
+	DBNanos    int64
+}
+
+// TypeID implements Message.
+func (*CountResponse) TypeID() uint16 { return TypeCountResponse }
+
+// PutRequest writes one cell.
+type PutRequest struct {
+	PK    string
+	CK    []byte
+	Value []byte
+}
+
+// TypeID implements Message.
+func (*PutRequest) TypeID() uint16 { return TypePutRequest }
+
+// PutResponse acknowledges a write.
+type PutResponse struct {
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*PutResponse) TypeID() uint16 { return TypePutResponse }
+
+// GetRequest reads one cell.
+type GetRequest struct {
+	PK string
+	CK []byte
+}
+
+// TypeID implements Message.
+func (*GetRequest) TypeID() uint16 { return TypeGetRequest }
+
+// GetResponse returns one cell value.
+type GetResponse struct {
+	Value  []byte
+	Found  bool
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*GetResponse) TypeID() uint16 { return TypeGetResponse }
+
+// ScanRequest reads a clustering range of a partition. Nil bounds mean
+// unbounded.
+type ScanRequest struct {
+	PK   string
+	From []byte
+	To   []byte
+}
+
+// TypeID implements Message.
+func (*ScanRequest) TypeID() uint16 { return TypeScanRequest }
+
+// ScanResponse returns the cells of a range read.
+type ScanResponse struct {
+	Cells  []row.Cell
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*ScanResponse) TypeID() uint16 { return TypeScanResponse }
+
+// Codec turns messages into bytes and back. Implementations must be safe
+// for concurrent use.
+type Codec interface {
+	Name() string
+	Marshal(Message) ([]byte, error)
+	Unmarshal([]byte) (Message, error)
+}
+
+// newMessage instantiates the registered concrete type for a type ID.
+func newMessage(id uint16) (Message, error) {
+	switch id {
+	case TypeCountRequest:
+		return &CountRequest{}, nil
+	case TypeCountResponse:
+		return &CountResponse{}, nil
+	case TypePutRequest:
+		return &PutRequest{}, nil
+	case TypePutResponse:
+		return &PutResponse{}, nil
+	case TypeGetRequest:
+		return &GetRequest{}, nil
+	case TypeGetResponse:
+		return &GetResponse{}, nil
+	case TypeScanRequest:
+		return &ScanRequest{}, nil
+	case TypeScanResponse:
+		return &ScanResponse{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", id)
+	}
+}

@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scalekv/internal/row"
+)
+
+var codecs = []Codec{FastCodec{}, SlowCodec{}}
+
+func sampleMessages() []Message {
+	return []Message{
+		&CountRequest{QueryID: 42, Seq: 7, PK: "cube-0113", TraceSendNanos: 123456789},
+		&CountResponse{
+			QueryID: 42, Seq: 7, NodeID: 3, Elements: 10000,
+			Counts:     map[uint8]uint64{0: 5000, 1: 3000, 2: 2000},
+			QueueNanos: 1500, DBNanos: 820000,
+		},
+		&CountResponse{QueryID: 1, ErrMsg: "partition not found"},
+		&PutRequest{PK: "p", CK: []byte{1, 2}, Value: []byte("hello")},
+		&PutResponse{},
+		&PutResponse{ErrMsg: "disk full"},
+		&GetRequest{PK: "p", CK: []byte{9}},
+		&GetResponse{Value: []byte("v"), Found: true},
+		&GetResponse{Found: false},
+		&ScanRequest{PK: "p", From: []byte{0}, To: []byte{200}},
+		&ScanRequest{PK: "p"}, // nil bounds
+		&ScanResponse{Cells: []row.Cell{
+			{CK: []byte{1}, Value: []byte("a")},
+			{CK: []byte{2}, Value: []byte("bb")},
+		}},
+		&ScanResponse{ErrMsg: "boom"},
+	}
+}
+
+func TestRoundTripAllMessagesAllCodecs(t *testing.T) {
+	for _, c := range codecs {
+		for i, m := range sampleMessages() {
+			data, err := c.Marshal(m)
+			if err != nil {
+				t.Fatalf("%s: marshal msg %d: %v", c.Name(), i, err)
+			}
+			got, err := c.Unmarshal(data)
+			if err != nil {
+				t.Fatalf("%s: unmarshal msg %d: %v", c.Name(), i, err)
+			}
+			if !reflect.DeepEqual(normalize(m), normalize(got)) {
+				t.Fatalf("%s: msg %d round trip\n in: %#v\nout: %#v", c.Name(), i, m, got)
+			}
+		}
+	}
+}
+
+// normalize maps empty-but-non-nil containers to nil so DeepEqual
+// compares semantic content. Fast and slow codecs may differ in whether
+// they materialize empty slices.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *CountResponse:
+		out := *v
+		if len(out.Counts) == 0 {
+			out.Counts = nil
+		}
+		return &out
+	case *ScanResponse:
+		out := *v
+		if len(out.Cells) == 0 {
+			out.Cells = nil
+		}
+		for i := range out.Cells {
+			if len(out.Cells[i].CK) == 0 {
+				out.Cells[i].CK = nil
+			}
+			if len(out.Cells[i].Value) == 0 {
+				out.Cells[i].Value = nil
+			}
+		}
+		return &out
+	case *PutRequest:
+		out := *v
+		if len(out.CK) == 0 {
+			out.CK = nil
+		}
+		if len(out.Value) == 0 {
+			out.Value = nil
+		}
+		return &out
+	case *GetRequest:
+		out := *v
+		if len(out.CK) == 0 {
+			out.CK = nil
+		}
+		return &out
+	case *GetResponse:
+		out := *v
+		if len(out.Value) == 0 {
+			out.Value = nil
+		}
+		return &out
+	case *ScanRequest:
+		out := *v
+		if len(out.From) == 0 {
+			out.From = nil
+		}
+		if len(out.To) == 0 {
+			out.To = nil
+		}
+		return &out
+	}
+	return m
+}
+
+func TestCrossCodecIncompatibilityDetected(t *testing.T) {
+	// A fast frame fed to the slow codec (and vice versa) must error,
+	// not silently mis-decode.
+	m := &CountRequest{QueryID: 1, PK: "x"}
+	fast, _ := FastCodec{}.Marshal(m)
+	if _, err := (SlowCodec{}).Unmarshal(fast); err == nil {
+		t.Error("slow codec decoded a fast frame")
+	}
+	slow, _ := SlowCodec{}.Marshal(m)
+	if _, err := (FastCodec{}).Unmarshal(slow); err == nil {
+		t.Error("fast codec decoded a slow frame")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	for _, c := range codecs {
+		for _, data := range [][]byte{nil, {0xFF}, {1, 2, 3}, make([]byte, 64)} {
+			if _, err := c.Unmarshal(data); err == nil {
+				t.Errorf("%s: decoded garbage %v", c.Name(), data)
+			}
+		}
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	for _, c := range codecs {
+		m := &CountResponse{
+			QueryID: 9, Counts: map[uint8]uint64{1: 2, 3: 4}, ErrMsg: "x",
+		}
+		full, err := c.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(full); cut++ {
+			if _, err := c.Unmarshal(full[:cut]); err == nil {
+				// Some prefixes can be valid encodings of a shorter
+				// message only if trailing bytes are checked; fast codec
+				// tolerates them by design, slow codec rejects them.
+				if c.Name() == "slow" {
+					t.Errorf("slow codec accepted truncation at %d", cut)
+				}
+			}
+		}
+	}
+}
+
+func TestSlowStreamIsSelfDescribing(t *testing.T) {
+	m := &CountRequest{QueryID: 5, PK: "partition-abc"}
+	data, err := SlowCodec{}.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream must contain the type name and field names — that
+	// metadata is exactly the Java-serialization overhead the paper
+	// measured.
+	for _, needle := range []string{"wire.CountRequest", "QueryID", "PK", "TraceSendNanos"} {
+		if !contains(data, needle) {
+			t.Errorf("slow stream missing descriptor %q", needle)
+		}
+	}
+}
+
+func contains(haystack []byte, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if string(haystack[i:i+len(needle)]) == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSlowFramesAreLarger(t *testing.T) {
+	// The paper: 7.5 MB slow vs 900 KB fast for 10k messages (~8x).
+	// Require at least 3x on every sample message.
+	for _, m := range sampleMessages() {
+		slow, err := SlowCodec{}.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := FastCodec{}.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slow) < 3*len(fast) {
+			t.Errorf("%T: slow=%dB fast=%dB, ratio %.1fx < 3x",
+				m, len(slow), len(fast), float64(len(slow))/float64(len(fast)))
+		}
+	}
+}
+
+func TestQuickCountRequestRoundTrip(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		f := func(id uint64, seq uint32, pk string) bool {
+			in := &CountRequest{QueryID: id, Seq: seq, PK: pk}
+			data, err := c.Marshal(in)
+			if err != nil {
+				return false
+			}
+			out, err := c.Unmarshal(data)
+			if err != nil {
+				return false
+			}
+			got, ok := out.(*CountRequest)
+			return ok && got.QueryID == id && got.Seq == seq && got.PK == pk
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestQuickCountResponseCounts(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		f := func(raw map[uint8]uint64) bool {
+			in := &CountResponse{QueryID: 1, Counts: raw}
+			data, err := c.Marshal(in)
+			if err != nil {
+				return false
+			}
+			out, err := c.Unmarshal(data)
+			if err != nil {
+				return false
+			}
+			got := out.(*CountResponse)
+			if len(got.Counts) != len(raw) {
+				return false
+			}
+			for k, v := range raw {
+				if got.Counts[k] != v {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// The headline Section V-B numbers: marshal+unmarshal cost per message
+// for each codec. EXPERIMENTS.md quotes these against the paper's
+// 150 µs -> 19 µs.
+func BenchmarkSlowCodec(b *testing.B) { benchCodec(b, SlowCodec{}) }
+func BenchmarkFastCodec(b *testing.B) { benchCodec(b, FastCodec{}) }
+
+func benchCodec(b *testing.B, c Codec) {
+	m := &CountRequest{QueryID: 42, Seq: 1001, PK: "cube-level4-0113", TraceSendNanos: 1 << 40}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := c.Marshal(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlowCodecResponse(b *testing.B) {
+	benchCodecResponse(b, SlowCodec{})
+}
+
+func BenchmarkFastCodecResponse(b *testing.B) {
+	benchCodecResponse(b, FastCodec{})
+}
+
+func benchCodecResponse(b *testing.B, c Codec) {
+	m := &CountResponse{
+		QueryID: 42, Seq: 1001, NodeID: 5, Elements: 100,
+		Counts: map[uint8]uint64{0: 10, 1: 20, 2: 30, 3: 40},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := c.Marshal(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleFastCodec() {
+	c := FastCodec{}
+	data, _ := c.Marshal(&CountRequest{QueryID: 7, PK: "cube-42"})
+	m, _ := c.Unmarshal(data)
+	fmt.Println(m.(*CountRequest).PK)
+	// Output: cube-42
+}

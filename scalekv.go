@@ -1,0 +1,160 @@
+package scalekv
+
+import (
+	"scalekv/internal/cluster"
+	"scalekv/internal/core"
+	"scalekv/internal/d8tree"
+	"scalekv/internal/master"
+	"scalekv/internal/row"
+	"scalekv/internal/storage"
+	"scalekv/internal/wire"
+)
+
+// --- The analytical model (the paper's contribution) ---------------------
+
+// System is the Formula 2 model: database regressions plus master
+// messaging costs. See internal/core for the full method set
+// (Predict, OptimalKeys, LossAtOptimum, MasterLimit, ...).
+type System = core.System
+
+// DBModel is the database component model (Formulas 6-8).
+type DBModel = core.DBModel
+
+// Prediction is the model output for one configuration.
+type Prediction = core.Prediction
+
+// Tier and HierarchicalDB extend the model to tiered storage (the
+// paper's future-work section).
+type (
+	Tier           = core.Tier
+	HierarchicalDB = core.HierarchicalDB
+)
+
+// PaperSystem returns the paper's fitted constants with the optimized
+// master (19 µs per message).
+func PaperSystem() System { return core.PaperSystem() }
+
+// PaperSlowSystem returns the paper's system before the serialization
+// fix (150 µs per message).
+func PaperSlowSystem() System { return core.PaperSlowSystem() }
+
+// PaperDBModel returns Formula 6/7 verbatim.
+func PaperDBModel() DBModel { return core.PaperDBModel() }
+
+// ImbalanceRatio is Formula 1: expected relative overload of the most
+// loaded of n nodes holding m keys.
+func ImbalanceRatio(keys, nodes int) float64 { return core.ImbalanceRatio(keys, nodes) }
+
+// MaxKeysPerNode is Formula 5: the high-probability maximum key count
+// on any node.
+func MaxKeysPerNode(keys, nodes int) float64 { return core.MaxKeysPerNode(keys, nodes) }
+
+// --- The real cluster ------------------------------------------------------
+
+// Cluster is an in-process multi-node store (one storage engine and
+// server per node, connected by the in-process transport).
+type Cluster = cluster.Cluster
+
+// Client routes operations by token ring and runs the master-style
+// fan-out (CountAll).
+type Client = cluster.Client
+
+// ClusterOptions configures StartCluster beyond the node count.
+type ClusterOptions = cluster.LocalOptions
+
+// MasterOptions tunes fan-out queries (verbose master, log sink).
+type MasterOptions = cluster.MasterOptions
+
+// MasterResult is a fan-out query outcome with stage trace.
+type MasterResult = cluster.MasterResult
+
+// Cell is one clustering-key/value pair.
+type Cell = row.Cell
+
+// StorageOptions tunes each node's local engine.
+type StorageOptions = storage.Options
+
+// Codec serializes wire messages; SlowCodec and FastCodec reproduce the
+// Section V-B comparison.
+type (
+	Codec     = wire.Codec
+	SlowCodec = wire.SlowCodec
+	FastCodec = wire.FastCodec
+)
+
+// StartCluster boots an n-node in-process cluster with defaults
+// (FastCodec, replication factor 1, WAL enabled).
+func StartCluster(nodes int) (*Cluster, error) {
+	return cluster.StartLocal(cluster.LocalOptions{Nodes: nodes})
+}
+
+// StartClusterWith boots a cluster with explicit options.
+func StartClusterWith(opts ClusterOptions) (*Cluster, error) {
+	return cluster.StartLocal(opts)
+}
+
+// --- The simulated prototype ----------------------------------------------
+
+// SimConfig describes one simulated master-slave query (the Section V
+// prototype under virtual time).
+type SimConfig = master.Config
+
+// SimResult carries a simulated run's measurements and stage trace.
+type SimResult = master.Result
+
+// Calibration holds per-component service times for the simulator.
+type Calibration = master.Calibration
+
+// Simulate runs one query on the discrete-event simulator.
+func Simulate(cfg SimConfig) *SimResult { return master.Run(cfg) }
+
+// PaperCalibration returns the paper's measured component costs;
+// fastMaster selects the optimized master.
+func PaperCalibration(fastMaster bool) Calibration { return master.PaperCalibration(fastMaster) }
+
+// --- The case-study index ---------------------------------------------------
+
+// D8Tree is the denormalized octree index over a key-value store.
+type D8Tree = d8tree.Tree
+
+// D8TreeOptions configures tree depth and read fan-out.
+type D8TreeOptions = d8tree.Options
+
+// Point and Box are the index's element and query region.
+type (
+	Point = d8tree.Point
+	Box   = d8tree.Box
+)
+
+// KVStore is the substrate interface a D8Tree writes through.
+type KVStore = d8tree.Store
+
+// NewD8Tree binds a tree to any KVStore (a cluster client via
+// ClientStore, or a local engine via EngineStore).
+func NewD8Tree(store KVStore, opts D8TreeOptions) *D8Tree { return d8tree.New(store, opts) }
+
+// clientStore adapts a cluster client to the KVStore interface.
+type clientStore struct{ c *Client }
+
+func (s clientStore) Put(pk string, ck, value []byte) error { return s.c.Put(pk, ck, value) }
+func (s clientStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
+	return s.c.Scan(pk, from, to)
+}
+
+// ClientStore lets a D8Tree run over a cluster client.
+func ClientStore(c *Client) KVStore { return clientStore{c: c} }
+
+// engineStore adapts a local storage engine to the KVStore interface.
+type engineStore struct{ e *storage.Engine }
+
+func (s engineStore) Put(pk string, ck, value []byte) error { return s.e.Put(pk, ck, value) }
+func (s engineStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
+	return s.e.ScanPartition(pk, from, to)
+}
+
+// OpenEngine opens a standalone single-node engine (no cluster), useful
+// for local indexing and the Figure 6/7 measurements.
+func OpenEngine(opts StorageOptions) (*storage.Engine, error) { return storage.Open(opts) }
+
+// EngineStore lets a D8Tree run over a local engine.
+func EngineStore(e *storage.Engine) KVStore { return engineStore{e: e} }

@@ -1,0 +1,177 @@
+package scalekv
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestQuickstartRoundTrip(t *testing.T) {
+	cl, err := StartCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c := cl.Client()
+	for i := 0; i < 30; i++ {
+		if err := c.Put("events", []byte(fmt.Sprintf("%04d", i)), []byte{byte(i % 2), 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, total, err := c.Count("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 30 || counts[0] != 15 || counts[1] != 15 {
+		t.Fatalf("counts %v total %d", counts, total)
+	}
+}
+
+func TestFacadeModelMatchesCore(t *testing.T) {
+	sys := PaperSystem()
+	p := sys.Predict(1_000_000, 4000, 8)
+	if p.TotalMs <= 0 {
+		t.Fatal("prediction not positive")
+	}
+	if math.Abs(ImbalanceRatio(200, 10)-0.339) > 0.002 {
+		t.Fatal("Formula 1 via facade wrong")
+	}
+	if math.Abs(MaxKeysPerNode(100, 16)-10.4) > 0.1 {
+		t.Fatal("Formula 5 via facade wrong")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	res := Simulate(SimConfig{Nodes: 4, Keys: 100, RowSize: 100, Seed: 1,
+		Calib: PaperCalibration(true)})
+	if res.Total <= 0 {
+		t.Fatal("simulation produced no time")
+	}
+}
+
+func TestD8TreeOverCluster(t *testing.T) {
+	cl, err := StartCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tree := NewD8Tree(ClientStore(cl.Client()), D8TreeOptions{MaxLevel: 2})
+	for i := 0; i < 100; i++ {
+		p := Point{
+			ID:   uint64(i),
+			X:    float64(i%10) / 10,
+			Y:    float64(i/10) / 10,
+			Z:    0.5,
+			Type: uint8(i % 3),
+		}
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := tree.CountByType(Box{MaxX: 1, MaxY: 1, MaxZ: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != 100 {
+		t.Fatalf("counted %d points want 100", sum)
+	}
+}
+
+func TestD8TreeOverEngine(t *testing.T) {
+	e, err := OpenEngine(StorageOptions{Dir: t.TempDir(), DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tree := NewD8Tree(EngineStore(e), D8TreeOptions{MaxLevel: 2})
+	if err := tree.Insert(Point{ID: 1, X: 0.25, Y: 0.25, Z: 0.25, Type: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tree.Query(Box{MaxX: 0.5, MaxY: 0.5, MaxZ: 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Type != 2 {
+		t.Fatalf("query returned %v", res.Points)
+	}
+}
+
+// TestCaseStudyPipeline runs the paper's whole case study at small
+// scale: Alya-style particles, indexed by the D8-tree into the cluster,
+// queried by the master fan-out over the cube partitions a level
+// defines — the exact experiment of Section V, end to end on the real
+// stack.
+func TestCaseStudyPipeline(t *testing.T) {
+	cl, err := StartClusterWith(ClusterOptions{
+		Nodes:   4,
+		Storage: StorageOptions{DisableWAL: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tree := NewD8Tree(ClientStore(cl.Client()), D8TreeOptions{MaxLevel: 2})
+	const n = 600
+	for i := 0; i < n; i++ {
+		p := Point{
+			ID:   uint64(i),
+			X:    float64(i%25)/25 + 0.01,
+			Y:    float64((i/25)%24)/25 + 0.01,
+			Z:    0.5,
+			Type: uint8(i % 4),
+		}
+		if p.X >= 1 {
+			p.X = 0.99
+		}
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The master-style query over the level-2 cube partitions: this is
+	// the "pre-computed list of keys" workload of Section V.
+	var cubes []string
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			cubes = append(cubes, fmt.Sprintf("L2-%d-%d-2", x, y))
+		}
+	}
+	res, err := cl.Client().CountAll(cubes, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != n {
+		t.Fatalf("fan-out counted %d elements want %d", res.Elements, n)
+	}
+	for ty := uint8(0); ty < 4; ty++ {
+		if res.Counts[ty] != n/4 {
+			t.Fatalf("type %d count %d want %d", ty, res.Counts[ty], n/4)
+		}
+	}
+	// Stage trace covers every cube request.
+	if res.Trace.Len() != 4*len(cubes) {
+		t.Fatalf("trace %d spans want %d", res.Trace.Len(), 4*len(cubes))
+	}
+}
+
+func TestSectionVIIWorkflow(t *testing.T) {
+	// The model-driven design loop from the paper's Section VII: pick
+	// partitions with the optimizer, check master limits before scaling.
+	sys := PaperSystem()
+	keys, pred := sys.OptimalKeys(1_000_000, 16, 100, 100_000)
+	if keys <= 0 || pred.TotalMs <= 0 {
+		t.Fatal("optimizer failed")
+	}
+	limit := sys.MasterLimit(1_000_000, 100, 100_000, 128)
+	if limit < 16 {
+		t.Fatalf("master limit %d implausibly low", limit)
+	}
+}
