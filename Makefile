@@ -1,0 +1,18 @@
+# Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
+# test` is the tier-1 verify.
+
+.PHONY: build test bench lint
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -run=NONE -bench=. -benchtime=1x ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...

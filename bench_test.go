@@ -209,6 +209,65 @@ func benchPlacement(b *testing.B, p master.Placement) {
 	b.ReportMetric(imb/float64(b.N), "imbalance")
 }
 
+// --- Bulk-write pipeline -----------------------------------------------------
+
+// BenchmarkIngestSinglePut is the baseline the paper's master pays: one
+// synchronous RPC per cell per replica.
+func BenchmarkIngestSinglePut(b *testing.B) {
+	benchIngest(b, func(c *cluster.Client, entries []Entry) error {
+		for _, e := range entries {
+			if err := c.Put(e.PK, e.CK, e.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// BenchmarkIngestBatched64 is the batched bulk-write path at the
+// default batch size: entries grouped per destination node, batch
+// frames pipelined with a bounded async window, group-committed
+// node-side. The acceptance bar is ≥2x over the single-put loop.
+func BenchmarkIngestBatched64(b *testing.B) {
+	benchIngest(b, func(c *cluster.Client, entries []Entry) error {
+		bt := c.NewBatcher(cluster.BatcherOptions{MaxEntries: 64})
+		for _, e := range entries {
+			if err := bt.Put(e.PK, e.CK, e.Value); err != nil {
+				return err
+			}
+		}
+		return bt.Close()
+	})
+}
+
+func benchIngest(b *testing.B, load func(*cluster.Client, []Entry) error) {
+	cl, err := cluster.StartLocal(cluster.LocalOptions{
+		Nodes: 4, Storage: storage.Options{DisableWAL: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	entries := make([]Entry, 0, 4096)
+	for p := 0; p < 64; p++ {
+		pk := fmt.Sprintf("ingest-%04d", p)
+		for e := 0; e < 64; e++ {
+			entries = append(entries, Entry{
+				PK: pk, CK: []byte(fmt.Sprintf("%06d", e)), Value: []byte{byte(e % 4), 1, 2, 3},
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := load(cl.Client(), entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cellsPerSec := float64(len(entries)) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(cellsPerSec, "cells/sec")
+}
+
 // BenchmarkVerboseMaster ablates the Section V-B per-message extras on
 // the real cluster.
 func BenchmarkVerboseMaster(b *testing.B) { benchRealMaster(b, true) }

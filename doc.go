@@ -44,6 +44,23 @@
 //	c.Put("sensor-42", []byte("2026-06-10T12:00"), []byte{1, 0xCA})
 //	counts, total, err := c.Count("sensor-42")
 //
+// Bulk ingest goes through a Batcher: writes are buffered per
+// destination node (replica-aware), flushed as BatchPutRequest frames
+// when a node's buffer crosses the entry or byte threshold, and up to
+// MaxInFlight batches per node ride the pipelined transport
+// concurrently. Each node group-commits a batch under one lock
+// acquisition and one WAL write, so load throughput is bounded by the
+// hardware rather than by per-cell round trips:
+//
+//	b := c.NewBatcher(scalekv.BatcherOptions{MaxEntries: 64})
+//	for _, e := range dataset {
+//		if err := b.Put(e.PK, e.CK, e.Value); err != nil { ... }
+//	}
+//	if err := b.Close(); err != nil { ... }
+//
+// Point reads batch the same way: Client.MultiGet answers many keys
+// with one round trip per involved node.
+//
 // Model-driven design, as in the paper's Section VII:
 //
 //	sys := scalekv.PaperSystem()

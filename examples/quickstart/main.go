@@ -19,8 +19,11 @@ func main() {
 	c := cl.Client()
 
 	// A wide-column layout: partition key = sensor, clustering key =
-	// timestamp, value = [type, reading...].
-	fmt.Println("writing 50 partitions x 100 readings...")
+	// timestamp, value = [type, reading...]. Bulk ingest goes through a
+	// Batcher: writes are grouped per destination node and shipped as
+	// pipelined batch RPCs instead of one synchronous RPC per cell.
+	fmt.Println("writing 50 partitions x 100 readings (batched)...")
+	batcher := c.NewBatcher(scalekv.BatcherOptions{MaxEntries: 64})
 	var pks []string
 	for sensor := 0; sensor < 50; sensor++ {
 		pk := fmt.Sprintf("sensor-%03d", sensor)
@@ -28,10 +31,13 @@ func main() {
 		for t := 0; t < 100; t++ {
 			ck := []byte(fmt.Sprintf("2026-06-10T%02d:%02d", t/60, t%60))
 			value := []byte{byte(t % 3), byte(sensor), byte(t)}
-			if err := c.Put(pk, ck, value); err != nil {
+			if err := batcher.Put(pk, ck, value); err != nil {
 				log.Fatal(err)
 			}
 		}
+	}
+	if err := batcher.Close(); err != nil {
+		log.Fatal(err)
 	}
 	if err := cl.FlushAll(); err != nil {
 		log.Fatal(err)
@@ -43,6 +49,22 @@ func main() {
 		log.Fatalf("get: %v found=%v", err, found)
 	}
 	fmt.Printf("point read: sensor-007 @ 00:30 -> % x\n", v)
+
+	// Multi-get: many point reads in one round trip per involved node.
+	keys := []scalekv.GetKey{
+		{PK: "sensor-001", CK: []byte("2026-06-10T00:10")},
+		{PK: "sensor-025", CK: []byte("2026-06-10T00:20")},
+		{PK: "sensor-049", CK: []byte("2026-06-10T01:39")},
+	}
+	values, err := c.MultiGet(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-get: %d keys ->", len(keys))
+	for _, mv := range values {
+		fmt.Printf(" % x", mv.Value)
+	}
+	fmt.Println()
 
 	// Clustering range scan: half an hour of one sensor.
 	cells, err := c.Scan("sensor-007", []byte("2026-06-10T00:15"), []byte("2026-06-10T00:45"))

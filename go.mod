@@ -1,0 +1,3 @@
+module scalekv
+
+go 1.24

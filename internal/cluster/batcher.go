@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"scalekv/internal/hashring"
+	"scalekv/internal/row"
+)
+
+// BatcherOptions tunes a Batcher.
+type BatcherOptions struct {
+	// MaxEntries flushes a node's buffer once it holds this many entries.
+	// 0 means 64.
+	MaxEntries int
+	// MaxBytes flushes a node's buffer once its payload reaches this many
+	// bytes, so huge values do not accumulate into huge frames. 0 means
+	// 256KB.
+	MaxBytes int
+	// MaxInFlight bounds the window of unacknowledged batch RPCs per
+	// node; an Add that would exceed it waits for the oldest batch to be
+	// acknowledged. 0 means 4.
+	MaxInFlight int
+}
+
+func (o BatcherOptions) withDefaults() BatcherOptions {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 64
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 10
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	return o
+}
+
+// Batcher accumulates writes and ships them as replica-aware batched
+// RPCs — the aggregated-put path that amortizes the per-message
+// serialization and round-trip costs the paper's Section V-B profiles.
+// Entries are grouped by ring destination (every replica of their
+// partition); a node's buffer flushes when it reaches MaxEntries or
+// MaxBytes, and up to MaxInFlight flushed batches per node stay in
+// flight asynchronously over the pipelined transport.
+//
+// A Batcher is not safe for concurrent use; create one per writer
+// goroutine over the shared Client (which is).
+//
+// Errors are sticky: the first error from any acknowledgement is
+// reported by the failing call and by every later Add/Flush, so a
+// bulk-load loop can check errors only at Flush without losing the
+// cause.
+type Batcher struct {
+	c    *Client
+	opts BatcherOptions
+
+	pending  map[hashring.NodeID]*nodeBuffer
+	inflight int // total unacknowledged batches across nodes
+	err      error
+}
+
+type nodeBuffer struct {
+	entries  []row.Entry
+	bytes    int
+	inflight []<-chan []byte // oldest first
+}
+
+// NewBatcher creates a batcher over the client's ring and connections.
+func (c *Client) NewBatcher(opts BatcherOptions) *Batcher {
+	return &Batcher{
+		c:       c,
+		opts:    opts.withDefaults(),
+		pending: make(map[hashring.NodeID]*nodeBuffer),
+	}
+}
+
+// Put buffers one cell for every replica of its partition, flushing any
+// destination buffer that crosses a threshold. The ck and value bytes
+// are copied, so callers may reuse scratch buffers between calls — the
+// same contract as Client.Put, which marshals immediately.
+func (b *Batcher) Put(pk string, ck, value []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.pending == nil {
+		return errors.New("cluster: batcher is closed")
+	}
+	e := row.Entry{
+		PK:    pk,
+		CK:    append([]byte(nil), ck...),
+		Value: append([]byte(nil), value...),
+	}
+	for _, node := range b.c.ring.Replicas(pk, b.c.rf) {
+		buf := b.pending[node]
+		if buf == nil {
+			buf = &nodeBuffer{}
+			b.pending[node] = buf
+		}
+		buf.entries = append(buf.entries, e)
+		buf.bytes += e.Size()
+		if len(buf.entries) >= b.opts.MaxEntries || buf.bytes >= b.opts.MaxBytes {
+			b.flushNode(node, buf)
+		}
+	}
+	return b.err
+}
+
+// flushNode ships a node's buffered entries as one async batch RPC,
+// first reaping the oldest in-flight batch if the window is full.
+func (b *Batcher) flushNode(node hashring.NodeID, buf *nodeBuffer) {
+	if len(buf.entries) == 0 {
+		return
+	}
+	for len(buf.inflight) >= b.opts.MaxInFlight {
+		b.reapOldest(buf)
+	}
+	ch, err := b.c.goBatch(node, buf.entries)
+	buf.entries = nil
+	buf.bytes = 0
+	if err != nil {
+		b.setErr(err)
+		return
+	}
+	buf.inflight = append(buf.inflight, ch)
+	b.inflight++
+}
+
+// reapOldest blocks on the node's oldest in-flight batch.
+func (b *Batcher) reapOldest(buf *nodeBuffer) {
+	ch := buf.inflight[0]
+	buf.inflight = buf.inflight[1:]
+	b.inflight--
+	b.setErr(b.c.reapPut(ch))
+}
+
+func (b *Batcher) setErr(err error) {
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+}
+
+// Flush ships every buffered entry and waits until all in-flight
+// batches are acknowledged. The batcher stays usable afterwards.
+func (b *Batcher) Flush() error {
+	for node, buf := range b.pending {
+		b.flushNode(node, buf)
+	}
+	for _, buf := range b.pending {
+		for len(buf.inflight) > 0 {
+			b.reapOldest(buf)
+		}
+	}
+	return b.err
+}
+
+// Pending returns how many buffered entries await a flush plus how many
+// flushed batches are unacknowledged — observability for loaders. The
+// entry count is per destination: one Put under replication factor rf
+// buffers rf entries (one per replica node).
+func (b *Batcher) Pending() (entries, inflightBatches int) {
+	for _, buf := range b.pending {
+		entries += len(buf.entries)
+	}
+	return entries, b.inflight
+}
+
+// Close flushes and releases the batcher. The underlying client stays
+// open.
+func (b *Batcher) Close() error {
+	err := b.Flush()
+	b.pending = nil
+	return err
+}
+
+// BulkLoad writes entries through temporary batchers with the given
+// parallelism — the convenience entry point for loaders that already
+// hold the full data set. Entries are striped across workers; each
+// worker batches independently, so destination grouping still applies.
+func (c *Client) BulkLoad(entries []row.Entry, workers int, opts BatcherOptions) error {
+	if workers <= 1 {
+		b := c.NewBatcher(opts)
+		for _, e := range entries {
+			if err := b.Put(e.PK, e.CK, e.Value); err != nil {
+				return err
+			}
+		}
+		return b.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(entries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(entries) {
+			break
+		}
+		hi := min(lo+chunk, len(entries))
+		wg.Add(1)
+		go func(w int, part []row.Entry) {
+			defer wg.Done()
+			b := c.NewBatcher(opts)
+			for _, e := range part {
+				if err := b.Put(e.PK, e.CK, e.Value); err != nil {
+					break
+				}
+			}
+			errs[w] = b.Close()
+		}(w, entries[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

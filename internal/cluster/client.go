@@ -66,22 +66,170 @@ func (c *Client) call(node hashring.NodeID, msg wire.Message) (wire.Message, err
 	return c.codec.Unmarshal(resp)
 }
 
-// Put writes one cell to every replica of its partition.
+// Put writes one cell to every replica of its partition. The replica
+// RPCs are issued concurrently over the pipelined transport, so a
+// replication factor above one costs one network round trip, not rf.
 func (c *Client) Put(pk string, ck, value []byte) error {
+	payload, err := c.codec.Marshal(&wire.PutRequest{PK: pk, CK: ck, Value: value})
+	if err != nil {
+		return err
+	}
 	var firstErr error
+	record := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	chans := make([]<-chan []byte, 0, c.rf)
 	for _, node := range c.ring.Replicas(pk, c.rf) {
-		resp, err := c.call(node, &wire.PutRequest{PK: pk, CK: ck, Value: value})
+		conn, ok := c.conns[node]
+		if !ok {
+			record(fmt.Errorf("cluster: no connection to node %d", node))
+			continue
+		}
+		ch, err := conn.Go(payload)
+		if err != nil {
+			record(err)
+			continue
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		record(c.reapPut(ch))
+	}
+	return firstErr
+}
+
+// reapPut waits for one in-flight put (single or batch) and converts its
+// response into an error.
+func (c *Client) reapPut(ch <-chan []byte) error {
+	raw, ok := <-ch
+	if !ok {
+		return fmt.Errorf("cluster: put failed: %w", transport.ErrClosed)
+	}
+	resp, err := c.codec.Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	switch pr := resp.(type) {
+	case *wire.PutResponse:
+		if pr.ErrMsg != "" {
+			return errors.New(pr.ErrMsg)
+		}
+	case *wire.BatchPutResponse:
+		if pr.ErrMsg != "" {
+			return errors.New(pr.ErrMsg)
+		}
+	default:
+		return fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+	return nil
+}
+
+// PutBatch writes many cells in replica-aware batches: entries are
+// grouped by destination node across all replicas, each node receives
+// one BatchPutRequest, and all node RPCs fly concurrently. Equivalent to
+// a Put per entry, minus the per-cell round trips.
+func (c *Client) PutBatch(entries []row.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	perNode := make(map[hashring.NodeID][]row.Entry)
+	for _, e := range entries {
+		for _, node := range c.ring.Replicas(e.PK, c.rf) {
+			perNode[node] = append(perNode[node], e)
+		}
+	}
+	var firstErr error
+	chans := make([]<-chan []byte, 0, len(perNode))
+	for node, batch := range perNode {
+		ch, err := c.goBatch(node, batch)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		if pr, ok := resp.(*wire.PutResponse); ok && pr.ErrMsg != "" && firstErr == nil {
-			firstErr = errors.New(pr.ErrMsg)
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		if err := c.reapPut(ch); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// goBatch launches one asynchronous BatchPutRequest at a node.
+func (c *Client) goBatch(node hashring.NodeID, batch []row.Entry) (<-chan []byte, error) {
+	conn, ok := c.conns[node]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no connection to node %d", node)
+	}
+	payload, err := c.codec.Marshal(&wire.BatchPutRequest{Entries: batch})
+	if err != nil {
+		return nil, err
+	}
+	return conn.Go(payload)
+}
+
+// MultiGet reads many cells, one MultiGetRequest per involved primary,
+// all in flight at once. Results are positional: out[i] answers keys[i].
+func (c *Client) MultiGet(keys []wire.GetKey) ([]wire.MultiGetValue, error) {
+	out := make([]wire.MultiGetValue, len(keys))
+	perNode := make(map[hashring.NodeID][]int) // original index of each routed key
+	for i, k := range keys {
+		node := c.ring.Primary(k.PK)
+		perNode[node] = append(perNode[node], i)
+	}
+	type pendingGet struct {
+		idx []int
+		ch  <-chan []byte
+	}
+	pending := make([]pendingGet, 0, len(perNode))
+	for node, idx := range perNode {
+		conn, ok := c.conns[node]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no connection to node %d", node)
+		}
+		sub := make([]wire.GetKey, len(idx))
+		for j, i := range idx {
+			sub[j] = keys[i]
+		}
+		payload, err := c.codec.Marshal(&wire.MultiGetRequest{Keys: sub})
+		if err != nil {
+			return nil, err
+		}
+		ch, err := conn.Go(payload)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, pendingGet{idx: idx, ch: ch})
+	}
+	for _, p := range pending {
+		raw, ok := <-p.ch
+		if !ok {
+			return nil, fmt.Errorf("cluster: multi-get failed: %w", transport.ErrClosed)
+		}
+		resp, err := c.codec.Unmarshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		mr, ok := resp.(*wire.MultiGetResponse)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unexpected response %T", resp)
+		}
+		if mr.ErrMsg != "" {
+			return nil, errors.New(mr.ErrMsg)
+		}
+		if len(mr.Values) != len(p.idx) {
+			return nil, fmt.Errorf("cluster: multi-get returned %d values for %d keys", len(mr.Values), len(p.idx))
+		}
+		for j, i := range p.idx {
+			out[i] = mr.Values[j]
+		}
+	}
+	return out, nil
 }
 
 // Get reads one cell from the partition's primary replica.

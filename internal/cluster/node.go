@@ -96,6 +96,24 @@ func (n *Node) handle(payload []byte) []byte {
 			return n.encode(&wire.PutResponse{ErrMsg: err.Error()})
 		}
 		return n.encode(&wire.PutResponse{})
+	case *wire.BatchPutRequest:
+		// Group commit: the whole batch lands in one engine call — one
+		// lock acquisition, one WAL write — instead of len(Entries) RPCs.
+		if err := n.engine.PutBatch(req.Entries); err != nil {
+			return n.encode(&wire.BatchPutResponse{ErrMsg: err.Error()})
+		}
+		return n.encode(&wire.BatchPutResponse{Applied: uint64(len(req.Entries))})
+	case *wire.MultiGetRequest:
+		resp := &wire.MultiGetResponse{Values: make([]wire.MultiGetValue, len(req.Keys))}
+		for i, k := range req.Keys {
+			v, found, err := n.engine.Get(k.PK, k.CK)
+			if err != nil {
+				resp.ErrMsg = err.Error()
+				break
+			}
+			resp.Values[i] = wire.MultiGetValue{Value: v, Found: found}
+		}
+		return n.encode(resp)
 	case *wire.GetRequest:
 		v, found, err := n.engine.Get(req.PK, req.CK)
 		resp := &wire.GetResponse{Value: v, Found: found}

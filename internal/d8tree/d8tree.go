@@ -28,6 +28,16 @@ type Store interface {
 	Scan(pk string, from, to []byte) ([]row.Cell, error)
 }
 
+// BatchStore is the batch-capable Store variant: substrates that can
+// group-commit many cells at once (the storage engine's PutBatch, the
+// cluster client's batched write path) implement it, and InsertBatch
+// detects it to ship each point's denormalized copies in bulk instead
+// of one Put per level.
+type BatchStore interface {
+	Store
+	PutBatch(entries []row.Entry) error
+}
+
 // Point is an indexed element.
 type Point struct {
 	ID      uint64
@@ -165,6 +175,47 @@ func (t *Tree) Insert(p Point) error {
 	}
 	t.mu.Lock()
 	t.count++
+	t.mu.Unlock()
+	return nil
+}
+
+// InsertBatch indexes many points at once. Each point is still
+// denormalized into every level, but the resulting entries go through
+// the store's batch path when it offers one — for a cluster-backed
+// store this turns MaxLevel+1 RPCs per point into a few batched frames
+// per destination node. Stores without batch support fall back to the
+// single-put path. Points outside the unit cube reject the whole batch
+// before any write is issued.
+func (t *Tree) InsertBatch(points []Point) error {
+	for _, p := range points {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 || p.Z < 0 || p.Z >= 1 {
+			return fmt.Errorf("d8tree: point (%v,%v,%v) outside unit cube", p.X, p.Y, p.Z)
+		}
+	}
+	bs, ok := t.store.(BatchStore)
+	if !ok {
+		for _, p := range points {
+			if err := t.Insert(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	entries := make([]row.Entry, 0, len(points)*(t.maxLevel+1))
+	for _, p := range points {
+		value := encodePoint(p)
+		ck := ckForID(p.ID)
+		for level := 0; level <= t.maxLevel; level++ {
+			entries = append(entries, row.Entry{
+				PK: CubeKey(level, p.X, p.Y, p.Z), CK: ck, Value: value,
+			})
+		}
+	}
+	if err := bs.PutBatch(entries); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.count += int64(len(points))
 	t.mu.Unlock()
 	return nil
 }

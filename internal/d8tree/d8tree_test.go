@@ -48,6 +48,25 @@ func (m *memStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
 	return out, nil
 }
 
+// batchMemStore extends memStore with the batch path and counts batch
+// calls so tests can assert which path ran.
+type batchMemStore struct {
+	memStore
+	batches int
+}
+
+func (m *batchMemStore) PutBatch(entries []row.Entry) error {
+	for _, e := range entries {
+		if err := m.Put(e.PK, e.CK, e.Value); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+	return nil
+}
+
 func randomPoints(n int, seed int64) []Point {
 	rng := rand.New(rand.NewSource(seed))
 	pts := make([]Point, n)
@@ -84,6 +103,65 @@ func TestDenormalizationFactor(t *testing.T) {
 	}
 	if tr.Count() != 50 {
 		t.Fatalf("count %d want 50", tr.Count())
+	}
+}
+
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	pts := randomPoints(200, 11)
+
+	single := newMemStore()
+	ts := New(single, Options{MaxLevel: 3})
+	for _, p := range pts {
+		if err := ts.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched := &batchMemStore{memStore: *newMemStore()}
+	tb := New(batched, Options{MaxLevel: 3})
+	if err := tb.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if batched.batches == 0 {
+		t.Fatal("batch-capable store was fed through the single-put path")
+	}
+	if tb.Count() != ts.Count() {
+		t.Fatalf("counts diverged: %d vs %d", tb.Count(), ts.Count())
+	}
+	if len(batched.data) != len(single.data) {
+		t.Fatalf("partition counts diverged: %d vs %d", len(batched.data), len(single.data))
+	}
+	for pk, cells := range single.data {
+		if len(batched.data[pk]) != len(cells) {
+			t.Fatalf("%s: %d vs %d cells", pk, len(batched.data[pk]), len(cells))
+		}
+	}
+}
+
+func TestInsertBatchFallsBackWithoutBatchStore(t *testing.T) {
+	st := newMemStore()
+	tr := New(st, Options{MaxLevel: 2})
+	pts := randomPoints(20, 3)
+	if err := tr.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if st.puts != 20*3 { // one put per point per level 0..2
+		t.Fatalf("fallback issued %d puts want %d", st.puts, 60)
+	}
+	if tr.Count() != 20 {
+		t.Fatalf("count %d want 20", tr.Count())
+	}
+}
+
+func TestInsertBatchRejectsOutOfCubeBeforeWriting(t *testing.T) {
+	st := &batchMemStore{memStore: *newMemStore()}
+	tr := New(st, Options{MaxLevel: 2})
+	pts := []Point{{ID: 1, X: 0.5, Y: 0.5, Z: 0.5}, {ID: 2, X: 1.5, Y: 0, Z: 0}}
+	if err := tr.InsertBatch(pts); err == nil {
+		t.Fatal("out-of-cube point accepted")
+	}
+	if len(st.data) != 0 || tr.Count() != 0 {
+		t.Fatal("rejected batch still wrote data")
 	}
 }
 

@@ -19,6 +19,20 @@ type Cell struct {
 // Size returns the payload size of the cell in bytes.
 func (c Cell) Size() int { return len(c.CK) + len(c.Value) }
 
+// Entry is one write addressed to a partition: a cell plus the partition
+// key it lands on. It is the unit of the batched write path — the wire
+// batch messages, the engine's group commit and the client batcher all
+// move slices of entries.
+type Entry struct {
+	PK    string
+	CK    []byte
+	Value []byte
+}
+
+// Size returns the payload size of the entry in bytes, partition key
+// included.
+func (e Entry) Size() int { return len(e.PK) + len(e.CK) + len(e.Value) }
+
 // Partition is a partition key together with its cells sorted by
 // clustering key.
 type Partition struct {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"scalekv/internal/row"
 )
 
 func ck(i int) []byte { return []byte(fmt.Sprintf("ck%06d", i)) }
@@ -112,6 +114,143 @@ func TestScanRange(t *testing.T) {
 	}
 	if len(cells) != 10 {
 		t.Fatalf("range scan returned %d want 10", len(cells))
+	}
+}
+
+func TestPutBatchMatchesSinglePuts(t *testing.T) {
+	// N single Puts and one PutBatch must leave identical engine state.
+	single := openTest(t, Options{})
+	batch := openTest(t, Options{})
+	var entries []row.Entry
+	for p := 0; p < 5; p++ {
+		pk := fmt.Sprintf("part-%d", p)
+		for i := 0; i < 40; i++ {
+			e := row.Entry{PK: pk, CK: ck(i), Value: []byte(fmt.Sprintf("v%d-%d", p, i))}
+			entries = append(entries, e)
+			if err := single.Put(e.PK, e.CK, e.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := batch.PutBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := batch.Metrics.Puts.Load(), single.Metrics.Puts.Load(); got != want {
+		t.Fatalf("batch counted %d puts want %d", got, want)
+	}
+	for _, e := range []*Engine{single, batch} {
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !samePartitions(t, single, batch) {
+		t.Fatal("batch and single-put engines diverged")
+	}
+}
+
+func samePartitions(t *testing.T, a, b *Engine) bool {
+	t.Helper()
+	apks, bpks := a.Partitions(), b.Partitions()
+	if len(apks) != len(bpks) {
+		t.Logf("partition counts differ: %d vs %d", len(apks), len(bpks))
+		return false
+	}
+	for i, pk := range apks {
+		if bpks[i] != pk {
+			return false
+		}
+		ac, err := a.ScanPartition(pk, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := b.ScanPartition(pk, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ac) != len(bc) {
+			t.Logf("%s: %d vs %d cells", pk, len(ac), len(bc))
+			return false
+		}
+		for j := range ac {
+			if !bytes.Equal(ac[j].CK, bc[j].CK) || !bytes.Equal(ac[j].Value, bc[j].Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPutBatchWALRecovery(t *testing.T) {
+	// A group-committed batch must replay exactly like per-put records.
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []row.Entry
+	for i := 0; i < 64; i++ {
+		entries = append(entries, row.Entry{
+			PK: fmt.Sprintf("part-%d", i%4), CK: ck(i), Value: []byte(fmt.Sprintf("v%d", i)),
+		})
+	}
+	if err := e.PutBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: close the WAL file only, no flush.
+	e.wal.sync()
+	e.wal.close()
+	e.closed = true
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for _, ent := range entries {
+		v, ok, _ := e2.Get(ent.PK, ent.CK)
+		if !ok || !bytes.Equal(v, ent.Value) {
+			t.Fatalf("lost entry %s/%s after recovery: %q,%v", ent.PK, ent.CK, v, ok)
+		}
+	}
+}
+
+func TestPutBatchTriggersFlush(t *testing.T) {
+	e := openTest(t, Options{FlushThreshold: 1 << 10, DisableWAL: true})
+	var entries []row.Entry
+	for i := 0; i < 64; i++ {
+		entries = append(entries, row.Entry{PK: "big", CK: ck(i), Value: make([]byte, 64)})
+	}
+	if err := e.PutBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSSTables() == 0 {
+		t.Fatal("batch crossing the flush threshold did not flush")
+	}
+}
+
+func TestPutBatchEmptyAndClosed(t *testing.T) {
+	e := openTest(t, Options{DisableWAL: true})
+	if err := e.PutBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if err := e.PutBatch([]row.Entry{{PK: "p", CK: ck(0), Value: []byte("v")}}); err == nil {
+		t.Fatal("closed engine accepted a batch")
+	}
+}
+
+func TestPutBatchInvalidatesRowCache(t *testing.T) {
+	e := openTest(t, Options{DisableWAL: true, RowCachePartitions: 4})
+	e.Put("hot", ck(0), []byte("old"))
+	if _, err := e.ScanPartition("hot", nil, nil); err != nil {
+		t.Fatal(err) // populate the cache
+	}
+	if err := e.PutBatch([]row.Entry{{PK: "hot", CK: ck(0), Value: []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := e.ScanPartition("hot", nil, nil)
+	if err != nil || len(cells) != 1 || string(cells[0].Value) != "new" {
+		t.Fatalf("stale read after batch: %v %v", cells, err)
 	}
 }
 

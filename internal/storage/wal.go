@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"scalekv/internal/enc"
+	"scalekv/internal/row"
 )
 
 // walRecord ops.
@@ -37,19 +38,36 @@ func openWAL(path string) (*wal, error) {
 
 func (w *wal) append(op byte, pk string, ck, value []byte) error {
 	w.buf = w.buf[:0]
-	w.buf = append(w.buf, op)
-	w.buf = enc.AppendBytes(w.buf, []byte(pk))
-	w.buf = enc.AppendBytes(w.buf, ck)
-	w.buf = enc.AppendBytes(w.buf, value)
+	w.buf = appendRecord(w.buf, op, pk, ck, value)
+	_, err := w.f.Write(w.buf)
+	return err
+}
 
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(w.buf)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(w.buf))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return err
+// appendBatch writes one record per entry through a single buffered
+// write — the group-commit half of Engine.PutBatch. Each record keeps
+// its own header and CRC, so replay needs no batch framing and a torn
+// tail still truncates at a record boundary.
+func (w *wal) appendBatch(entries []row.Entry) error {
+	w.buf = w.buf[:0]
+	for _, e := range entries {
+		w.buf = appendRecord(w.buf, walPut, e.PK, e.CK, e.Value)
 	}
 	_, err := w.f.Write(w.buf)
 	return err
+}
+
+// appendRecord encodes one framed record: length | crc | payload.
+func appendRecord(out []byte, op byte, pk string, ck, value []byte) []byte {
+	start := len(out)
+	out = append(out, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	out = append(out, op)
+	out = enc.AppendBytes(out, []byte(pk))
+	out = enc.AppendBytes(out, ck)
+	out = enc.AppendBytes(out, value)
+	payload := out[start+8:]
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[start+4:], crc32.ChecksumIEEE(payload))
+	return out
 }
 
 // reset truncates the log after a successful memtable flush.

@@ -34,6 +34,14 @@ func Serve(l Listener, handler Handler) *Server {
 				return
 			}
 			s.mu.Lock()
+			if s.closed.Load() {
+				// Close already swept s.conns; a connection that was
+				// queued in the listener's backlog would otherwise leak
+				// an unclosed serveConn and deadlock Close's Wait.
+				s.mu.Unlock()
+				conn.Close()
+				continue
+			}
 			s.conns = append(s.conns, conn)
 			s.mu.Unlock()
 			s.wg.Add(1)

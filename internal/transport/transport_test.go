@@ -178,6 +178,35 @@ func TestListenerCloseUnregisters(t *testing.T) {
 	}
 }
 
+func TestServerCloseRightAfterDialDoesNotHang(t *testing.T) {
+	// Regression: a connection still queued in the listener's accept
+	// backlog at Close time used to be accepted after Close swept
+	// s.conns, leaving an unclosed serveConn that deadlocked Close.
+	for i := 0; i < 50; i++ {
+		n := NewNetwork()
+		l, err := n.Listen("node0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := Serve(l, echoHandler)
+		conn, err := n.Dial("node0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			srv.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("server Close hung")
+		}
+		conn.Close()
+	}
+}
+
 func TestCallAfterServerClose(t *testing.T) {
 	n := NewNetwork()
 	l, _ := n.Listen("srv")

@@ -70,6 +70,33 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 			out = enc.AppendBytes(out, c.Value)
 		}
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *BatchPutRequest:
+		out = enc.AppendUvarint(out, uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			out = enc.AppendBytes(out, []byte(e.PK))
+			out = enc.AppendBytes(out, e.CK)
+			out = enc.AppendBytes(out, e.Value)
+		}
+	case *BatchPutResponse:
+		out = enc.AppendUvarint(out, v.Applied)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *MultiGetRequest:
+		out = enc.AppendUvarint(out, uint64(len(v.Keys)))
+		for _, k := range v.Keys {
+			out = enc.AppendBytes(out, []byte(k.PK))
+			out = enc.AppendBytes(out, k.CK)
+		}
+	case *MultiGetResponse:
+		out = enc.AppendUvarint(out, uint64(len(v.Values)))
+		for _, val := range v.Values {
+			out = enc.AppendBytes(out, val.Value)
+			if val.Found {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	default:
 		return nil, fmt.Errorf("wire: fast codec cannot marshal %T", m)
 	}
@@ -133,6 +160,36 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 			v.Cells = make([]row.Cell, 0, cnt)
 			for i := uint64(0); i < cnt && d.err == nil; i++ {
 				v.Cells = append(v.Cells, row.Cell{CK: d.copyBytes(), Value: d.copyBytes()})
+			}
+		}
+		v.ErrMsg = string(d.bytes())
+	case *BatchPutRequest:
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Entries = make([]row.Entry, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Entries = append(v.Entries, row.Entry{
+					PK: string(d.bytes()), CK: d.copyBytes(), Value: d.copyBytes(),
+				})
+			}
+		}
+	case *BatchPutResponse:
+		v.Applied = d.uvarint()
+		v.ErrMsg = string(d.bytes())
+	case *MultiGetRequest:
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Keys = make([]GetKey, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Keys = append(v.Keys, GetKey{PK: string(d.bytes()), CK: d.copyBytes()})
+			}
+		}
+	case *MultiGetResponse:
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Values = make([]MultiGetValue, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Values = append(v.Values, MultiGetValue{Value: d.copyBytes(), Found: d.byte() == 1})
 			}
 		}
 		v.ErrMsg = string(d.bytes())

@@ -38,6 +38,10 @@ const (
 	TypeGetResponse
 	TypeScanRequest
 	TypeScanResponse
+	TypeBatchPutRequest
+	TypeBatchPutResponse
+	TypeMultiGetRequest
+	TypeMultiGetResponse
 )
 
 // CountRequest asks a slave to aggregate — count by type — one partition
@@ -132,6 +136,57 @@ type ScanResponse struct {
 // TypeID implements Message.
 func (*ScanResponse) TypeID() uint16 { return TypeScanResponse }
 
+// BatchPutRequest writes many cells in one frame — the aggregated-put
+// unit of the bulk-write pipeline. Entries may span partitions; the
+// receiving node group-commits them in one engine call.
+type BatchPutRequest struct {
+	Entries []row.Entry
+}
+
+// TypeID implements Message.
+func (*BatchPutRequest) TypeID() uint16 { return TypeBatchPutRequest }
+
+// BatchPutResponse acknowledges a batch write.
+type BatchPutResponse struct {
+	// Applied is how many entries were committed. On error it is 0: the
+	// engine applies a batch all-or-nothing up to the failure point.
+	Applied uint64
+	ErrMsg  string
+}
+
+// TypeID implements Message.
+func (*BatchPutResponse) TypeID() uint16 { return TypeBatchPutResponse }
+
+// GetKey addresses one cell for a multi-get.
+type GetKey struct {
+	PK string
+	CK []byte
+}
+
+// MultiGetRequest reads many cells in one frame.
+type MultiGetRequest struct {
+	Keys []GetKey
+}
+
+// TypeID implements Message.
+func (*MultiGetRequest) TypeID() uint16 { return TypeMultiGetRequest }
+
+// MultiGetValue is one multi-get result; Values[i] answers Keys[i].
+type MultiGetValue struct {
+	Value []byte
+	Found bool
+}
+
+// MultiGetResponse returns the values of a multi-get, positionally
+// matching the request keys.
+type MultiGetResponse struct {
+	Values []MultiGetValue
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*MultiGetResponse) TypeID() uint16 { return TypeMultiGetResponse }
+
 // Codec turns messages into bytes and back. Implementations must be safe
 // for concurrent use.
 type Codec interface {
@@ -159,6 +214,14 @@ func newMessage(id uint16) (Message, error) {
 		return &ScanRequest{}, nil
 	case TypeScanResponse:
 		return &ScanResponse{}, nil
+	case TypeBatchPutRequest:
+		return &BatchPutRequest{}, nil
+	case TypeBatchPutResponse:
+		return &BatchPutResponse{}, nil
+	case TypeMultiGetRequest:
+		return &MultiGetRequest{}, nil
+	case TypeMultiGetResponse:
+		return &MultiGetResponse{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", id)
 	}

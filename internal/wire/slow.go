@@ -32,6 +32,8 @@ func init() {
 		&PutRequest{}, &PutResponse{},
 		&GetRequest{}, &GetResponse{},
 		&ScanRequest{}, &ScanResponse{},
+		&BatchPutRequest{}, &BatchPutResponse{},
+		&MultiGetRequest{}, &MultiGetResponse{},
 	} {
 		t := reflect.TypeOf(m).Elem()
 		slowRegistry[t.String()] = t

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
@@ -33,6 +34,23 @@ func sampleMessages() []Message {
 			{CK: []byte{2}, Value: []byte("bb")},
 		}},
 		&ScanResponse{ErrMsg: "boom"},
+		&BatchPutRequest{Entries: []row.Entry{
+			{PK: "cube-L2-0-1-3", CK: []byte{0, 0, 1}, Value: []byte("alpha")},
+			{PK: "cube-L2-7-7-7", CK: []byte{0, 0, 2}, Value: []byte("bravo")},
+			{PK: "cube-L2-0-1-3", CK: []byte{0, 0, 3}, Value: []byte{}},
+		}},
+		&BatchPutRequest{}, // empty batch
+		&BatchPutResponse{Applied: 3},
+		&BatchPutResponse{ErrMsg: "disk full"},
+		&MultiGetRequest{Keys: []GetKey{
+			{PK: "p1", CK: []byte{1}},
+			{PK: "p2", CK: []byte{2, 3}},
+		}},
+		&MultiGetResponse{Values: []MultiGetValue{
+			{Value: []byte("v1"), Found: true},
+			{Found: false},
+		}},
+		&MultiGetResponse{ErrMsg: "partition not found"},
 	}
 }
 
@@ -107,6 +125,48 @@ func normalize(m Message) Message {
 		}
 		if len(out.To) == 0 {
 			out.To = nil
+		}
+		return &out
+	case *BatchPutRequest:
+		out := *v
+		if len(out.Entries) == 0 {
+			out.Entries = nil
+		} else {
+			out.Entries = append([]row.Entry(nil), out.Entries...)
+		}
+		for i := range out.Entries {
+			if len(out.Entries[i].CK) == 0 {
+				out.Entries[i].CK = nil
+			}
+			if len(out.Entries[i].Value) == 0 {
+				out.Entries[i].Value = nil
+			}
+		}
+		return &out
+	case *MultiGetRequest:
+		out := *v
+		if len(out.Keys) == 0 {
+			out.Keys = nil
+		} else {
+			out.Keys = append([]GetKey(nil), out.Keys...)
+		}
+		for i := range out.Keys {
+			if len(out.Keys[i].CK) == 0 {
+				out.Keys[i].CK = nil
+			}
+		}
+		return &out
+	case *MultiGetResponse:
+		out := *v
+		if len(out.Values) == 0 {
+			out.Values = nil
+		} else {
+			out.Values = append([]MultiGetValue(nil), out.Values...)
+		}
+		for i := range out.Values {
+			if len(out.Values[i].Value) == 0 {
+				out.Values[i].Value = nil
+			}
 		}
 		return &out
 	}
@@ -199,6 +259,62 @@ func TestSlowFramesAreLarger(t *testing.T) {
 		if len(slow) < 3*len(fast) {
 			t.Errorf("%T: slow=%dB fast=%dB, ratio %.1fx < 3x",
 				m, len(slow), len(fast), float64(len(slow))/float64(len(fast)))
+		}
+	}
+}
+
+func TestBatchMessageTypeIDsAreStable(t *testing.T) {
+	// Wire compatibility: these values are on the wire between versions;
+	// a renumbering is a protocol break and must fail loudly here.
+	want := map[uint16]Message{
+		9:  &BatchPutRequest{},
+		10: &BatchPutResponse{},
+		11: &MultiGetRequest{},
+		12: &MultiGetResponse{},
+	}
+	for id, m := range want {
+		if got := m.TypeID(); got != id {
+			t.Errorf("%T: TypeID %d want %d", m, got, id)
+		}
+	}
+}
+
+func TestQuickBatchPutRoundTrip(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		f := func(pks []string, payload [][]byte) bool {
+			in := &BatchPutRequest{}
+			for i, pk := range pks {
+				var val []byte
+				if i < len(payload) {
+					val = payload[i]
+				}
+				in.Entries = append(in.Entries, row.Entry{
+					PK: pk, CK: []byte{byte(i)}, Value: val,
+				})
+			}
+			data, err := c.Marshal(in)
+			if err != nil {
+				return false
+			}
+			out, err := c.Unmarshal(data)
+			if err != nil {
+				return false
+			}
+			got, ok := out.(*BatchPutRequest)
+			if !ok || len(got.Entries) != len(in.Entries) {
+				return false
+			}
+			for i, e := range in.Entries {
+				g := got.Entries[i]
+				if g.PK != e.PK || !bytes.Equal(g.CK, e.CK) || !bytes.Equal(g.Value, e.Value) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
 		}
 	}
 }

@@ -71,6 +71,24 @@ type MasterResult = cluster.MasterResult
 // Cell is one clustering-key/value pair.
 type Cell = row.Cell
 
+// Entry is one write addressed to a partition — the unit of the batched
+// bulk-write path.
+type Entry = row.Entry
+
+// Batcher accumulates writes and ships them as replica-aware batched
+// RPCs with a bounded per-node window of in-flight requests. Create one
+// per writer goroutine with Client.NewBatcher.
+type Batcher = cluster.Batcher
+
+// BatcherOptions tunes batch flush thresholds and the async window.
+type BatcherOptions = cluster.BatcherOptions
+
+// GetKey addresses one cell for Client.MultiGet.
+type GetKey = wire.GetKey
+
+// MultiGetValue is one Client.MultiGet result.
+type MultiGetValue = wire.MultiGetValue
+
 // StorageOptions tunes each node's local engine.
 type StorageOptions = storage.Options
 
@@ -129,14 +147,22 @@ type (
 // KVStore is the substrate interface a D8Tree writes through.
 type KVStore = d8tree.Store
 
+// BatchKVStore is the batch-capable KVStore variant; both ClientStore
+// and EngineStore satisfy it, so D8Tree.InsertBatch bulk-loads through
+// the batched write path on either substrate.
+type BatchKVStore = d8tree.BatchStore
+
 // NewD8Tree binds a tree to any KVStore (a cluster client via
 // ClientStore, or a local engine via EngineStore).
 func NewD8Tree(store KVStore, opts D8TreeOptions) *D8Tree { return d8tree.New(store, opts) }
 
-// clientStore adapts a cluster client to the KVStore interface.
+// clientStore adapts a cluster client to the KVStore interface. It also
+// implements the batch-capable store variant, so D8Tree.InsertBatch
+// ships bulk loads through the batched write path.
 type clientStore struct{ c *Client }
 
 func (s clientStore) Put(pk string, ck, value []byte) error { return s.c.Put(pk, ck, value) }
+func (s clientStore) PutBatch(entries []row.Entry) error    { return s.c.PutBatch(entries) }
 func (s clientStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
 	return s.c.Scan(pk, from, to)
 }
@@ -144,10 +170,13 @@ func (s clientStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
 // ClientStore lets a D8Tree run over a cluster client.
 func ClientStore(c *Client) KVStore { return clientStore{c: c} }
 
-// engineStore adapts a local storage engine to the KVStore interface.
+// engineStore adapts a local storage engine to the KVStore interface,
+// batch path included (the engine group-commits a batch under one lock
+// acquisition and one WAL write).
 type engineStore struct{ e *storage.Engine }
 
 func (s engineStore) Put(pk string, ck, value []byte) error { return s.e.Put(pk, ck, value) }
+func (s engineStore) PutBatch(entries []row.Entry) error    { return s.e.PutBatch(entries) }
 func (s engineStore) Scan(pk string, from, to []byte) ([]row.Cell, error) {
 	return s.e.ScanPartition(pk, from, to)
 }

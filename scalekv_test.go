@@ -27,6 +27,78 @@ func TestQuickstartRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFacadeBatcherRoundTrip(t *testing.T) {
+	cl, err := StartClusterWith(ClusterOptions{
+		Nodes: 3, ReplicationFactor: 2,
+		Storage: StorageOptions{DisableWAL: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c := cl.Client()
+
+	b := c.NewBatcher(BatcherOptions{MaxEntries: 32})
+	const n = 500
+	for i := 0; i < n; i++ {
+		pk := fmt.Sprintf("events-%02d", i%20)
+		if err := b.Put(pk, []byte(fmt.Sprintf("%04d", i)), []byte{byte(i % 2), 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := make([]GetKey, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, GetKey{PK: fmt.Sprintf("events-%02d", i%20), CK: []byte(fmt.Sprintf("%04d", i))})
+	}
+	values, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if !v.Found || v.Value[0] != byte(i%2) {
+			t.Fatalf("key %d: found=%v value=%v", i, v.Found, v.Value)
+		}
+	}
+}
+
+func TestD8TreeInsertBatchOverCluster(t *testing.T) {
+	cl, err := StartCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tree := NewD8Tree(ClientStore(cl.Client()), D8TreeOptions{MaxLevel: 2})
+	// ClientStore must expose the batch path.
+	if _, ok := ClientStore(cl.Client()).(BatchKVStore); !ok {
+		t.Fatal("ClientStore does not implement BatchKVStore")
+	}
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{
+			ID: uint64(i), X: float64(i%10) / 10, Y: float64(i/10) / 10, Z: 0.5,
+			Type: uint8(i % 3),
+		}
+	}
+	if err := tree.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tree.CountByType(Box{MaxX: 1, MaxY: 1, MaxZ: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != 100 {
+		t.Fatalf("counted %d points want 100", sum)
+	}
+}
+
 func TestFacadeModelMatchesCore(t *testing.T) {
 	sys := PaperSystem()
 	p := sys.Predict(1_000_000, 4000, 8)
