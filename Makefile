@@ -1,16 +1,23 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench lint
+.PHONY: build test bench bench-engine lint
 
 build:
 	go build ./...
 
 test:
-	go test -race ./...
+	go test -race -shuffle=on ./...
 
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
+
+# The mixed read/write benches (parallel Get+Put on the sharded engine,
+# and against a RF=2 cluster) are the lock-contention canary: run them
+# on any change to internal/storage's hot path.
+bench-engine:
+	go test -run=NONE -bench=EngineMixedParallel -benchtime=0.5s ./internal/storage/
+	go test -run=NONE -bench=ClusterMixedRW -benchtime=0.5s .
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

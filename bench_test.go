@@ -10,6 +10,7 @@ package scalekv
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"scalekv/internal/cluster"
@@ -266,6 +267,60 @@ func benchIngest(b *testing.B, load func(*cluster.Client, []Entry) error) {
 	b.StopTimer()
 	cellsPerSec := float64(len(entries)) * float64(b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(cellsPerSec, "cells/sec")
+}
+
+// BenchmarkClusterMixedRW drives concurrent Get+Put traffic (3 reads
+// per write) against a 4-node cluster at replication factor 2 — the
+// workload where the nodes' sharded engines have to absorb parallel
+// reads and replicated writes at once. Lock-contention regressions in
+// the engine's hot path show up here before they show up in prod.
+func BenchmarkClusterMixedRW(b *testing.B) {
+	cl, err := cluster.StartLocal(cluster.LocalOptions{
+		Nodes: 4, ReplicationFactor: 2,
+		Storage: storage.Options{DisableWAL: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	c := cl.Client()
+	const parts = 32
+	val := make([]byte, 64)
+	for p := 0; p < parts; p++ {
+		pk := fmt.Sprintf("mixed-%03d", p)
+		for i := 0; i < 64; i++ {
+			if err := c.Put(pk, []byte(fmt.Sprintf("%06d", i)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var goroutine atomic.Int64
+	var benchErr atomic.Pointer[error] // Fatal must not run on a RunParallel worker
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(goroutine.Add(1)) * 7919
+		for pb.Next() {
+			pk := fmt.Sprintf("mixed-%03d", i%parts)
+			ck := []byte(fmt.Sprintf("%06d", i%64))
+			var err error
+			if i%4 == 0 {
+				err = c.Put(pk, ck, val)
+			} else {
+				_, _, err = c.Get(pk, ck)
+			}
+			if err != nil {
+				benchErr.CompareAndSwap(nil, &err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if errp := benchErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	opsPerSec := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(opsPerSec, "ops/sec")
 }
 
 // BenchmarkVerboseMaster ablates the Section V-B per-message extras on

@@ -12,10 +12,16 @@
 //
 // This module implements the full stack the paper runs on:
 //
-//   - a Cassandra-like wide-column store (murmur3 token ring, memtable,
-//     SSTables with bloom filters and a 64KB column index — the
-//     mechanism behind the paper's Formula 6 discontinuity at 1425
-//     rows): internal/storage, internal/cluster;
+//   - a Cassandra-like wide-column store (murmur3 token ring,
+//     memtables, SSTables with bloom filters and a 64KB column index —
+//     the mechanism behind the paper's Formula 6 discontinuity at 1425
+//     rows): internal/storage, internal/cluster. The storage engine is
+//     lock-striped into shards (StorageOptions.Shards, default 8), each
+//     with its own memtable, WAL segments and background flusher: a
+//     write appends to the shard WAL and memtable and returns, the
+//     frozen memtable is turned into an SSTable off the write path, and
+//     compaction likewise runs per shard in the background, so neither
+//     flush nor compaction ever stalls the node's request loop;
 //   - the two serialization codecs of the Section V-B experiment
 //     (reflective self-describing vs registered binary): internal/wire;
 //   - a deterministic discrete-event simulator and the paper's

@@ -78,7 +78,12 @@ func (n *Node) Engine() *storage.Engine { return n.engine }
 // ID returns the node's ring identity.
 func (n *Node) ID() hashring.NodeID { return n.id }
 
-// Close stops serving and closes the engine.
+// Close stops serving, then closes the engine. Ordering matters: the
+// server quiesces first so no new writes race the shutdown, and
+// engine.Close then freezes every shard's active memtable and drains
+// the background flushers before releasing resources — a clean
+// shutdown never abandons a frozen memtable (only its WAL segments
+// would cover it after a crash).
 func (n *Node) Close() error {
 	n.server.Close()
 	return n.engine.Close()

@@ -1,7 +1,9 @@
 // Package memtable implements the in-memory, mutable head of the storage
 // engine: a skip list of internal keys guarded by an RWMutex. Writes land
 // here first; when the payload size crosses the engine's flush threshold
-// the memtable is frozen and written out as an SSTable.
+// the memtable is frozen (Freeze marks it immutable) and handed to a
+// background flusher that writes it out as an SSTable while readers keep
+// merging it.
 package memtable
 
 import (
@@ -16,8 +18,9 @@ import (
 // Memtable is a sorted, concurrent map from (partition key, clustering
 // key) to value.
 type Memtable struct {
-	mu   sync.RWMutex
-	list *skiplist.List
+	mu     sync.RWMutex
+	list   *skiplist.List
+	frozen bool
 }
 
 // New creates an empty memtable; the seed drives skip-list tower heights
@@ -27,10 +30,17 @@ func New(seed int64) *Memtable {
 }
 
 // Put stores value under (pk, ck). The ck and value slices are copied.
+// Put panics on a frozen memtable: a write landing after the freeze
+// would be silently dropped when the frozen table is retired, so the
+// invariant violation must be loud.
 func (m *Memtable) Put(pk string, ck, value []byte) {
 	ik := enc.EncodeInternalKey(pk, ck)
 	v := append([]byte(nil), value...)
 	m.mu.Lock()
+	if m.frozen {
+		m.mu.Unlock()
+		panic("memtable: Put on frozen memtable")
+	}
 	m.list.Set(ik, v)
 	m.mu.Unlock()
 }
@@ -43,12 +53,32 @@ func (m *Memtable) Get(pk string, ck []byte) ([]byte, bool) {
 	return m.list.Get(ik)
 }
 
-// Delete removes (pk, ck) and reports whether it was present.
+// Delete removes (pk, ck) and reports whether it was present. Like Put
+// it panics on a frozen memtable.
 func (m *Memtable) Delete(pk string, ck []byte) bool {
 	ik := enc.EncodeInternalKey(pk, ck)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.frozen {
+		panic("memtable: Delete on frozen memtable")
+	}
 	return m.list.Delete(ik)
+}
+
+// Freeze marks the memtable immutable. The storage engine freezes a
+// memtable when handing it to a background flusher: readers keep
+// merging it until the SSTable is live, but any further write is a bug.
+func (m *Memtable) Freeze() {
+	m.mu.Lock()
+	m.frozen = true
+	m.mu.Unlock()
+}
+
+// Frozen reports whether Freeze has been called.
+func (m *Memtable) Frozen() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.frozen
 }
 
 // ScanPartition returns every cell of the partition with from <= CK < to,

@@ -94,6 +94,39 @@ func TestDelete(t *testing.T) {
 	}
 }
 
+func TestFreezeMakesImmutable(t *testing.T) {
+	m := New(1)
+	m.Put("p", []byte("c"), []byte("v"))
+	if m.Frozen() {
+		t.Fatal("fresh memtable reports frozen")
+	}
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("Freeze did not mark the memtable")
+	}
+	// Reads keep working on a frozen memtable.
+	if v, ok := m.Get("p", []byte("c")); !ok || string(v) != "v" {
+		t.Fatalf("frozen read got %q,%v", v, ok)
+	}
+	if got := len(m.ScanPartition("p", nil, nil)); got != 1 {
+		t.Fatalf("frozen scan got %d cells", got)
+	}
+	// Writes must panic: a write after the freeze would be silently
+	// dropped when the frozen table is retired.
+	mustPanic(t, func() { m.Put("p", []byte("c2"), []byte("v2")) })
+	mustPanic(t, func() { m.Delete("p", []byte("c")) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to frozen memtable did not panic")
+		}
+	}()
+	fn()
+}
+
 func TestEachVisitsAllSorted(t *testing.T) {
 	m := New(1)
 	const n = 100

@@ -342,6 +342,10 @@ func Open(path string) (*Reader, error) {
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
 
+// Path returns the file backing this table; the storage engine's
+// compactor uses it to retire exactly the inputs it merged.
+func (r *Reader) Path() string { return r.f.Name() }
+
 // NumPartitions returns how many partitions the table holds.
 func (r *Reader) NumPartitions() int { return len(r.index) }
 

@@ -1,8 +1,20 @@
 // Package storage assembles the local database node the paper's slaves
-// run: a log-structured wide-column engine with a write-ahead log, a
-// skip-list memtable, bloom-filtered SSTables with Cassandra-style column
-// indexes, size-triggered flushes, full compaction and an optional row
-// cache.
+// run: a log-structured wide-column engine with a write-ahead log,
+// skip-list memtables, bloom-filtered SSTables with Cassandra-style
+// column indexes, size-triggered flushes, full compaction and an
+// optional row cache.
+//
+// The engine is lock-striped into shards keyed by partition-key hash.
+// Each shard owns its own active memtable, frozen-memtable queue, WAL
+// segments, SSTable list and one background worker goroutine. A write
+// appends to the shard's WAL segment and active memtable under the
+// shard lock only; when the active memtable crosses the flush
+// threshold it is atomically swapped for a fresh one and the frozen
+// memtable — together with its sealed WAL segments — is handed to the
+// worker, which writes the SSTable and retires the segments off the
+// write path. Compaction runs on the same worker, holding the shard
+// lock only for the table-list swap. Reads merge active + frozen
+// memtables + SSTables from a snapshot taken under the shard's RLock.
 //
 // The engine is the "in-cassandra" stage of the paper's four-phase
 // decomposition: the Figure 6/7 harness measures it directly to fit the
@@ -16,20 +28,33 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
-	"scalekv/internal/memtable"
+	"scalekv/internal/murmur"
 	"scalekv/internal/row"
 	"scalekv/internal/sstable"
 )
+
+// DefaultShards is the lock-stripe count used when Options.Shards is
+// zero.
+const DefaultShards = 8
 
 // Options configures an Engine.
 type Options struct {
 	// Dir is the data directory; it is created if missing.
 	Dir string
+	// Shards is the lock-stripe count: each shard has its own memtable,
+	// WAL segments, SSTables and background flusher. 0 means
+	// DefaultShards; negative means 1 (the pre-sharding single-lock
+	// layout). The count is fixed at first open and persisted in a
+	// SHARDS manifest — on reopen the on-disk value wins, because the
+	// existing files were partitioned with it.
+	Shards int
 	// FlushThreshold is the memtable payload size, in bytes, that
-	// triggers a flush to SSTable. 0 means 4MB.
+	// triggers a background flush to SSTable. 0 means 4MB.
 	FlushThreshold int64
 	// ColumnIndexSize forwards to the SSTable writer: chunk granularity
 	// of the column index. 0 means the Cassandra-like 64KB; negative
@@ -41,15 +66,21 @@ type Options struct {
 	// DisableWAL turns off the commit log; used by bulk loads and
 	// benchmarks where durability is irrelevant.
 	DisableWAL bool
-	// CompactAfter triggers a full compaction once more than this many
-	// SSTables exist. 0 means 8.
+	// CompactAfter triggers a compaction of a shard once more than this
+	// many SSTables exist in it. 0 means 8.
 	CompactAfter int
-	// Seed drives the memtable skip list for reproducibility.
+	// Seed drives the memtable skip lists for reproducibility.
 	Seed int64
 }
 
 func (o *Options) withDefaults() Options {
 	out := *o
+	if out.Shards == 0 {
+		out.Shards = DefaultShards
+	}
+	if out.Shards < 1 {
+		out.Shards = 1
+	}
 	if out.FlushThreshold == 0 {
 		out.FlushThreshold = 4 << 20
 	}
@@ -72,23 +103,26 @@ type Metrics struct {
 	CacheMisses     atomic.Int64
 }
 
-// Engine is a single-node wide-column store.
-type Engine struct {
-	opts Options
+var errClosed = errors.New("storage: engine closed")
 
-	mu     sync.RWMutex
-	mem    *memtable.Memtable
-	tables []*sstable.Reader // oldest first
-	seq    int               // next sstable sequence number
-	wal    *wal
+// Engine is a single-node wide-column store, striped into shards.
+type Engine struct {
+	opts   Options
+	shards []*shard
 	rcache *rowCache // nil when disabled
-	closed bool
+	wg     sync.WaitGroup
+	closed atomic.Bool
 
 	Metrics Metrics
+
+	// Test hooks, nil in production. Set them before any engine
+	// activity: the first mutex handoff to the workers publishes them.
+	testFlushGate chan struct{}           // flusher blocks here before touching disk
+	testFlushErr  func(shardID int) error // injected SSTable-write failure
 }
 
-// Open creates or reopens an engine in opts.Dir, replaying any WAL left
-// by a previous process.
+// Open creates or reopens an engine in opts.Dir, replaying any per-shard
+// WAL segments left by a previous process.
 func Open(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if opts.Dir == "" {
@@ -97,105 +131,188 @@ func Open(opts Options) (*Engine, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, mem: memtable.New(opts.Seed)}
-	if opts.RowCachePartitions > 0 {
-		e.rcache = newRowCache(opts.RowCachePartitions)
+	if err := rejectLegacyLayout(opts.Dir); err != nil {
+		return nil, err
 	}
-
-	// Load existing SSTables in sequence order.
-	names, err := filepath.Glob(filepath.Join(opts.Dir, "sst-*.db"))
+	// A crash between SSTable write and rename leaves an orphaned .tmp
+	// that nothing would ever load or reuse; sweep them here (one engine
+	// process per dir is already assumed everywhere).
+	tmps, _ := filepath.Glob(filepath.Join(opts.Dir, "sst-*.db.tmp"))
+	for _, tmp := range tmps {
+		os.Remove(tmp)
+	}
+	nshards, err := loadOrInitShardCount(opts.Dir, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		r, err := sstable.Open(name)
-		if err != nil {
-			return nil, fmt.Errorf("storage: reopen %s: %w", name, err)
-		}
-		e.tables = append(e.tables, r)
-		var n int
-		fmt.Sscanf(filepath.Base(name), "sst-%06d.db", &n)
-		if n >= e.seq {
-			e.seq = n + 1
-		}
-	}
+	opts.Shards = nshards
 
-	walPath := filepath.Join(opts.Dir, "wal.log")
-	if !opts.DisableWAL {
-		if err := replayWAL(walPath, func(op byte, pk string, ck, value []byte) {
-			switch op {
-			case walPut:
-				e.mem.Put(pk, ck, value)
-			case walDelete:
-				e.mem.Delete(pk, ck)
-			}
-		}); err != nil {
+	e := &Engine{opts: opts}
+	if opts.RowCachePartitions > 0 {
+		e.rcache = newRowCache(opts.RowCachePartitions)
+	}
+	for i := 0; i < nshards; i++ {
+		s, err := e.openShard(i)
+		if err != nil {
+			e.abortOpen()
 			return nil, err
 		}
-		if e.wal, err = openWAL(walPath); err != nil {
-			return nil, err
-		}
+		e.shards = append(e.shards, s)
+	}
+	for _, s := range e.shards {
+		// Recovered memtables sit frozen in the queue; the worker starts
+		// flushing them immediately, off the Open path.
+		e.wg.Add(1)
+		go s.worker()
 	}
 	return e, nil
+}
+
+// abortOpen releases the shards opened so far when Open fails midway.
+func (e *Engine) abortOpen() {
+	for _, s := range e.shards {
+		for _, t := range s.tables {
+			t.release()
+		}
+	}
+}
+
+// rejectLegacyLayout fails loudly on a data directory written by the
+// pre-sharding engine (sst-NNNNNN.db / wal.log). Those files mix
+// partitions of every shard, so silently ignoring them would present
+// an empty store; opening them correctly needs a re-ingest.
+func rejectLegacyLayout(dir string) error {
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); err == nil {
+		return fmt.Errorf("storage: %s holds a pre-sharding wal.log; re-ingest the data with this version", dir)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "sst-*.db"))
+	for _, name := range names {
+		if !strings.HasPrefix(filepath.Base(name), "sst-s") {
+			return fmt.Errorf("storage: %s holds pre-sharding table %s; re-ingest the data with this version", dir, filepath.Base(name))
+		}
+	}
+	return nil
+}
+
+// loadOrInitShardCount reads the SHARDS manifest, writing it with want
+// on first open. The persisted value wins on reopen: partition keys
+// were hashed to files with it.
+func loadOrInitShardCount(dir string, want int) (int, error) {
+	path := filepath.Join(dir, "SHARDS")
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d\n", want)), 0o644); err != nil {
+			return 0, err
+		}
+		return want, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("storage: corrupt shard manifest %s: %q", path, b)
+	}
+	return n, nil
+}
+
+// shardFor routes a partition key to its stripe.
+func (e *Engine) shardFor(pk string) *shard {
+	return e.shards[e.shardIndex(pk)]
+}
+
+func (e *Engine) shardIndex(pk string) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(murmur.StringSum64(pk) % uint64(len(e.shards)))
 }
 
 // cache returns the row cache, which is nil when disabled; every
 // rowCache method tolerates a nil receiver.
 func (e *Engine) cache() *rowCache { return e.rcache }
 
-// Put stores value under (pk, ck).
+// Put stores value under (pk, ck). It returns once the write is in the
+// shard's WAL segment and active memtable; flushing to SSTable happens
+// in the background and is never waited on.
 func (e *Engine) Put(pk string, ck, value []byte) error {
 	e.Metrics.Puts.Add(1)
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return errors.New("storage: engine closed")
+	s := e.shardFor(pk)
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errClosed
 	}
-	if e.wal != nil {
-		if err := e.wal.append(walPut, pk, ck, value); err != nil {
-			e.mu.Unlock()
+	if err := s.checkBacklogLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.ensureWALLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.append(walPut, pk, ck, value); err != nil {
+			s.mu.Unlock()
 			return err
 		}
 	}
-	e.mem.Put(pk, ck, value)
-	needFlush := e.mem.Bytes() >= e.opts.FlushThreshold
-	e.mu.Unlock()
+	s.mem.Put(pk, ck, value)
+	if s.mem.Bytes() >= e.opts.FlushThreshold {
+		s.freezeLocked()
+	}
+	s.mu.Unlock()
 	e.cache().invalidate(pk)
-	if needFlush {
-		return e.Flush()
+	return nil
+}
+
+// maxFrozenBacklog bounds the frozen-memtable queue when the flusher is
+// failing: past this depth writes start reporting the background error
+// instead of growing memory without bound. A healthy flusher is never
+// this far behind; a failing one (disk full, permissions) must push
+// back on writers — with DisableWAL there is no other signal at all.
+const maxFrozenBacklog = 8
+
+// checkBacklogLocked applies that backpressure. Caller holds mu.
+func (s *shard) checkBacklogLocked() error {
+	if s.flushErr != nil && len(s.frozen) >= maxFrozenBacklog {
+		s.cond.Broadcast() // nudge the parked worker into another retry
+		return fmt.Errorf("storage: %d memtables queued behind failing flush: %w", len(s.frozen), s.flushErr)
 	}
 	return nil
 }
 
-// PutBatch stores every entry under one lock acquisition and one WAL
-// write — the group commit behind the cluster's batched bulk-write path.
-// Amortizing the per-operation lock and commit-log costs over the batch
-// is what lets ingest throughput track the hardware instead of the
-// per-call overhead. On error the batch stops at the failing entry;
-// entries already appended stay applied (same semantics as a partially
-// completed sequence of Puts).
+// PutBatch stores every entry with one lock acquisition and one WAL
+// write per involved shard — the group commit behind the cluster's
+// batched bulk-write path. Amortizing the per-operation lock and
+// commit-log costs over the batch is what lets ingest throughput track
+// the hardware instead of the per-call overhead. On error the batch
+// stops at the failing entry of the failing shard; entries already
+// appended stay applied (same semantics as a partially completed
+// sequence of Puts).
 func (e *Engine) PutBatch(entries []row.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
 	e.Metrics.Puts.Add(int64(len(entries)))
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return errors.New("storage: engine closed")
-	}
-	if e.wal != nil {
-		if err := e.wal.appendBatch(entries); err != nil {
-			e.mu.Unlock()
-			return err
+	var err error
+	if len(e.shards) == 1 {
+		err = e.shards[0].putBatch(entries)
+	} else {
+		buckets := make([][]row.Entry, len(e.shards))
+		for _, ent := range entries {
+			i := e.shardIndex(ent.PK)
+			buckets[i] = append(buckets[i], ent)
+		}
+		for i, b := range buckets {
+			if len(b) == 0 {
+				continue
+			}
+			if err = e.shards[i].putBatch(b); err != nil {
+				break
+			}
 		}
 	}
-	for _, ent := range entries {
-		e.mem.Put(ent.PK, ent.CK, ent.Value)
-	}
-	needFlush := e.mem.Bytes() >= e.opts.FlushThreshold
-	e.mu.Unlock()
 	// Invalidate each distinct partition once; batches arrive grouped, so
 	// skipping consecutive repeats covers the common case cheaply.
 	lastPK := ""
@@ -205,47 +322,62 @@ func (e *Engine) PutBatch(entries []row.Entry) error {
 			lastPK = ent.PK
 		}
 	}
-	if needFlush {
-		return e.Flush()
-	}
-	return nil
+	return err
 }
 
-// Delete removes (pk, ck) from the memtable. Cross-SSTable tombstones
+// Delete removes (pk, ck) from the shard's active memtable. Tombstones
 // are not implemented: the paper's workloads are append-then-read-only,
-// so deletes only need to cover not-yet-flushed data.
+// so deletes only need to cover cells that are still in the active
+// memtable — cells already frozen for flush or flushed to SSTables are
+// not masked. A delete that covers nothing is a no-op everywhere,
+// including the WAL: logging it unconditionally would make crash
+// recovery apply it across freeze boundaries and remove a cell the
+// live engine still served.
 func (e *Engine) Delete(pk string, ck []byte) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return errors.New("storage: engine closed")
+	s := e.shardFor(pk)
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errClosed
 	}
-	if e.wal != nil {
-		if err := e.wal.append(walDelete, pk, ck, nil); err != nil {
-			e.mu.Unlock()
+	if _, present := s.mem.Get(pk, ck); !present {
+		s.mu.Unlock()
+		return nil
+	}
+	if err := s.ensureWALLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.append(walDelete, pk, ck, nil); err != nil {
+			s.mu.Unlock()
 			return err
 		}
 	}
-	e.mem.Delete(pk, ck)
-	e.mu.Unlock()
+	s.mem.Delete(pk, ck)
+	s.mu.Unlock()
 	e.cache().invalidate(pk)
 	return nil
 }
 
-// Get returns the newest value for (pk, ck).
+// Get returns the newest value for (pk, ck): active memtable first,
+// then frozen memtables newest to oldest, then SSTables newest to
+// oldest.
 func (e *Engine) Get(pk string, ck []byte) ([]byte, bool, error) {
 	e.Metrics.Gets.Add(1)
-	e.mu.RLock()
-	mem := e.mem
-	tables := e.tables
-	e.mu.RUnlock()
+	view := e.shardFor(pk).snapshot()
+	defer view.close()
 
-	if v, ok := mem.Get(pk, ck); ok {
+	if v, ok := view.mem.Get(pk, ck); ok {
 		return v, true, nil
 	}
-	// Newest SSTable wins: scan from the end.
-	for i := len(tables) - 1; i >= 0; i-- {
-		t := tables[i]
+	for i := len(view.frozen) - 1; i >= 0; i-- {
+		if v, ok := view.frozen[i].mem.Get(pk, ck); ok {
+			return v, true, nil
+		}
+	}
+	for i := len(view.tables) - 1; i >= 0; i-- {
+		t := view.tables[i]
 		if !t.MayContain(pk) {
 			e.Metrics.BloomSkips.Add(1)
 			continue
@@ -284,14 +416,13 @@ func (e *Engine) ScanPartition(pk string, from, to []byte) ([]row.Cell, error) {
 		e.Metrics.CacheMisses.Add(1)
 	}
 
-	e.mu.RLock()
-	mem := e.mem
-	tables := e.tables
-	e.mu.RUnlock()
+	view := e.shardFor(pk).snapshot()
+	defer view.close()
 
-	// Sources oldest to newest so row.Merge lets the newest win.
-	sources := make([][]row.Cell, 0, len(tables)+1)
-	for _, t := range tables {
+	// Sources oldest to newest so row.Merge lets the newest win:
+	// SSTables, then frozen memtables, then the active memtable.
+	sources := make([][]row.Cell, 0, len(view.tables)+len(view.frozen)+1)
+	for _, t := range view.tables {
 		if !t.MayContain(pk) {
 			e.Metrics.BloomSkips.Add(1)
 			continue
@@ -306,7 +437,10 @@ func (e *Engine) ScanPartition(pk string, from, to []byte) ([]row.Cell, error) {
 		}
 		sources = append(sources, cells)
 	}
-	sources = append(sources, mem.ScanPartition(pk, from, to))
+	for _, fm := range view.frozen {
+		sources = append(sources, fm.mem.ScanPartition(pk, from, to))
+	}
+	sources = append(sources, view.mem.ScanPartition(pk, from, to))
 	merged := row.Merge(sources...)
 	if from == nil && to == nil {
 		e.cache().put(pk, merged)
@@ -336,22 +470,26 @@ func (e *Engine) AggregatePartition(pk string, fn func(ck, value []byte)) error 
 	return nil
 }
 
-// Partitions returns the distinct partition keys across the memtable and
-// all SSTables, sorted ascending.
+// Partitions returns the distinct partition keys across every shard's
+// memtables and SSTables, sorted ascending.
 func (e *Engine) Partitions() []string {
-	e.mu.RLock()
-	mem := e.mem
-	tables := e.tables
-	e.mu.RUnlock()
-
 	seen := map[string]bool{}
-	for _, pk := range mem.Partitions() {
-		seen[pk] = true
-	}
-	for _, t := range tables {
-		for _, pk := range t.Partitions() {
+	for _, s := range e.shards {
+		view := s.snapshot()
+		for _, pk := range view.mem.Partitions() {
 			seen[pk] = true
 		}
+		for _, fm := range view.frozen {
+			for _, pk := range fm.mem.Partitions() {
+				seen[pk] = true
+			}
+		}
+		for _, t := range view.tables {
+			for _, pk := range t.Partitions() {
+				seen[pk] = true
+			}
+		}
+		view.close()
 	}
 	out := make([]string, 0, len(seen))
 	for pk := range seen {
@@ -361,198 +499,135 @@ func (e *Engine) Partitions() []string {
 	return out
 }
 
-// Flush writes the current memtable to a new SSTable and truncates the
-// WAL. A no-op when the memtable is empty.
+// Flush freezes every shard's active memtable and blocks until the
+// background workers have written the resulting SSTables (and any
+// triggered compaction has finished). Freezing all shards up front
+// lets their workers write in parallel; the waits then overlap instead
+// of serializing N SSTable writes. A no-op for empty memtables.
 func (e *Engine) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.flushLocked()
-}
-
-func (e *Engine) flushLocked() error {
-	if e.closed {
-		return errors.New("storage: engine closed")
-	}
-	if e.mem.Len() == 0 {
-		return nil
-	}
-	path := filepath.Join(e.opts.Dir, fmt.Sprintf("sst-%06d.db", e.seq))
-	nParts := len(e.mem.Partitions())
-	w, err := sstable.NewWriter(path, sstable.WriterOptions{
-		ColumnIndexSize:    e.opts.ColumnIndexSize,
-		ExpectedPartitions: nParts,
-	})
-	if err != nil {
-		return err
-	}
-	// Stream the memtable in order, grouping cells per partition.
-	var curPK string
-	var cur []row.Cell
-	first := true
-	flushPart := func() error {
-		if first {
-			return nil
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			return errClosed
 		}
-		return w.AddPartition(curPK, cur)
+		s.freezeLocked()
+		// Give the worker a fresh chance after an earlier background
+		// failure; the retry's outcome is what this caller reports.
+		s.flushErr = nil
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
-	err = e.mem.Each(func(ent memtable.Entry) error {
-		if first || ent.PK != curPK {
-			if err := flushPart(); err != nil {
-				return err
-			}
-			curPK, cur, first = ent.PK, nil, false
-		}
-		cur = append(cur, row.Cell{CK: ent.CK, Value: ent.Value})
-		return nil
-	})
-	if err == nil {
-		err = flushPart()
-	}
-	if err != nil {
-		w.Close()
-		os.Remove(path)
-		return err
-	}
-	if err := w.Close(); err != nil {
-		os.Remove(path)
-		return err
-	}
-	r, err := sstable.Open(path)
-	if err != nil {
-		return err
-	}
-	e.tables = append(e.tables, r)
-	e.seq++
-	e.mem = memtable.New(e.opts.Seed + int64(e.seq))
-	e.Metrics.Flushes.Add(1)
-	if e.wal != nil {
-		if err := e.wal.reset(); err != nil {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		err := s.waitDrainedLocked()
+		s.mu.Unlock()
+		if err != nil {
 			return err
 		}
-	}
-	if len(e.tables) > e.opts.CompactAfter {
-		return e.compactLocked()
 	}
 	return nil
 }
 
-// Compact merges every SSTable into one, dropping shadowed cell
-// versions.
+// Compact asks every shard's worker to merge its SSTables into one,
+// dropping shadowed cell versions, and waits for completion.
 func (e *Engine) Compact() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.compactLocked()
-}
-
-func (e *Engine) compactLocked() error {
-	if len(e.tables) <= 1 {
-		return nil
-	}
-	// Union of partition keys across tables.
-	seen := map[string]bool{}
-	for _, t := range e.tables {
-		for _, pk := range t.Partitions() {
-			seen[pk] = true
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			return errClosed
 		}
-	}
-	pks := make([]string, 0, len(seen))
-	for pk := range seen {
-		pks = append(pks, pk)
-	}
-	sort.Strings(pks)
-
-	path := filepath.Join(e.opts.Dir, fmt.Sprintf("sst-%06d.db", e.seq))
-	w, err := sstable.NewWriter(path, sstable.WriterOptions{
-		ColumnIndexSize:    e.opts.ColumnIndexSize,
-		ExpectedPartitions: len(pks),
-	})
-	if err != nil {
-		return err
-	}
-	for _, pk := range pks {
-		sources := make([][]row.Cell, 0, len(e.tables))
-		for _, t := range e.tables {
-			cells, err := t.ReadSlice(pk, nil, nil)
-			if err == sstable.ErrNotFound {
-				continue
-			}
-			if err != nil {
-				w.Close()
-				os.Remove(path)
-				return err
-			}
-			sources = append(sources, cells)
-		}
-		if err := w.AddPartition(pk, row.Merge(sources...)); err != nil {
-			w.Close()
-			os.Remove(path)
+		s.compactReq = true
+		s.flushErr = nil
+		s.cond.Broadcast()
+		err := s.waitDrainedLocked()
+		s.mu.Unlock()
+		if err != nil {
 			return err
-		}
-	}
-	if err := w.Close(); err != nil {
-		os.Remove(path)
-		return err
-	}
-	r, err := sstable.Open(path)
-	if err != nil {
-		return err
-	}
-	old := e.tables
-	e.tables = []*sstable.Reader{r}
-	e.seq++
-	e.Metrics.Compactions.Add(1)
-	for _, t := range old {
-		t.Close()
-	}
-	// Remove superseded files.
-	names, _ := filepath.Glob(filepath.Join(e.opts.Dir, "sst-*.db"))
-	for _, name := range names {
-		if name != path {
-			os.Remove(name)
 		}
 	}
 	return nil
 }
 
-// NumSSTables returns the current count of sorted runs.
+// WaitIdle blocks until no background flush or compaction is pending or
+// running. Unlike Flush it freezes nothing, so it observes the engine's
+// autonomous behaviour — tests and measurements use it to settle the
+// engine. It returns the first pending background error, if any.
+func (e *Engine) WaitIdle() error {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		err := s.waitDrainedLocked()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumSSTables returns the current count of sorted runs across shards.
 func (e *Engine) NumSSTables() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.tables)
+	n := 0
+	for _, s := range e.shards {
+		s.mu.RLock()
+		n += len(s.tables)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// MemtableBytes returns the live memtable payload size.
+// MemtableBytes returns the unflushed payload size: active memtables
+// plus frozen memtables still queued for flush.
 func (e *Engine) MemtableBytes() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.mem.Bytes()
+	var n int64
+	for _, s := range e.shards {
+		s.mu.RLock()
+		n += s.mem.Bytes()
+		for _, fm := range s.frozen {
+			n += fm.mem.Bytes()
+		}
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// Close flushes and releases every resource. The engine is unusable
-// afterwards.
+// Close drains every shard's flusher and releases every resource. The
+// engine is unusable afterwards; a second Close is a no-op.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Swap(true) {
 		return nil
 	}
-	if err := e.flushLocked(); err != nil {
-		return err
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.freezeLocked()
+		s.closing = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
-	e.closed = true
+	e.wg.Wait()
 	var firstErr error
-	for _, t := range e.tables {
-		if err := t.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.flushErr != nil && firstErr == nil {
+			firstErr = s.flushErr
 		}
-	}
-	if e.wal != nil {
-		if err := e.wal.sync(); err != nil && firstErr == nil {
-			firstErr = err
+		for _, t := range s.tables {
+			if err := t.release(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		if err := e.wal.close(); err != nil && firstErr == nil {
-			firstErr = err
+		s.tables = nil
+		if s.wal != nil {
+			if err := s.wal.sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := s.wal.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.wal = nil
 		}
+		s.mu.Unlock()
 	}
 	return firstErr
 }

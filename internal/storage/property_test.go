@@ -53,19 +53,10 @@ func TestEngineAgainstModel(t *testing.T) {
 	pk := func() string { return fmt.Sprintf("p%02d", rng.Intn(8)) }
 	ck := func() []byte { return []byte(fmt.Sprintf("c%03d", rng.Intn(50))) }
 
-	// Deletes only reach cells still in the memtable (the engine has no
-	// cross-SSTable tombstones by design); the model must match, so we
-	// track which cells were flushed.
-	flushed := map[string]bool{}
-	cellID := func(p string, c []byte) string { return p + "\x00" + string(c) }
-	markFlushed := func() {
-		for p, cells := range ref {
-			for c := range cells {
-				flushed[cellID(p, []byte(c))] = true
-			}
-		}
-	}
-
+	// Deletes only hide cells still in the active memtable (the engine
+	// has no tombstones by design: frozen memtables and SSTables are not
+	// masked); the model must match, so deletes are only issued for
+	// cells that live nowhere else.
 	const ops = 6000
 	for i := 0; i < ops; i++ {
 		switch op := rng.Intn(100); {
@@ -75,11 +66,9 @@ func TestEngineAgainstModel(t *testing.T) {
 				t.Fatalf("op %d: put: %v", i, err)
 			}
 			ref.put(p, c, v)
-			// The engine may have auto-flushed; conservatively resync
-			// the flushed set whenever its sstable count changes.
-		case op < 50: // delete (only safe for unflushed cells)
+		case op < 50: // delete (only safe for active-memtable-only cells)
 			p, c := pk(), ck()
-			if flushed[cellID(p, c)] {
+			if !cellOnlyInActiveMem(e, p, c) {
 				continue
 			}
 			if err := e.Delete(p, c); err != nil {
@@ -118,7 +107,6 @@ func TestEngineAgainstModel(t *testing.T) {
 			if err := e.Flush(); err != nil {
 				t.Fatalf("op %d: flush: %v", i, err)
 			}
-			markFlushed()
 		case op < 99: // compact
 			if err := e.Compact(); err != nil {
 				t.Fatalf("op %d: compact: %v", i, err)
@@ -127,16 +115,9 @@ func TestEngineAgainstModel(t *testing.T) {
 			if err := e.Close(); err != nil {
 				t.Fatalf("op %d: close: %v", i, err)
 			}
-			markFlushed() // close flushes everything
 			if e, err = Open(Options{Dir: dir, FlushThreshold: 8 << 10, CompactAfter: 4, Seed: 1}); err != nil {
 				t.Fatalf("op %d: reopen: %v", i, err)
 			}
-		}
-		// Auto-flush detection: anything might have been flushed by a
-		// threshold crossing; refresh the flushed set cheaply every
-		// few hundred ops.
-		if i%200 == 199 && e.MemtableBytes() == 0 {
-			markFlushed()
 		}
 	}
 

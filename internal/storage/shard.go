@@ -1,0 +1,557 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"scalekv/internal/memtable"
+	"scalekv/internal/row"
+	"scalekv/internal/sstable"
+)
+
+// frozenMem is an immutable memtable queued for flush, together with
+// the WAL segments that made it durable. The worker deletes the
+// segments only after the SSTable is live, so a crash at any point
+// between freeze and flush replays them on the next Open.
+type frozenMem struct {
+	mem      *memtable.Memtable
+	walPaths []string
+}
+
+// tableHandle reference-counts an SSTable reader so the compactor can
+// retire inputs while reads are in flight. The shard's table list owns
+// one reference; every snapshot pins one more. The last release closes
+// the file, deleting it too when the table was superseded. (The old
+// single-lock engine closed tables under the exclusive lock and merely
+// never tripped over in-flight readers; with background compaction the
+// lifetime must be explicit.)
+type tableHandle struct {
+	*sstable.Reader
+	refs atomic.Int64
+	drop atomic.Bool // superseded by compaction: unlink on last release
+}
+
+func newTableHandle(r *sstable.Reader) *tableHandle {
+	h := &tableHandle{Reader: r}
+	h.refs.Store(1) // list ownership
+	return h
+}
+
+func (h *tableHandle) acquire() { h.refs.Add(1) }
+
+func (h *tableHandle) release() error {
+	if h.refs.Add(-1) > 0 {
+		return nil
+	}
+	path := h.Path()
+	err := h.Close()
+	if h.drop.Load() {
+		os.Remove(path)
+	}
+	return err
+}
+
+// shardView is a consistent read snapshot of one shard: the active
+// memtable, the frozen queue and the pinned table list. Callers must
+// close it when done so superseded tables can be retired.
+type shardView struct {
+	mem    *memtable.Memtable
+	frozen []*frozenMem
+	tables []*tableHandle
+}
+
+func (v shardView) close() {
+	for _, t := range v.tables {
+		t.release()
+	}
+}
+
+// shard is one lock stripe of the engine: a full miniature LSM tree
+// with its own write path, WAL segments, SSTable list and background
+// worker. Writes and freezes hold mu exclusively but never wait on
+// SSTable I/O; reads snapshot the state under RLock; the worker holds
+// mu only to take work and to swap results in.
+type shard struct {
+	id  int
+	eng *Engine
+
+	mu   sync.RWMutex
+	cond *sync.Cond // paired with &mu; broadcast on every state change
+
+	mem    *memtable.Memtable
+	frozen []*frozenMem // oldest first
+	tables []*tableHandle
+	wal    *wal  // active segment, opened lazily on first write
+	walSeq int   // next WAL segment number
+	sstSeq int   // next SSTable sequence number
+	memGen int64 // memtable generation, seeds the skip list
+
+	compactReq bool
+	busy       bool  // worker is writing a table outside the lock
+	flushErr   error // last background failure; cleared on success/retry
+	closing    bool
+	abandoned  bool // simulated crash (tests): worker must not touch disk
+}
+
+func (s *shard) sstPath(seq int) string {
+	return filepath.Join(s.eng.opts.Dir, fmt.Sprintf("sst-s%02d-%06d.db", s.id, seq))
+}
+
+func (s *shard) walPath(seq int) string {
+	return filepath.Join(s.eng.opts.Dir, fmt.Sprintf("wal-s%02d-%06d.log", s.id, seq))
+}
+
+// openShard loads one shard's SSTables and replays its WAL segments,
+// oldest first, each into its own frozen memtable queued for background
+// flush. One segment per memtable generation is an invariant the
+// write path maintains (every freeze seals the segment), and replay
+// must preserve it: a delete record only ever targeted cells of its own
+// generation — the live engine logs a delete only when the cell is in
+// the active memtable — so applying it beyond its segment would remove
+// an older frozen version the pre-crash engine still served. Replayed
+// segments stay on disk until their data reaches an SSTable.
+func (e *Engine) openShard(id int) (*shard, error) {
+	s := &shard{id: id, eng: e, mem: memtable.New(shardSeed(e.opts.Seed, id, 0))}
+	s.cond = sync.NewCond(&s.mu)
+
+	names, err := filepath.Glob(filepath.Join(e.opts.Dir, fmt.Sprintf("sst-s%02d-*.db", id)))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r, err := sstable.Open(name)
+		if err != nil {
+			for _, t := range s.tables {
+				t.release()
+			}
+			return nil, fmt.Errorf("storage: reopen %s: %w", name, err)
+		}
+		s.tables = append(s.tables, newTableHandle(r))
+		var n int
+		fmt.Sscanf(filepath.Base(name), fmt.Sprintf("sst-s%02d-%%06d.db", id), &n)
+		if n >= s.sstSeq {
+			s.sstSeq = n + 1
+		}
+	}
+
+	if !e.opts.DisableWAL {
+		segs, err := filepath.Glob(filepath.Join(e.opts.Dir, fmt.Sprintf("wal-s%02d-*.log", id)))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(segs)
+		for _, seg := range segs {
+			s.memGen++
+			rec := memtable.New(shardSeed(e.opts.Seed, id, s.memGen))
+			if err := replayWAL(seg, func(op byte, pk string, ck, value []byte) {
+				switch op {
+				case walPut:
+					rec.Put(pk, ck, value)
+				case walDelete:
+					rec.Delete(pk, ck)
+				}
+			}); err != nil {
+				for _, t := range s.tables {
+					t.release()
+				}
+				return nil, err
+			}
+			var n int
+			fmt.Sscanf(filepath.Base(seg), fmt.Sprintf("wal-s%02d-%%06d.log", id), &n)
+			if n >= s.walSeq {
+				s.walSeq = n + 1
+			}
+			if rec.Len() == 0 {
+				// The segment's net effect is nothing (puts cancelled by
+				// deletes within the generation). Retire it now: nothing
+				// else ever would, and it would be re-replayed on every
+				// reopen.
+				os.Remove(seg)
+				continue
+			}
+			rec.Freeze()
+			s.frozen = append(s.frozen, &frozenMem{mem: rec, walPaths: []string{seg}})
+		}
+		s.memGen++
+		s.mem = memtable.New(shardSeed(e.opts.Seed, id, s.memGen))
+	}
+	return s, nil
+}
+
+// shardSeed derives a distinct deterministic skip-list seed per shard
+// and memtable generation.
+func shardSeed(base int64, id int, gen int64) int64 {
+	return base + int64(id)*1_000_003 + gen
+}
+
+// snapshot captures the shard's read sources under RLock, pinning every
+// table against concurrent retirement. The frozen and tables slices are
+// never mutated in place and frozen memtables are immutable, so the
+// caller reads the view lock-free — and must close it.
+func (s *shard) snapshot() shardView {
+	s.mu.RLock()
+	v := shardView{mem: s.mem, frozen: s.frozen, tables: s.tables}
+	for _, t := range v.tables {
+		t.acquire()
+	}
+	s.mu.RUnlock()
+	return v
+}
+
+// ensureWALLocked opens the active WAL segment on first use. Lazy
+// creation keeps idle shards from littering the directory. Caller holds
+// mu.
+func (s *shard) ensureWALLocked() error {
+	if s.eng.opts.DisableWAL || s.wal != nil {
+		return nil
+	}
+	w, err := openWAL(s.walPath(s.walSeq))
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	s.walSeq++
+	return nil
+}
+
+// putBatch is the per-shard half of Engine.PutBatch: one lock
+// acquisition and one WAL write for the whole slice.
+func (s *shard) putBatch(entries []row.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return errClosed
+	}
+	if err := s.checkBacklogLocked(); err != nil {
+		return err
+	}
+	if err := s.ensureWALLocked(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.appendBatch(entries); err != nil {
+			return err
+		}
+	}
+	for _, ent := range entries {
+		s.mem.Put(ent.PK, ent.CK, ent.Value)
+	}
+	if s.mem.Bytes() >= s.eng.opts.FlushThreshold {
+		s.freezeLocked()
+	}
+	return nil
+}
+
+// freezeLocked seals the active memtable and WAL segment and queues
+// them for the background worker, installing a fresh memtable. It
+// cannot fail: the commit point is a pointer swap, and the next WAL
+// segment is opened lazily by the next write. A no-op on an empty
+// memtable. Caller holds mu.
+func (s *shard) freezeLocked() {
+	if s.mem.Len() == 0 {
+		return
+	}
+	fm := &frozenMem{mem: s.mem}
+	if s.wal != nil {
+		// The sealed segment's records are already written; closing the
+		// descriptor cannot unwrite them, so a close error is not a
+		// freeze failure.
+		_ = s.wal.close()
+		fm.walPaths = []string{s.wal.path}
+		s.wal = nil
+	}
+	s.mem.Freeze()
+	s.memGen++
+	s.mem = memtable.New(shardSeed(s.eng.opts.Seed, s.id, s.memGen))
+	s.frozen = append(s.frozen, fm)
+	s.cond.Broadcast()
+}
+
+// waitDrainedLocked blocks until the shard has no queued or running
+// background work, returning early with any background error. Caller
+// holds mu.
+func (s *shard) waitDrainedLocked() error {
+	for len(s.frozen) > 0 || s.busy || s.compactReq {
+		if s.flushErr != nil {
+			return s.flushErr
+		}
+		if s.closing {
+			return errClosed
+		}
+		s.cond.Wait()
+	}
+	return s.flushErr
+}
+
+// worker is the shard's background goroutine: it turns frozen memtables
+// into SSTables, retires their WAL segments, and compacts the table
+// list — all without blocking the write path. On failure the frozen
+// memtable and its WAL segments stay intact (readers keep merging them,
+// recovery can replay them) and the worker waits for the next signal to
+// retry, surfacing the error through Flush/Close.
+func (s *shard) worker() {
+	defer s.eng.wg.Done()
+	s.mu.Lock()
+	for {
+		for !s.closing && !s.abandoned && len(s.frozen) == 0 && !s.compactReq {
+			s.cond.Wait()
+		}
+		if s.abandoned {
+			s.mu.Unlock()
+			return
+		}
+		switch {
+		case len(s.frozen) > 0:
+			fm := s.frozen[0]
+			seq := s.sstSeq
+			s.busy = true
+			s.mu.Unlock()
+			r, err := s.writeTable(fm.mem, seq)
+			s.mu.Lock()
+			s.busy = false
+			if s.abandoned {
+				if err == nil {
+					r.Close()
+					os.Remove(r.Path())
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			if err != nil {
+				s.flushErr = err
+				s.cond.Broadcast()
+				if s.closing {
+					s.mu.Unlock()
+					return
+				}
+				s.cond.Wait() // retry on the next signal, not in a hot loop
+				continue
+			}
+			s.tables = append(s.tables, newTableHandle(r))
+			s.sstSeq = seq + 1
+			s.frozen = s.frozen[1:]
+			s.flushErr = nil
+			s.eng.Metrics.Flushes.Add(1)
+			if len(s.tables) > s.eng.opts.CompactAfter {
+				s.compactReq = true
+			}
+			// Stay busy through the WAL cleanup so Flush callers observe
+			// a fully settled shard; readers already see the new table.
+			s.busy = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			// The cells are live in the SSTable; their WAL segments are
+			// done.
+			for _, p := range fm.walPaths {
+				os.Remove(p)
+			}
+			s.mu.Lock()
+			s.busy = false
+			s.cond.Broadcast()
+
+		case s.compactReq:
+			s.compactReq = false
+			if len(s.tables) <= 1 {
+				s.cond.Broadcast()
+				continue
+			}
+			inputs := append([]*tableHandle(nil), s.tables...)
+			seq := s.sstSeq
+			s.busy = true
+			s.mu.Unlock()
+			r, err := s.compactTables(inputs, seq)
+			s.mu.Lock()
+			s.busy = false
+			if s.abandoned {
+				if err == nil {
+					r.Close()
+					os.Remove(r.Path())
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			if err != nil {
+				s.flushErr = err
+				s.compactReq = true // keep the request for the retry
+				s.cond.Broadcast()
+				if s.closing {
+					s.mu.Unlock()
+					return
+				}
+				s.cond.Wait()
+				continue
+			}
+			// Swap exactly the inputs for the merged table; anything a
+			// concurrent flush appended after the snapshot stays. (The
+			// worker is today the only appender, so the tail is empty,
+			// but the swap doesn't rely on that.)
+			s.tables = append([]*tableHandle{newTableHandle(r)}, s.tables[len(inputs):]...)
+			s.sstSeq = seq + 1
+			s.eng.Metrics.Compactions.Add(1)
+			// Stay busy while the superseded tables are retired so
+			// Compact callers observe the final on-disk state (barring
+			// in-flight readers, which unlink the files as they finish).
+			s.busy = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			for _, t := range inputs {
+				t.drop.Store(true)
+				t.release()
+			}
+			s.mu.Lock()
+			s.busy = false
+			s.cond.Broadcast()
+
+		case s.closing:
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// writeTable streams a frozen memtable into sst-sNN-<seq>.db. The file
+// is built under a .tmp name and renamed into place only when complete,
+// so a crash or error never leaves a half-written table where Open
+// would load it. Called without the lock.
+func (s *shard) writeTable(mem *memtable.Memtable, seq int) (*sstable.Reader, error) {
+	if gate := s.eng.testFlushGate; gate != nil {
+		<-gate
+	}
+	if hook := s.eng.testFlushErr; hook != nil {
+		if err := hook(s.id); err != nil {
+			return nil, err
+		}
+	}
+	if s.isAbandoned() {
+		return nil, errClosed
+	}
+	path := s.sstPath(seq)
+	tmp := path + ".tmp"
+	w, err := sstable.NewWriter(tmp, sstable.WriterOptions{
+		ColumnIndexSize:    s.eng.opts.ColumnIndexSize,
+		ExpectedPartitions: len(mem.Partitions()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Stream the memtable in order, grouping cells per partition.
+	var curPK string
+	var cur []row.Cell
+	first := true
+	flushPart := func() error {
+		if first {
+			return nil
+		}
+		return w.AddPartition(curPK, cur)
+	}
+	err = mem.Each(func(ent memtable.Entry) error {
+		if first || ent.PK != curPK {
+			if err := flushPart(); err != nil {
+				return err
+			}
+			curPK, cur, first = ent.PK, nil, false
+		}
+		cur = append(cur, row.Cell{CK: ent.CK, Value: ent.Value})
+		return nil
+	})
+	if err == nil {
+		err = flushPart()
+	}
+	if err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	r, err := sstable.Open(path)
+	if err != nil {
+		// Leave no half-live state: without the reader the table must
+		// not exist, so the WAL segments keep covering the data.
+		os.Remove(path)
+		return nil, err
+	}
+	return r, nil
+}
+
+// compactTables merges the input tables into one, dropping shadowed
+// cell versions. Same .tmp-then-rename discipline as writeTable. Called
+// without the lock; the inputs stay readable throughout (sstable
+// readers are concurrency-safe, and the worker's list reference keeps
+// them open).
+func (s *shard) compactTables(inputs []*tableHandle, seq int) (*sstable.Reader, error) {
+	seen := map[string]bool{}
+	for _, t := range inputs {
+		for _, pk := range t.Partitions() {
+			seen[pk] = true
+		}
+	}
+	pks := make([]string, 0, len(seen))
+	for pk := range seen {
+		pks = append(pks, pk)
+	}
+	sort.Strings(pks)
+
+	path := s.sstPath(seq)
+	tmp := path + ".tmp"
+	w, err := sstable.NewWriter(tmp, sstable.WriterOptions{
+		ColumnIndexSize:    s.eng.opts.ColumnIndexSize,
+		ExpectedPartitions: len(pks),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pk := range pks {
+		sources := make([][]row.Cell, 0, len(inputs))
+		for _, t := range inputs {
+			cells, err := t.ReadSlice(pk, nil, nil)
+			if err == sstable.ErrNotFound {
+				continue
+			}
+			if err != nil {
+				w.Close()
+				os.Remove(tmp)
+				return nil, err
+			}
+			sources = append(sources, cells)
+		}
+		if err := w.AddPartition(pk, row.Merge(sources...)); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	r, err := sstable.Open(path)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return r, nil
+}
+
+func (s *shard) isAbandoned() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.abandoned
+}

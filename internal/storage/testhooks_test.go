@@ -1,0 +1,66 @@
+package storage
+
+import "scalekv/internal/sstable"
+
+// crashForTest simulates a kill -9: background workers are abandoned
+// before they can touch disk again, WAL files are closed without a
+// flush, and the engine is left unusable. The data directory afterwards
+// is exactly what a crashed process leaves behind, so reopening it
+// exercises per-shard WAL replay.
+func crashForTest(e *Engine) {
+	e.closed.Store(true)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.closing = true
+		s.abandoned = true
+		if s.wal != nil {
+			s.wal.sync()
+			s.wal.close()
+			s.wal = nil
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// cellOnlyInActiveMem reports whether (pk, ck) lives in the shard's
+// active memtable and nowhere else — the precondition under which
+// Delete fully hides the cell (the engine has no tombstones; frozen
+// memtables and SSTables are not masked).
+func cellOnlyInActiveMem(e *Engine, pk string, ck []byte) bool {
+	view := e.shardFor(pk).snapshot()
+	defer view.close()
+	if _, ok := view.mem.Get(pk, ck); !ok {
+		return false
+	}
+	for _, fm := range view.frozen {
+		if _, ok := fm.mem.Get(pk, ck); ok {
+			return false
+		}
+	}
+	for _, t := range view.tables {
+		if !t.MayContain(pk) {
+			continue
+		}
+		cells, err := t.ReadSlice(pk, ck, nextKey(ck))
+		if err == sstable.ErrNotFound {
+			continue
+		}
+		if err != nil || len(cells) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// frozenCount returns how many memtables are queued for flush across
+// all shards.
+func frozenCount(e *Engine) int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.RLock()
+		n += len(s.frozen)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -18,10 +18,12 @@ const (
 	walDelete = byte(2)
 )
 
-// wal is a minimal write-ahead log: length-prefixed, CRC-protected
-// records replayed into the memtable on open and truncated after each
-// flush. A torn tail (partial last record after a crash) is tolerated and
-// discarded, matching commit-log semantics.
+// wal is one write-ahead-log segment: length-prefixed, CRC-protected
+// records. Each shard appends to an active segment; freezing the
+// memtable seals the segment, and the background flusher deletes it
+// once the SSTable is durable. On open every surviving segment is
+// replayed, oldest first. A torn tail (partial last record after a
+// crash) is tolerated and discarded, matching commit-log semantics.
 type wal struct {
 	f    *os.File
 	path string
@@ -68,15 +70,6 @@ func appendRecord(out []byte, op byte, pk string, ck, value []byte) []byte {
 	binary.LittleEndian.PutUint32(out[start:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(out[start+4:], crc32.ChecksumIEEE(payload))
 	return out
-}
-
-// reset truncates the log after a successful memtable flush.
-func (w *wal) reset() error {
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	_, err := w.f.Seek(0, io.SeekStart)
-	return err
 }
 
 func (w *wal) sync() error  { return w.f.Sync() }

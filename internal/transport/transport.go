@@ -147,12 +147,20 @@ func (n *Network) Listen(addr string) (Listener, error) {
 	if _, exists := n.listeners[addr]; exists {
 		return nil, fmt.Errorf("transport: address %q in use", addr)
 	}
-	l := &pipeListener{addr: addr, accept: make(chan Conn, 16), network: n}
+	l := &pipeListener{
+		addr:    addr,
+		accept:  make(chan Conn, 16),
+		done:    make(chan struct{}),
+		network: n,
+	}
 	n.listeners[addr] = l
 	return l, nil
 }
 
-// Dial connects to a named endpoint.
+// Dial connects to a named endpoint. When the listener's accept backlog
+// is full — routine under heavy in-process fan-out — Dial blocks until
+// the listener drains it, failing only if the listener closes in the
+// meantime. A full backlog is backpressure, not an error.
 func (n *Network) Dial(addr string) (Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
@@ -164,8 +172,8 @@ func (n *Network) Dial(addr string) (Conn, error) {
 	select {
 	case l.accept <- server:
 		return client, nil
-	default:
-		return nil, fmt.Errorf("transport: accept backlog full at %q", addr)
+	case <-l.done:
+		return nil, fmt.Errorf("transport: dial %q: %w", addr, ErrClosed)
 	}
 }
 
@@ -178,22 +186,31 @@ func (n *Network) remove(addr string) {
 type pipeListener struct {
 	addr    string
 	accept  chan Conn
+	done    chan struct{} // closed by Close; releases blocked Dials and Accepts
 	network *Network
 	once    sync.Once
 }
 
 func (l *pipeListener) Accept() (Conn, error) {
-	c, ok := <-l.accept
-	if !ok {
-		return nil, ErrClosed
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		// Drain connections that were queued before the close; their
+		// dialers already hold the other end.
+		select {
+		case c := <-l.accept:
+			return c, nil
+		default:
+			return nil, ErrClosed
+		}
 	}
-	return c, nil
 }
 
 func (l *pipeListener) Close() error {
 	l.once.Do(func() {
 		l.network.remove(l.addr)
-		close(l.accept)
+		close(l.done)
 	})
 	return nil
 }

@@ -148,6 +148,73 @@ func TestMultipleClientsOneServer(t *testing.T) {
 	}
 }
 
+func TestDialBlocksOnFullBacklogUntilAccept(t *testing.T) {
+	// Fill the accept backlog without serving it, then issue one more
+	// Dial: it must block (not fail) until Accept drains a slot.
+	n := NewNetwork()
+	l, err := n.Listen("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 16; i++ { // backlog capacity
+		if _, err := n.Dial("busy"); err != nil {
+			t.Fatalf("dial %d within backlog failed: %v", i, err)
+		}
+	}
+	dialed := make(chan error, 1)
+	go func() {
+		_, err := n.Dial("busy")
+		dialed <- err
+	}()
+	select {
+	case err := <-dialed:
+		t.Fatalf("dial over full backlog returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked: the old code would have failed immediately with
+		// "accept backlog full".
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-dialed:
+		if err != nil {
+			t.Fatalf("dial after drain failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dial still blocked after Accept freed a slot")
+	}
+}
+
+func TestDialBlockedOnBacklogReleasedByClose(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("stuck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := n.Dial("stuck"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dialed := make(chan error, 1)
+	go func() {
+		_, err := n.Dial("stuck")
+		dialed <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the dial park on the backlog
+	l.Close()
+	select {
+	case err := <-dialed:
+		if err == nil {
+			t.Fatal("dial against a closed listener succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked dial not released by listener close")
+	}
+}
+
 func TestDialUnknownAddress(t *testing.T) {
 	n := NewNetwork()
 	if _, err := n.Dial("ghost"); err == nil {

@@ -148,8 +148,12 @@ func (*BatchPutRequest) TypeID() uint16 { return TypeBatchPutRequest }
 
 // BatchPutResponse acknowledges a batch write.
 type BatchPutResponse struct {
-	// Applied is how many entries were committed. On error it is 0: the
-	// engine applies a batch all-or-nothing up to the failure point.
+	// Applied is how many entries were committed: len(Entries) on
+	// success, 0 on error. A zero does NOT mean nothing was applied —
+	// the engine keeps any prefix that committed before the failure
+	// (same semantics as a partially completed sequence of Puts) — so
+	// Applied cannot be used to resume a failed load; re-send the whole
+	// batch (puts are idempotent, last write wins).
 	Applied uint64
 	ErrMsg  string
 }

@@ -89,7 +89,11 @@ type GetKey = wire.GetKey
 // MultiGetValue is one Client.MultiGet result.
 type MultiGetValue = wire.MultiGetValue
 
-// StorageOptions tunes each node's local engine.
+// StorageOptions tunes each node's local engine. Notably Shards sets
+// the engine's lock-stripe count (default 8): each shard runs its own
+// memtable, WAL segments, SSTables and background flusher, so writes
+// never wait on SSTable I/O and parallel readers don't contend on one
+// lock. Shards: 1 restores the single-stripe layout for ablations.
 type StorageOptions = storage.Options
 
 // Codec serializes wire messages; SlowCodec and FastCodec reproduce the
