@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine lint
+.PHONY: build test bench bench-engine bench-rebalance lint
 
 build:
 	go build ./...
@@ -18,6 +18,13 @@ bench:
 bench-engine:
 	go test -run=NONE -bench=EngineMixedParallel -benchtime=0.5s ./internal/storage/
 	go test -run=NONE -bench=ClusterMixedRW -benchtime=0.5s .
+
+# Elasticity canary: ingest + read throughput while a node joins, the
+# epoch-flip pause and the moved-cell count. Run on any change to the
+# hashring diff, the coordinator state machine, or the client's
+# epoch-retry/failover paths.
+bench-rebalance:
+	go test -run=NONE -bench=Rebalance -benchtime=3x .
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -10,8 +10,10 @@ package scalekv
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"scalekv/internal/cluster"
 	"scalekv/internal/figures"
@@ -321,6 +323,84 @@ func BenchmarkClusterMixedRW(b *testing.B) {
 	}
 	opsPerSec := float64(b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(opsPerSec, "ops/sec")
+}
+
+// BenchmarkRebalance measures the elastic topology end to end: a
+// 3-node cluster keeps ingesting and reading while a fourth node
+// joins. One iteration is one full join (preload, live traffic,
+// AddNode, verification-free teardown); the metrics report the
+// moved-cell count, the epoch-flip pause (the only client-visible
+// interruption) and the operation throughput sustained alongside the
+// join. `make bench-rebalance` runs this.
+func BenchmarkRebalance(b *testing.B) {
+	var lastReport *cluster.RebalanceReport
+	var lastOps int64
+	var lastJoin time.Duration
+	for i := 0; i < b.N; i++ {
+		cl, err := cluster.StartLocal(cluster.LocalOptions{
+			Nodes:   3,
+			Storage: storage.Options{DisableWAL: true, FlushThreshold: 256 << 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cl.Client()
+		key := func(i int) string { return fmt.Sprintf("cell-%06d", i) }
+		const preload, liveWrites = 6000, 2000
+		bt := c.NewBatcher(cluster.BatcherOptions{MaxEntries: 128})
+		for i := 0; i < preload; i++ {
+			if err := bt.Put(key(i), []byte("ck"), []byte(key(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bt.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		var stop atomic.Bool
+		var ops atomic.Int64
+		var trafficErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := preload; i < preload+liveWrites && !stop.Load(); i++ {
+				if err := c.Put(key(i), []byte("ck"), []byte(key(i))); err != nil {
+					trafficErr.CompareAndSwap(nil, &err)
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i = (i + 13) % preload {
+				if _, _, err := c.Get(key(i), []byte("ck")); err != nil {
+					trafficErr.CompareAndSwap(nil, &err)
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+		joinStart := time.Now()
+		_, report, err := cl.AddNode()
+		joinDur := time.Since(joinStart)
+		stop.Store(true)
+		wg.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if errp := trafficErr.Load(); errp != nil {
+			b.Fatalf("traffic failed during join: %v", *errp)
+		}
+		lastReport, lastOps, lastJoin = report, ops.Load(), joinDur
+		cl.Close()
+	}
+	if lastReport != nil {
+		b.ReportMetric(float64(lastReport.CellsStreamed), "cells_moved")
+		b.ReportMetric(float64(lastReport.FlipDuration.Microseconds()), "flip_pause_us")
+		b.ReportMetric(float64(lastOps)/lastJoin.Seconds(), "live_ops/sec")
+	}
 }
 
 // BenchmarkVerboseMaster ablates the Section V-B per-message extras on

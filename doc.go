@@ -67,6 +67,46 @@
 // Point reads batch the same way: Client.MultiGet answers many keys
 // with one round trip per involved node.
 //
+// # Elastic topology
+//
+// The cluster grows and shrinks under live traffic — the capability the
+// paper's "almost linear scalability" rests on. The token ring is an
+// epoch-versioned, immutable Topology: every membership change produces
+// a new topology (epoch+1) plus an ownership diff, the exact token
+// ranges whose owner changed. Cluster.AddNode and Cluster.RemoveNode
+// execute the change as a state machine:
+//
+//  1. snapshot the diff and pick a streaming source per range (the
+//     least-loaded old owner, by engine stats);
+//
+//  2. open the dual-write window — source nodes forward in-range
+//     writes to the new owner, so nothing lands behind the streamer;
+//
+//  3. stream each range, paged and token-ordered, out of the source
+//     engine (ScanRange) into the target;
+//
+//  4. flip the epoch on every node. Requests carry the epoch they were
+//     routed under; a node at a different epoch rejects them, and the
+//     client refreshes its ring (RingStateRequest) and re-routes —
+//     stale clients recover on their next operation;
+//
+//  5. retire the moved ranges at their old owners (DeleteRange).
+//
+// The whole sequence runs behind one call:
+//
+//	node, report, err := cl.AddNode() // under live traffic
+//	fmt.Println(report.CellsStreamed, report.FlipDuration)
+//
+// Reads are failover-aware independently of rebalancing: Get, MultiGet,
+// Scan and Count step to the next replica when a node is unreachable,
+// so with ReplicationFactor > 1 a dead primary degrades reads instead
+// of failing them.
+//
+// Durability is tunable per node via StorageOptions.Sync: SyncNever
+// (default; fsync only at segment close), SyncOnSeal (fsync when a
+// memtable freezes) or SyncAlways (fsync every write call; batches
+// amortize it to one fsync per batch).
+//
 // Model-driven design, as in the paper's Section VII:
 //
 //	sys := scalekv.PaperSystem()

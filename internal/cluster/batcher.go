@@ -61,9 +61,25 @@ type Batcher struct {
 }
 
 type nodeBuffer struct {
-	entries  []row.Entry
-	bytes    int
-	inflight []<-chan []byte // oldest first
+	entries []row.Entry
+	bytes   int
+	// epoch is the topology version the buffered entries were routed
+	// under. Batches are SENT with this epoch, not the current one: if
+	// the ring moved between buffering and flushing, the node's epoch
+	// check rejects the stale routing and the resend path re-routes —
+	// stamping the flush-time epoch instead would make a mis-routed
+	// batch look current and silently land cells on non-owners.
+	epoch    uint64
+	inflight []inflightBatch // oldest first
+}
+
+// inflightBatch keeps the entries of an unacknowledged batch so a
+// retryable failure (epoch flip mid-load, node handoff) can resend them
+// through the client's re-routing write path instead of failing the
+// load.
+type inflightBatch struct {
+	ch      <-chan []byte
+	entries []row.Entry
 }
 
 // NewBatcher creates a batcher over the client's ring and connections.
@@ -91,11 +107,20 @@ func (b *Batcher) Put(pk string, ck, value []byte) error {
 		CK:    append([]byte(nil), ck...),
 		Value: append([]byte(nil), value...),
 	}
-	for _, node := range b.c.ring.Replicas(pk, b.c.rf) {
+	t := b.c.topo()
+	for _, node := range t.Replicas(pk, b.c.rf) {
 		buf := b.pending[node]
 		if buf == nil {
 			buf = &nodeBuffer{}
 			b.pending[node] = buf
+		}
+		if len(buf.entries) > 0 && buf.epoch != t.Epoch() {
+			// The ring moved under the buffer; ship what was routed
+			// under the old epoch before mixing routings.
+			b.flushNode(node, buf)
+		}
+		if len(buf.entries) == 0 {
+			buf.epoch = t.Epoch()
 		}
 		buf.entries = append(buf.entries, e)
 		buf.bytes += e.Size()
@@ -115,23 +140,37 @@ func (b *Batcher) flushNode(node hashring.NodeID, buf *nodeBuffer) {
 	for len(buf.inflight) >= b.opts.MaxInFlight {
 		b.reapOldest(buf)
 	}
-	ch, err := b.c.goBatch(node, buf.entries)
+	entries := buf.entries
 	buf.entries = nil
 	buf.bytes = 0
+	ch, err := b.c.goBatch(node, entries, buf.epoch)
 	if err != nil {
+		if isRetryable(err) {
+			// The node may be mid-handoff or gone; the client's batch
+			// path refreshes the ring and re-routes.
+			err = b.c.PutBatch(entries)
+		}
 		b.setErr(err)
 		return
 	}
-	buf.inflight = append(buf.inflight, ch)
+	buf.inflight = append(buf.inflight, inflightBatch{ch: ch, entries: entries})
 	b.inflight++
 }
 
-// reapOldest blocks on the node's oldest in-flight batch.
+// reapOldest blocks on the node's oldest in-flight batch. A retryable
+// failure — wrong epoch after a topology flip, or a connection that
+// died during a handoff — resends the batch synchronously through
+// Client.PutBatch, which refreshes the ring and re-routes; only a real
+// storage error (or an exhausted resend) sticks.
 func (b *Batcher) reapOldest(buf *nodeBuffer) {
-	ch := buf.inflight[0]
+	ib := buf.inflight[0]
 	buf.inflight = buf.inflight[1:]
 	b.inflight--
-	b.setErr(b.c.reapPut(ch))
+	err := b.c.reapPut(ib.ch)
+	if err != nil && isRetryable(err) {
+		err = b.c.PutBatch(ib.entries)
+	}
+	b.setErr(err)
 }
 
 func (b *Batcher) setErr(err error) {

@@ -15,64 +15,399 @@ import (
 	"scalekv/internal/wire"
 )
 
-// Client routes operations to nodes by token ring and runs fan-out
-// queries. Safe for concurrent use.
+// maxRouteAttempts bounds how many times an operation re-routes after a
+// ring refresh (wrong-epoch rejection or unreachable replicas). Each
+// attempt already tries every replica, so this is a topology-churn
+// bound, not a per-node retry count.
+const maxRouteAttempts = 4
+
+// retryableError marks a failure the client may recover from by
+// refreshing its ring and re-routing: a wrong-epoch rejection or a
+// transport-level error (as opposed to a storage error the server
+// reported while healthy).
+type retryableError struct{ error }
+
+func (e retryableError) Unwrap() error { return e.error }
+
+func retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err}
+}
+
+func isRetryable(err error) bool {
+	var r retryableError
+	return errors.As(err, &r)
+}
+
+// Dialer opens a pipelined RPC connection to a node address; the client
+// uses it to reach members it learns about from ring refreshes.
+type Dialer func(addr string) (*transport.Client, error)
+
+// Client routes operations to nodes by an epoch-versioned token ring
+// and runs fan-out queries. Safe for concurrent use.
+//
+// The ring is mutable: every routed request carries the topology epoch
+// it was routed under, and a node that has moved to a different epoch
+// rejects it, making the client refresh its ring (RingStateRequest to
+// any reachable member) and re-route. New members are dialed lazily via
+// the Dialer; connections to departed members are closed on adoption.
+// Point reads (Get, MultiGet, Scan, Count) fail over to the next
+// replica when a node is unreachable, so a dead primary degrades
+// instead of failing every read — provided data was written with a
+// replication factor above one.
 type Client struct {
-	ring    *hashring.Ring
-	conns   map[hashring.NodeID]*transport.Client
-	codec   wire.Codec
-	rf      int
-	queryID uint64
+	codec  wire.Codec
+	rf     int
+	dialer Dialer
+
 	mu      sync.Mutex
+	ring    *hashring.Topology
+	conns   map[hashring.NodeID]*transport.Client
+	addrs   map[hashring.NodeID]string
+	queryID uint64
 }
 
 // ClientOptions configures a cluster client.
 type ClientOptions struct {
 	// Codec must match the nodes'. Defaults to FastCodec.
 	Codec wire.Codec
-	// ReplicationFactor is how many replicas each write lands on.
-	// 0 means 1.
+	// ReplicationFactor is how many replicas each write lands on — and
+	// how many replicas a read may fail over across. 0 means 1.
 	ReplicationFactor int
+	// Dialer lets the client open connections to nodes it discovers
+	// through ring refreshes (and re-dial nodes whose connection died).
+	// Nil restricts the client to the initial conns map.
+	Dialer Dialer
+	// Addrs seeds the member address book used with Dialer.
+	Addrs map[hashring.NodeID]string
 }
 
 // NewClient wraps per-node RPC clients with ring routing. The conns map
-// must contain one connection per ring node.
-func NewClient(ring *hashring.Ring, conns map[hashring.NodeID]*transport.Client, opts ClientOptions) *Client {
+// seeds the connection set; with a Dialer and address book the client
+// dials further members lazily.
+func NewClient(ring *hashring.Topology, conns map[hashring.NodeID]*transport.Client, opts ClientOptions) *Client {
 	if opts.Codec == nil {
 		opts.Codec = wire.FastCodec{}
 	}
 	if opts.ReplicationFactor <= 0 {
 		opts.ReplicationFactor = 1
 	}
-	return &Client{ring: ring, conns: conns, codec: opts.Codec, rf: opts.ReplicationFactor}
+	c := &Client{
+		codec:  opts.Codec,
+		rf:     opts.ReplicationFactor,
+		dialer: opts.Dialer,
+		ring:   ring,
+		conns:  make(map[hashring.NodeID]*transport.Client, len(conns)),
+		addrs:  make(map[hashring.NodeID]string, len(opts.Addrs)),
+	}
+	for id, conn := range conns {
+		c.conns[id] = conn
+	}
+	for id, a := range opts.Addrs {
+		c.addrs[id] = a
+	}
+	return c
 }
 
-// Ring exposes the routing ring (read-only use).
-func (c *Client) Ring() *hashring.Ring { return c.ring }
+// Ring exposes the current routing topology (read-only use).
+func (c *Client) Ring() *hashring.Topology { return c.topo() }
 
-func (c *Client) call(node hashring.NodeID, msg wire.Message) (wire.Message, error) {
-	conn, ok := c.conns[node]
-	if !ok {
+func (c *Client) topo() *hashring.Topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// conn returns the pipelined connection to a node, dialing lazily when
+// the client knows the node's address.
+func (c *Client) conn(node hashring.NodeID) (*transport.Client, error) {
+	c.mu.Lock()
+	if conn, ok := c.conns[node]; ok {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	addr, haveAddr := c.addrs[node]
+	dialer := c.dialer
+	c.mu.Unlock()
+	if !haveAddr || dialer == nil {
 		return nil, fmt.Errorf("cluster: no connection to node %d", node)
 	}
+	conn, err := dialer(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial node %d: %w", node, err)
+	}
+	c.mu.Lock()
+	if existing, ok := c.conns[node]; ok {
+		// Lost the dial race; keep the established winner.
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	c.conns[node] = conn
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// dropConn forgets a connection observed failing, so the next use
+// re-dials (the node may have restarted, or is gone from the ring).
+func (c *Client) dropConn(node hashring.NodeID, conn *transport.Client) {
+	c.mu.Lock()
+	if c.conns[node] == conn {
+		delete(c.conns, node)
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// callRaw sends one framed request to a node and waits for the reply.
+// Every returned error is transport-class.
+func (c *Client) callRaw(node hashring.NodeID, payload []byte) ([]byte, error) {
+	conn, err := c.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := conn.Call(payload)
+	if err != nil {
+		c.dropConn(node, conn)
+		return nil, err
+	}
+	return raw, nil
+}
+
+func (c *Client) call(node hashring.NodeID, msg wire.Message) (wire.Message, error) {
 	payload, err := c.codec.Marshal(msg)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := conn.Call(payload)
+	raw, err := c.callRaw(node, payload)
 	if err != nil {
 		return nil, err
 	}
-	return c.codec.Unmarshal(resp)
+	return c.codec.Unmarshal(raw)
 }
+
+// --- Ring refresh -----------------------------------------------------------
+
+// refreshRing asks every reachable member for its ring state and
+// adopts the highest epoch seen. Polling all members matters during an
+// epoch flip, which installs the new topology node by node: the member
+// that just rejected a request already has the new state, while another
+// may still answer with the old one — taking the maximum makes one
+// refresh suffice.
+func (c *Client) refreshRing() error {
+	payload, err := c.codec.Marshal(&wire.RingStateRequest{})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	conns := make(map[hashring.NodeID]*transport.Client, len(c.conns))
+	for id, conn := range c.conns {
+		conns[id] = conn
+	}
+	c.mu.Unlock()
+	lastErr := errors.New("cluster: no members reachable for ring refresh")
+	var best *wire.RingStateResponse
+	for id, conn := range conns {
+		raw, err := conn.Call(payload)
+		if err != nil {
+			c.dropConn(id, conn)
+			lastErr = err
+			continue
+		}
+		resp, err := c.codec.Unmarshal(raw)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rs, ok := resp.(*wire.RingStateResponse)
+		if !ok {
+			lastErr = fmt.Errorf("cluster: unexpected ring-state response %T", resp)
+			continue
+		}
+		if rs.ErrMsg != "" {
+			lastErr = errors.New(rs.ErrMsg)
+			continue
+		}
+		if best == nil || rs.Epoch > best.Epoch {
+			best = rs
+		}
+	}
+	if best == nil {
+		return lastErr
+	}
+	c.adoptRingState(best)
+	return nil
+}
+
+// adoptRingState rebuilds a topology from its wire form and installs it.
+func (c *Client) adoptRingState(rs *wire.RingStateResponse) {
+	ids := make([]hashring.NodeID, 0, len(rs.Nodes))
+	addrs := make(map[hashring.NodeID]string, len(rs.Nodes))
+	for _, n := range rs.Nodes {
+		id := hashring.NodeID(n.ID)
+		ids = append(ids, id)
+		if n.Addr != "" {
+			addrs[id] = n.Addr
+		}
+	}
+	c.adopt(hashring.FromNodes(rs.Epoch, ids, int(rs.Vnodes)), addrs)
+}
+
+// adopt installs a topology (unless it is older than the current one),
+// merges the address book, and closes connections to departed members.
+func (c *Client) adopt(topo *hashring.Topology, addrs map[hashring.NodeID]string) {
+	var closeConns []*transport.Client
+	c.mu.Lock()
+	if c.ring != nil && topo.Epoch() < c.ring.Epoch() {
+		c.mu.Unlock()
+		return
+	}
+	c.ring = topo
+	for id, a := range addrs {
+		c.addrs[id] = a
+	}
+	for id, conn := range c.conns {
+		if !topo.Contains(id) {
+			closeConns = append(closeConns, conn)
+			delete(c.conns, id)
+			delete(c.addrs, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, conn := range closeConns {
+		conn.Close()
+	}
+}
+
+// --- Writes -----------------------------------------------------------------
 
 // Put writes one cell to every replica of its partition. The replica
 // RPCs are issued concurrently over the pipelined transport, so a
 // replication factor above one costs one network round trip, not rf.
+// On a wrong-epoch rejection or an unreachable replica the client
+// refreshes its ring and retries the whole write (idempotent: last
+// write wins).
 func (c *Client) Put(pk string, ck, value []byte) error {
-	payload, err := c.codec.Marshal(&wire.PutRequest{PK: pk, CK: ck, Value: value})
+	var lastErr error
+	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
+		t := c.topo()
+		payload, err := c.codec.Marshal(&wire.PutRequest{PK: pk, CK: ck, Value: value, Epoch: t.Epoch()})
+		if err != nil {
+			return err
+		}
+		err = c.fanOutWrite(t.Replicas(pk, c.rf), payload)
+		if err == nil {
+			return nil
+		}
+		if !isRetryable(err) {
+			return err
+		}
+		lastErr = err
+		if rerr := c.refreshRing(); rerr != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+// fanOutWrite sends one pre-marshalled write to every listed node
+// concurrently and reaps all acknowledgements, returning the first
+// error (retryable errors win over nothing, but any ack error is
+// reported).
+func (c *Client) fanOutWrite(nodes []hashring.NodeID, payload []byte) error {
+	var firstErr error
+	record := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	chans := make([]<-chan []byte, 0, len(nodes))
+	for _, node := range nodes {
+		conn, err := c.conn(node)
+		if err != nil {
+			record(retryable(err))
+			continue
+		}
+		ch, err := conn.Go(payload)
+		if err != nil {
+			c.dropConn(node, conn)
+			record(retryable(err))
+			continue
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		record(c.reapPut(ch))
+	}
+	return firstErr
+}
+
+// reapPut waits for one in-flight put (single or batch) and converts its
+// response into an error. Wrong-epoch rejections and transport failures
+// come back retryable.
+func (c *Client) reapPut(ch <-chan []byte) error {
+	raw, ok := <-ch
+	if !ok {
+		return retryable(fmt.Errorf("cluster: put failed: %w", transport.ErrClosed))
+	}
+	resp, err := c.codec.Unmarshal(raw)
 	if err != nil {
 		return err
+	}
+	var errMsg string
+	switch pr := resp.(type) {
+	case *wire.PutResponse:
+		errMsg = pr.ErrMsg
+	case *wire.BatchPutResponse:
+		errMsg = pr.ErrMsg
+	default:
+		return fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+	if errMsg == "" {
+		return nil
+	}
+	if wire.IsWrongEpoch(errMsg) {
+		return retryable(errors.New(errMsg))
+	}
+	return errors.New(errMsg)
+}
+
+// PutBatch writes many cells in replica-aware batches: entries are
+// grouped by destination node across all replicas, each node receives
+// one BatchPutRequest, and all node RPCs fly concurrently. Equivalent to
+// a Put per entry, minus the per-cell round trips. Retryable failures
+// (epoch change, unreachable node) refresh the ring and resend the
+// whole batch — idempotent, same as Put.
+func (c *Client) PutBatch(entries []row.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
+		t := c.topo()
+		err := c.putBatchOnce(t, entries)
+		if err == nil {
+			return nil
+		}
+		if !isRetryable(err) {
+			return err
+		}
+		lastErr = err
+		if rerr := c.refreshRing(); rerr != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) putBatchOnce(t *hashring.Topology, entries []row.Entry) error {
+	perNode := make(map[hashring.NodeID][]row.Entry)
+	for _, e := range entries {
+		for _, node := range t.Replicas(e.PK, c.rf) {
+			perNode[node] = append(perNode[node], e)
+		}
 	}
 	var firstErr error
 	record := func(err error) {
@@ -80,14 +415,9 @@ func (c *Client) Put(pk string, ck, value []byte) error {
 			firstErr = err
 		}
 	}
-	chans := make([]<-chan []byte, 0, c.rf)
-	for _, node := range c.ring.Replicas(pk, c.rf) {
-		conn, ok := c.conns[node]
-		if !ok {
-			record(fmt.Errorf("cluster: no connection to node %d", node))
-			continue
-		}
-		ch, err := conn.Go(payload)
+	chans := make([]<-chan []byte, 0, len(perNode))
+	for node, batch := range perNode {
+		ch, err := c.goBatch(node, batch, t.Epoch())
 		if err != nil {
 			record(err)
 			continue
@@ -100,184 +430,253 @@ func (c *Client) Put(pk string, ck, value []byte) error {
 	return firstErr
 }
 
-// reapPut waits for one in-flight put (single or batch) and converts its
-// response into an error.
-func (c *Client) reapPut(ch <-chan []byte) error {
-	raw, ok := <-ch
-	if !ok {
-		return fmt.Errorf("cluster: put failed: %w", transport.ErrClosed)
-	}
-	resp, err := c.codec.Unmarshal(raw)
+// goBatch launches one asynchronous BatchPutRequest at a node. Errors
+// are transport-class and marked retryable.
+func (c *Client) goBatch(node hashring.NodeID, batch []row.Entry, epoch uint64) (<-chan []byte, error) {
+	conn, err := c.conn(node)
 	if err != nil {
-		return err
+		return nil, retryable(err)
 	}
-	switch pr := resp.(type) {
-	case *wire.PutResponse:
-		if pr.ErrMsg != "" {
-			return errors.New(pr.ErrMsg)
-		}
-	case *wire.BatchPutResponse:
-		if pr.ErrMsg != "" {
-			return errors.New(pr.ErrMsg)
-		}
-	default:
-		return fmt.Errorf("cluster: unexpected response %T", resp)
-	}
-	return nil
-}
-
-// PutBatch writes many cells in replica-aware batches: entries are
-// grouped by destination node across all replicas, each node receives
-// one BatchPutRequest, and all node RPCs fly concurrently. Equivalent to
-// a Put per entry, minus the per-cell round trips.
-func (c *Client) PutBatch(entries []row.Entry) error {
-	if len(entries) == 0 {
-		return nil
-	}
-	perNode := make(map[hashring.NodeID][]row.Entry)
-	for _, e := range entries {
-		for _, node := range c.ring.Replicas(e.PK, c.rf) {
-			perNode[node] = append(perNode[node], e)
-		}
-	}
-	var firstErr error
-	chans := make([]<-chan []byte, 0, len(perNode))
-	for node, batch := range perNode {
-		ch, err := c.goBatch(node, batch)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		chans = append(chans, ch)
-	}
-	for _, ch := range chans {
-		if err := c.reapPut(ch); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
-}
-
-// goBatch launches one asynchronous BatchPutRequest at a node.
-func (c *Client) goBatch(node hashring.NodeID, batch []row.Entry) (<-chan []byte, error) {
-	conn, ok := c.conns[node]
-	if !ok {
-		return nil, fmt.Errorf("cluster: no connection to node %d", node)
-	}
-	payload, err := c.codec.Marshal(&wire.BatchPutRequest{Entries: batch})
+	payload, err := c.codec.Marshal(&wire.BatchPutRequest{Entries: batch, Epoch: epoch})
 	if err != nil {
 		return nil, err
 	}
-	return conn.Go(payload)
+	ch, err := conn.Go(payload)
+	if err != nil {
+		c.dropConn(node, conn)
+		return nil, retryable(err)
+	}
+	return ch, nil
 }
 
-// MultiGet reads many cells, one MultiGetRequest per involved primary,
-// all in flight at once. Results are positional: out[i] answers keys[i].
-func (c *Client) MultiGet(keys []wire.GetKey) ([]wire.MultiGetValue, error) {
-	out := make([]wire.MultiGetValue, len(keys))
-	perNode := make(map[hashring.NodeID][]int) // original index of each routed key
-	for i, k := range keys {
-		node := c.ring.Primary(k.PK)
-		perNode[node] = append(perNode[node], i)
-	}
-	type pendingGet struct {
-		idx []int
-		ch  <-chan []byte
-	}
-	pending := make([]pendingGet, 0, len(perNode))
-	for node, idx := range perNode {
-		conn, ok := c.conns[node]
-		if !ok {
-			return nil, fmt.Errorf("cluster: no connection to node %d", node)
-		}
-		sub := make([]wire.GetKey, len(idx))
-		for j, i := range idx {
-			sub[j] = keys[i]
-		}
-		payload, err := c.codec.Marshal(&wire.MultiGetRequest{Keys: sub})
+// --- Reads ------------------------------------------------------------------
+
+// routedRead is the shared failover/refresh loop behind Get, Scan and
+// Count: marshal the request for the current epoch, walk the
+// partition's replicas on transport errors (a dead primary degrades a
+// read instead of killing it — requires rf > 1 to have somewhere to
+// go), and on a wrong-epoch rejection refresh the ring and re-route.
+// build must stamp the given epoch into the request; errMsgOf extracts
+// the typed response's error message. Sharing the loop keeps the three
+// read paths from diverging on retry or epoch policy.
+func routedRead[R wire.Message](c *Client, pk string, build func(epoch uint64) wire.Message, errMsgOf func(R) string) (R, error) {
+	var zero R
+	var lastErr error
+	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
+		t := c.topo()
+		payload, err := c.codec.Marshal(build(t.Epoch()))
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		ch, err := conn.Go(payload)
-		if err != nil {
-			return nil, err
+		for _, node := range t.Replicas(pk, c.rf) {
+			raw, err := c.callRaw(node, payload)
+			if err != nil {
+				lastErr = retryable(err)
+				continue // unreachable replica: try the next one
+			}
+			resp, err := c.codec.Unmarshal(raw)
+			if err != nil {
+				return zero, err
+			}
+			tr, ok := resp.(R)
+			if !ok {
+				return zero, fmt.Errorf("cluster: unexpected response %T", resp)
+			}
+			if msg := errMsgOf(tr); msg != "" {
+				if wire.IsWrongEpoch(msg) {
+					lastErr = retryable(errors.New(msg))
+					break // stale ring: refresh, then re-route
+				}
+				return zero, errors.New(msg)
+			}
+			return tr, nil
 		}
-		pending = append(pending, pendingGet{idx: idx, ch: ch})
-	}
-	for _, p := range pending {
-		raw, ok := <-p.ch
-		if !ok {
-			return nil, fmt.Errorf("cluster: multi-get failed: %w", transport.ErrClosed)
-		}
-		resp, err := c.codec.Unmarshal(raw)
-		if err != nil {
-			return nil, err
-		}
-		mr, ok := resp.(*wire.MultiGetResponse)
-		if !ok {
-			return nil, fmt.Errorf("cluster: unexpected response %T", resp)
-		}
-		if mr.ErrMsg != "" {
-			return nil, errors.New(mr.ErrMsg)
-		}
-		if len(mr.Values) != len(p.idx) {
-			return nil, fmt.Errorf("cluster: multi-get returned %d values for %d keys", len(mr.Values), len(p.idx))
-		}
-		for j, i := range p.idx {
-			out[i] = mr.Values[j]
+		if err := c.refreshRing(); err != nil {
+			break
 		}
 	}
-	return out, nil
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: read %q: no replicas", pk)
+	}
+	return zero, lastErr
 }
 
-// Get reads one cell from the partition's primary replica.
+// Get reads one cell, starting at the partition's primary replica and
+// failing over across replicas; wrong-epoch rejections refresh the
+// ring and re-route (see routedRead).
 func (c *Client) Get(pk string, ck []byte) ([]byte, bool, error) {
-	resp, err := c.call(c.ring.Primary(pk), &wire.GetRequest{PK: pk, CK: ck})
+	resp, err := routedRead(c, pk,
+		func(epoch uint64) wire.Message { return &wire.GetRequest{PK: pk, CK: ck, Epoch: epoch} },
+		func(r *wire.GetResponse) string { return r.ErrMsg })
 	if err != nil {
 		return nil, false, err
 	}
-	gr, ok := resp.(*wire.GetResponse)
-	if !ok {
-		return nil, false, fmt.Errorf("cluster: unexpected response %T", resp)
-	}
-	if gr.ErrMsg != "" {
-		return nil, false, errors.New(gr.ErrMsg)
-	}
-	return gr.Value, gr.Found, nil
+	return resp.Value, resp.Found, nil
 }
 
-// Scan reads a clustering range of a partition from its primary.
+// MultiGet reads many cells, one MultiGetRequest per involved node, all
+// in flight at once. Results are positional: out[i] answers keys[i].
+// Keys on an unreachable node are retried against their next replica;
+// a wrong-epoch rejection refreshes the ring and re-routes the
+// remaining keys.
+func (c *Client) MultiGet(keys []wire.GetKey) ([]wire.MultiGetValue, error) {
+	out := make([]wire.MultiGetValue, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	resolved := make([]bool, len(keys))
+	replicaTry := make([]int, len(keys)) // per-key failover offset
+	remaining := len(keys)
+	var lastErr error
+
+	for attempt := 0; attempt < maxRouteAttempts && remaining > 0; attempt++ {
+		t := c.topo()
+		perNode := make(map[hashring.NodeID][]int)
+		for i, k := range keys {
+			if resolved[i] {
+				continue
+			}
+			replicas := t.Replicas(k.PK, c.rf)
+			if len(replicas) == 0 {
+				return nil, fmt.Errorf("cluster: multi-get %q: empty ring", k.PK)
+			}
+			node := replicas[replicaTry[i]%len(replicas)]
+			perNode[node] = append(perNode[node], i)
+		}
+
+		type pendingGet struct {
+			node hashring.NodeID
+			idx  []int
+			ch   <-chan []byte
+			err  error
+		}
+		pending := make([]pendingGet, 0, len(perNode))
+		for node, idx := range perNode {
+			p := pendingGet{node: node, idx: idx}
+			sub := make([]wire.GetKey, len(idx))
+			for j, i := range idx {
+				sub[j] = keys[i]
+			}
+			conn, err := c.conn(node)
+			if err != nil {
+				p.err = err
+			} else {
+				payload, merr := c.codec.Marshal(&wire.MultiGetRequest{Keys: sub, Epoch: t.Epoch()})
+				if merr != nil {
+					return nil, merr
+				}
+				p.ch, err = conn.Go(payload)
+				if err != nil {
+					c.dropConn(node, conn)
+					p.err = err
+				}
+			}
+			pending = append(pending, p)
+		}
+
+		needRefresh := false
+		for _, p := range pending {
+			failNode := func(err error) {
+				lastErr = retryable(err)
+				for _, i := range p.idx {
+					replicaTry[i]++ // fail over to the next replica
+				}
+			}
+			if p.err != nil {
+				failNode(p.err)
+				continue
+			}
+			raw, ok := <-p.ch
+			if !ok {
+				failNode(fmt.Errorf("cluster: multi-get failed: %w", transport.ErrClosed))
+				continue
+			}
+			resp, err := c.codec.Unmarshal(raw)
+			if err != nil {
+				return nil, err
+			}
+			mr, ok := resp.(*wire.MultiGetResponse)
+			if !ok {
+				return nil, fmt.Errorf("cluster: unexpected response %T", resp)
+			}
+			if mr.ErrMsg != "" {
+				if wire.IsWrongEpoch(mr.ErrMsg) {
+					lastErr = retryable(errors.New(mr.ErrMsg))
+					needRefresh = true
+					continue // keys stay unresolved; re-routed next attempt
+				}
+				return nil, errors.New(mr.ErrMsg)
+			}
+			if len(mr.Values) != len(p.idx) {
+				return nil, fmt.Errorf("cluster: multi-get returned %d values for %d keys", len(mr.Values), len(p.idx))
+			}
+			for j, i := range p.idx {
+				out[i] = mr.Values[j]
+				if !resolved[i] {
+					resolved[i] = true
+					remaining--
+				}
+			}
+		}
+		if remaining == 0 {
+			return out, nil
+		}
+		if needRefresh || lastErr != nil {
+			if err := c.refreshRing(); err != nil && needRefresh {
+				return nil, lastErr
+			}
+		}
+	}
+	if remaining == 0 {
+		return out, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: multi-get incomplete")
+	}
+	return nil, lastErr
+}
+
+// Scan reads a clustering range of a partition, failing over across
+// replicas like Get.
 func (c *Client) Scan(pk string, from, to []byte) ([]row.Cell, error) {
-	resp, err := c.call(c.ring.Primary(pk), &wire.ScanRequest{PK: pk, From: from, To: to})
+	resp, err := routedRead(c, pk,
+		func(epoch uint64) wire.Message { return &wire.ScanRequest{PK: pk, From: from, To: to, Epoch: epoch} },
+		func(r *wire.ScanResponse) string { return r.ErrMsg })
 	if err != nil {
 		return nil, err
 	}
-	sr, ok := resp.(*wire.ScanResponse)
-	if !ok {
-		return nil, fmt.Errorf("cluster: unexpected response %T", resp)
-	}
-	if sr.ErrMsg != "" {
-		return nil, errors.New(sr.ErrMsg)
-	}
-	return sr.Cells, nil
+	return resp.Cells, nil
 }
 
-// Count aggregates one partition (count by type) on its primary.
+// Count aggregates one partition (count by type), with the same
+// replica failover and epoch protection as Get — without the epoch a
+// stale client would silently count zero at a node that retired the
+// partition after a rebalance. (CountAll's fan-out stays unversioned
+// and accounts failures per request instead.)
 func (c *Client) Count(pk string) (map[uint8]uint64, uint64, error) {
-	resp, err := c.call(c.ring.Primary(pk), &wire.CountRequest{PK: pk})
+	resp, err := routedRead(c, pk,
+		func(epoch uint64) wire.Message { return &wire.CountRequest{PK: pk, Epoch: epoch} },
+		func(r *wire.CountResponse) string { return r.ErrMsg })
 	if err != nil {
 		return nil, 0, err
 	}
-	cr, ok := resp.(*wire.CountResponse)
+	return resp.Counts, resp.Elements, nil
+}
+
+// NodeStats fetches one member's engine-load summary.
+func (c *Client) NodeStats(node hashring.NodeID) (*wire.NodeStatsResponse, error) {
+	resp, err := c.call(node, &wire.NodeStatsRequest{})
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := resp.(*wire.NodeStatsResponse)
 	if !ok {
-		return nil, 0, fmt.Errorf("cluster: unexpected response %T", resp)
+		return nil, fmt.Errorf("cluster: unexpected response %T", resp)
 	}
-	if cr.ErrMsg != "" {
-		return nil, 0, errors.New(cr.ErrMsg)
+	if ns.ErrMsg != "" {
+		return nil, errors.New(ns.ErrMsg)
 	}
-	return cr.Counts, cr.Elements, nil
+	return ns, nil
 }
 
 // MasterOptions tunes the fan-out aggregation — the knobs the paper's
@@ -321,11 +720,15 @@ type MasterResult struct {
 // CountAll runs the paper's prototype query: the master knows every key
 // up front, issues one CountRequest per key to the key's primary node,
 // and aggregates the responses. Stage timings land in the result trace.
+// The topology is snapshotted once at query start; requests are
+// epoch-agnostic, so a concurrent rebalance shows up as per-request
+// errors (counted), not a failed query.
 func (c *Client) CountAll(pks []string, opts MasterOptions) (*MasterResult, error) {
 	logSink := opts.LogSink
 	if logSink == nil {
 		logSink = io.Discard
 	}
+	topo := c.topo()
 	c.mu.Lock()
 	c.queryID++
 	qid := c.queryID
@@ -348,12 +751,12 @@ func (c *Client) CountAll(pks []string, opts MasterOptions) (*MasterResult, erro
 	// Send phase: strictly sequential, like the paper's master loop.
 	issued := make(map[hashring.NodeID]int)
 	for i, pk := range pks {
-		node := c.ring.Primary(pk)
+		node := topo.Primary(pk)
 		if opts.SelectReplica {
 			// Least-issued replica: the master-side balancing the
 			// paper's Section VII analyses (and whose per-message cost
 			// bounds the cluster size the master can feed).
-			for _, cand := range c.ring.Replicas(pk, c.rf) {
+			for _, cand := range topo.Replicas(pk, c.rf) {
 				if issued[cand] < issued[node] {
 					node = cand
 				}
@@ -382,9 +785,9 @@ func (c *Client) CountAll(pks []string, opts MasterOptions) (*MasterResult, erro
 				return nil, errors.New("cluster: integrity check mismatch")
 			}
 		}
-		conn, ok := c.conns[node]
-		if !ok {
-			return nil, fmt.Errorf("cluster: no connection to node %d", node)
+		conn, err := c.conn(node)
+		if err != nil {
+			return nil, err
 		}
 		ch, err := conn.Go(payload)
 		if err != nil {
@@ -440,7 +843,14 @@ func (c *Client) CountAll(pks []string, opts MasterOptions) (*MasterResult, erro
 
 // Close closes every node connection.
 func (c *Client) Close() {
+	c.mu.Lock()
+	conns := make([]*transport.Client, 0, len(c.conns))
 	for _, conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.conns = make(map[hashring.NodeID]*transport.Client)
+	c.mu.Unlock()
+	for _, conn := range conns {
 		conn.Close()
 	}
 }

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"time"
+
+	"scalekv/internal/hashring"
+	"scalekv/internal/transport"
+	"scalekv/internal/wire"
+)
+
+// This file is the elastic-topology control plane: a coordinator that
+// executes node joins and leaves as a state machine while the cluster
+// serves traffic. The paper's scalability argument rests on exactly
+// this capability — "just add nodes" — and the state machine is what
+// makes adding nodes safe under load:
+//
+//  1. snapshot — diff the old topology against the new one into token
+//     RangeMoves (hashring.AddNode/RemoveNode), and pick a streaming
+//     source for each move (the least-loaded old owner, by NodeStats).
+//  2. dual-write window — every source node starts forwarding accepted
+//     writes that fall in a moving range to the range's new owner, so
+//     writes landing behind the streamer's cursor are not lost.
+//  3. stream — page each range out of its source (StreamRangeRequest)
+//     and into its target (BatchPutRequest at epoch 0) until drained.
+//  4. flip — install the new topology on every node and the cluster
+//     client. From here, requests routed with the old epoch are
+//     rejected and clients re-route after a ring refresh.
+//  5. retire — close the dual-write window and DeleteRange the moved
+//     ranges on their old owners (or, for a leave, stop the node).
+//
+// Known window: the store has no per-cell timestamps, so a cell
+// overwritten during the stream can race its forwarded copy on the
+// target (last arrival wins). Distinct-key ingest — the paper's
+// workloads — is unaffected; versioned cells are future work.
+
+// streamPageCells is the page size the coordinator streams ranges with.
+const streamPageCells = 4096
+
+// RebalanceReport summarizes one topology change.
+type RebalanceReport struct {
+	// Node is the joining or leaving member.
+	Node hashring.NodeID
+	// Epoch is the topology version after the flip.
+	Epoch uint64
+	// Moves is the ownership diff that was streamed.
+	Moves []hashring.RangeMove
+	// CellsStreamed counts cells copied to new owners.
+	CellsStreamed int64
+	// CellsRetired counts cells purged from old owners after the flip.
+	CellsRetired int64
+	// RetireErr records a retirement failure, if any. Retirement is
+	// garbage collection: once the epoch has flipped the change is
+	// committed and correct (nothing routes to the old owners' copies),
+	// so a failed DeleteRange leaves dead data on disk, not a broken
+	// cluster — it is reported here instead of failing the join.
+	RetireErr string
+	// Pages counts stream round trips.
+	Pages int
+	// StreamDuration is the data-movement wall time (traffic keeps
+	// flowing throughout).
+	StreamDuration time.Duration
+	// FlipDuration is the epoch-flip wall time — the only window in
+	// which clients see wrong-epoch rejections and must refresh.
+	FlipDuration time.Duration
+}
+
+// coordinator drives one topology change; it owns a scratch set of
+// connections (streaming, forwarding, retirement) that it closes when
+// done, leaving the client's data-path connections alone.
+type coordinator struct {
+	c     *Cluster
+	codec wire.Codec
+	conns map[string]*transport.Client // by address
+}
+
+func (c *Cluster) newCoordinator() *coordinator {
+	return &coordinator{c: c, codec: c.opts.Codec, conns: make(map[string]*transport.Client)}
+}
+
+func (co *coordinator) close() {
+	for _, conn := range co.conns {
+		conn.Close()
+	}
+}
+
+// conn dials (and caches) a scratch connection to an address.
+func (co *coordinator) conn(addr string) (*transport.Client, error) {
+	if conn, ok := co.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := co.c.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	co.conns[addr] = conn
+	return conn, nil
+}
+
+// call runs one synchronous RPC over a scratch connection.
+func (co *coordinator) call(addr string, msg wire.Message) (wire.Message, error) {
+	conn, err := co.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := co.codec.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := conn.Call(payload)
+	if err != nil {
+		return nil, err
+	}
+	return co.codec.Unmarshal(raw)
+}
+
+// AddNode grows the cluster by one member under live traffic: it boots
+// a fresh node, streams the token ranges the new member owns from their
+// current owners, flips every node and the client to the new epoch, and
+// retires the moved ranges at their old owners. In-flight client
+// operations never fail: writes during the stream are dual-written,
+// and requests routed with the old epoch after the flip are rejected
+// with a wrong-epoch error that makes the client refresh and re-route.
+func (c *Cluster) AddNode() (*Node, *RebalanceReport, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+
+	old := c.client.topo()
+	var id hashring.NodeID
+	for _, n := range old.Nodes() {
+		if n >= id {
+			id = n + 1
+		}
+	}
+
+	next, moves, err := old.AddNode(id, c.opts.ReplicationFactor)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Boot the new member at the old epoch; clients do not route to it
+	// until the flip, and the streamer writes at epoch 0.
+	l, addr, err := c.listen(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := StartNode(l, NodeOptions{
+		ID:            id,
+		Dir:           filepath.Join(c.baseDir, fmt.Sprintf("node-%d", id)),
+		DBParallelism: c.opts.DBParallelism,
+		Storage:       c.opts.Storage,
+		Codec:         c.opts.Codec,
+		Topology:      old,
+		Addrs:         c.addrs,
+	})
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+
+	addrsNext := copyAddrs(c.addrs)
+	addrsNext[id] = addr
+
+	// The joining node takes part in the flip (it must validate the new
+	// epoch once clients route to it), so it joins the node list before
+	// the state machine runs.
+	c.Nodes = append(c.Nodes, node)
+	report, err := c.rebalance(old, next, moves, addrsNext, id)
+	if err != nil {
+		c.Nodes = c.Nodes[:len(c.Nodes)-1]
+		node.Close()
+		return nil, nil, err
+	}
+	c.addrs = addrsNext
+	return node, report, nil
+}
+
+// RemoveNode drains a member and shrinks the cluster: the leaving
+// node's ranges are streamed to their new owners (with the dual-write
+// window covering concurrent writes), the topology flips, and the node
+// is shut down. Its storage directory is left on disk.
+func (c *Cluster) RemoveNode(id hashring.NodeID) (*RebalanceReport, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+
+	old := c.client.topo()
+	next, moves, err := old.RemoveNode(id, c.opts.ReplicationFactor)
+	if err != nil {
+		return nil, err
+	}
+	var victim *Node
+	for _, n := range c.Nodes {
+		if n.ID() == id {
+			victim = n
+		}
+	}
+	if victim == nil {
+		return nil, fmt.Errorf("cluster: node %d not running here", id)
+	}
+
+	addrsNext := copyAddrs(c.addrs)
+	delete(addrsNext, id)
+
+	report, err := c.rebalance(old, next, moves, addrsNext, id)
+	if err != nil {
+		return nil, err
+	}
+
+	// The member is drained and unrouted; stop it. The flip already
+	// committed the leave, so the bookkeeping happens regardless of how
+	// the shutdown goes — keeping a closed node listed would poison
+	// FlushAll, Close and the next topology change. A Close error (e.g.
+	// a latched background-flush failure surfacing in the final drain)
+	// is reported after the fact.
+	survivors := make([]*Node, 0, len(c.Nodes)-1)
+	for _, n := range c.Nodes {
+		if n.ID() != id {
+			survivors = append(survivors, n)
+		}
+	}
+	closeErr := victim.Close()
+	c.Nodes = survivors
+	c.addrs = addrsNext
+	return report, closeErr
+}
+
+// rebalance runs the shared join/leave state machine after the
+// membership diff is known: source selection, dual-write, streaming,
+// flip, retirement. addrsNext must already reflect the new membership.
+func (c *Cluster) rebalance(old, next *hashring.Topology, moves []hashring.RangeMove, addrsNext map[hashring.NodeID]string, subject hashring.NodeID) (*RebalanceReport, error) {
+	co := c.newCoordinator()
+	defer co.close()
+
+	report := &RebalanceReport{Node: subject, Epoch: next.Epoch()}
+
+	// 1. Source selection: at rf > 1 a range has several old owners;
+	// stream from the one with the smallest write backlog so a node
+	// busy flushing is not also the one serving the handoff.
+	moves = co.pickSources(old, moves, c.opts.ReplicationFactor)
+	report.Moves = moves
+
+	// 2. Dual-write window. Each source node forwards in-range writes
+	// to their new owners from here on; combined with streaming from a
+	// snapshot-consistent engine, nothing written during the move is
+	// lost.
+	sources := make(map[hashring.NodeID][]hashring.RangeMove)
+	for _, m := range moves {
+		sources[m.From] = append(sources[m.From], m)
+	}
+	migrating := make([]*Node, 0, len(sources))
+	defer func() {
+		for _, n := range migrating {
+			n.EndMigration()
+		}
+	}()
+	for _, n := range c.Nodes {
+		ms, ok := sources[n.ID()]
+		if !ok {
+			continue
+		}
+		fwd := make(map[hashring.NodeID]*transport.Client)
+		for _, m := range ms {
+			if _, ok := fwd[m.To]; ok {
+				continue
+			}
+			conn, err := co.conn(addrsNext[m.To])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: dial forward target %d: %w", m.To, err)
+			}
+			fwd[m.To] = conn
+		}
+		n.BeginMigration(ms, fwd)
+		migrating = append(migrating, n)
+	}
+
+	// 3. Stream every move, paged, source -> target, at epoch 0.
+	streamStart := time.Now()
+	for _, m := range moves {
+		streamed, pages, err := co.streamRange(m, c.addrs[m.From], addrsNext[m.To])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stream %v: %w", m, err)
+		}
+		report.CellsStreamed += streamed
+		report.Pages += pages
+	}
+	report.StreamDuration = time.Since(streamStart)
+
+	// 4. Flip. Every node validates against the new epoch from here;
+	// the client adopts it directly (remote clients learn via
+	// wrong-epoch rejections and RingStateRequest).
+	flipStart := time.Now()
+	for _, n := range c.Nodes {
+		n.SetRingState(next, addrsNext)
+	}
+	c.client.adopt(next, addrsNext)
+	c.Ring = next
+	report.FlipDuration = time.Since(flipStart)
+
+	// 5. Close the dual-write window (writes now route to the new
+	// owners directly) and retire moved data at its old owners. The
+	// subject of a leave is skipped: it is about to be shut down. The
+	// flip committed the change, so retirement failures degrade to
+	// unreclaimed disk space (reported, not fatal) — failing here would
+	// tear down a node the whole cluster now routes to.
+	for _, n := range migrating {
+		n.EndMigration()
+	}
+	migrating = nil
+	recordRetireErr := func(err error) {
+		if report.RetireErr == "" {
+			report.RetireErr = err.Error()
+		}
+	}
+	for _, r := range hashring.Retirements(old, next, c.opts.ReplicationFactor) {
+		if !next.Contains(r.Node) {
+			continue
+		}
+		resp, err := co.call(addrsNext[r.Node], &wire.DeleteRangeRequest{Lo: r.Lo, Hi: r.Hi})
+		if err != nil {
+			recordRetireErr(fmt.Errorf("retire [%d,%d] at node %d: %w", r.Lo, r.Hi, r.Node, err))
+			continue
+		}
+		dr, ok := resp.(*wire.DeleteRangeResponse)
+		if !ok {
+			recordRetireErr(fmt.Errorf("unexpected retire response %T", resp))
+			continue
+		}
+		if dr.ErrMsg != "" {
+			recordRetireErr(fmt.Errorf("retire [%d,%d] at node %d: %s", r.Lo, r.Hi, r.Node, dr.ErrMsg))
+			continue
+		}
+		report.CellsRetired += int64(dr.Removed)
+	}
+	return report, nil
+}
+
+// pickSources re-points each move's source at the least write-loaded
+// old owner of its range (NodeStats), when replication offers a choice.
+func (co *coordinator) pickSources(old *hashring.Topology, moves []hashring.RangeMove, rf int) []hashring.RangeMove {
+	if rf <= 1 {
+		return moves
+	}
+	backlog := make(map[hashring.NodeID]int64)
+	load := func(id hashring.NodeID) int64 {
+		if v, ok := backlog[id]; ok {
+			return v
+		}
+		var total int64 = math.MaxInt64
+		if resp, err := co.c.client.NodeStats(id); err == nil {
+			total = 0
+			for _, sh := range resp.Shards {
+				total += int64(sh.MemtableBytes)
+			}
+		}
+		backlog[id] = total
+		return total
+	}
+	out := make([]hashring.RangeMove, len(moves))
+	for i, m := range moves {
+		best := m.From
+		for _, cand := range old.OwnersAt(m.Hi, rf) {
+			if cand == m.To {
+				continue
+			}
+			if load(cand) < load(best) {
+				best = cand
+			}
+		}
+		m.From = best
+		out[i] = m
+	}
+	return out
+}
+
+// streamRange pages one token range from source to target at epoch 0.
+func (co *coordinator) streamRange(m hashring.RangeMove, srcAddr, dstAddr string) (cells int64, pages int, err error) {
+	afterTok, afterPK := int64(math.MinInt64), ""
+	for {
+		resp, err := co.call(srcAddr, &wire.StreamRangeRequest{
+			Lo: m.Lo, Hi: m.Hi,
+			AfterToken: afterTok, AfterPK: afterPK,
+			MaxCells: streamPageCells,
+		})
+		if err != nil {
+			return cells, pages, err
+		}
+		page, ok := resp.(*wire.StreamRangeResponse)
+		if !ok {
+			return cells, pages, fmt.Errorf("cluster: unexpected stream response %T", resp)
+		}
+		if page.ErrMsg != "" {
+			return cells, pages, errors.New(page.ErrMsg)
+		}
+		pages++
+		if len(page.Entries) > 0 {
+			wresp, err := co.call(dstAddr, &wire.BatchPutRequest{Entries: page.Entries}) // epoch 0
+			if err != nil {
+				return cells, pages, err
+			}
+			bp, ok := wresp.(*wire.BatchPutResponse)
+			if !ok {
+				return cells, pages, fmt.Errorf("cluster: unexpected stream-write response %T", wresp)
+			}
+			if bp.ErrMsg != "" {
+				return cells, pages, errors.New(bp.ErrMsg)
+			}
+			cells += int64(len(page.Entries))
+		}
+		if !page.More {
+			return cells, pages, nil
+		}
+		afterTok, afterPK = page.NextToken, page.NextPK
+	}
+}

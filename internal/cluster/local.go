@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"scalekv/internal/hashring"
 	"scalekv/internal/storage"
@@ -31,14 +32,32 @@ type LocalOptions struct {
 }
 
 // Cluster is a set of in-process nodes plus a connected client —
-// everything the examples and integration tests need in one value.
+// everything the examples and integration tests need in one value. It
+// is also the topology authority: AddNode and RemoveNode grow and
+// shrink the ring while the cluster serves traffic.
+//
+// Ring is the topology the cluster was started with; it is updated at
+// each epoch flip. Concurrent readers should use Topology() instead of
+// the field.
 type Cluster struct {
-	Ring    *hashring.Ring
+	Ring    *hashring.Topology
 	Nodes   []*Node
 	network *transport.Network
 	client  *Client
 	baseDir string
 	ownsDir bool
+	opts    LocalOptions
+
+	// listen opens a server endpoint for a node, returning the listener
+	// and its dialable address; dial opens a client connection. Both are
+	// set per transport flavour (in-process fabric or TCP loopback).
+	listen func(id hashring.NodeID) (transport.Listener, string, error)
+	dial   Dialer
+	// addrs is the member address book at the current epoch.
+	addrs map[hashring.NodeID]string
+
+	// topoMu serializes topology changes (one join/leave at a time).
+	topoMu sync.Mutex
 }
 
 // StartLocal boots an n-node cluster inside the current process,
@@ -47,6 +66,45 @@ func StartLocal(opts LocalOptions) (*Cluster, error) {
 	if opts.Nodes < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", opts.Nodes)
 	}
+	network := transport.NewNetwork()
+	return start(opts, func(id hashring.NodeID) (transport.Listener, string, error) {
+		addr := fmt.Sprintf("node-%d", id)
+		l, err := network.Listen(addr)
+		return l, addr, err
+	}, func(addr string) (*transport.Client, error) {
+		conn, err := network.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewClient(conn), nil
+	}, network)
+}
+
+// StartTCP boots an n-node cluster on loopback TCP — the same topology
+// StartLocal builds in-process, but with real sockets, so integration
+// tests and demos exercise the full network path.
+func StartTCP(opts LocalOptions) (*Cluster, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", opts.Nodes)
+	}
+	return start(opts, func(id hashring.NodeID) (transport.Listener, string, error) {
+		l, err := transport.ListenTCP("127.0.0.1:0", 0)
+		if err != nil {
+			return nil, "", err
+		}
+		return l, l.Addr(), nil
+	}, func(addr string) (*transport.Client, error) {
+		conn, err := transport.DialTCP(addr, 0)
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewClient(conn), nil
+	}, nil)
+}
+
+// start is the shared bring-up: topology, per-node listeners and
+// engines, and a ring-routed client with lazy dialing.
+func start(opts LocalOptions, listen func(hashring.NodeID) (transport.Listener, string, error), dial Dialer, network *transport.Network) (*Cluster, error) {
 	if opts.Vnodes <= 0 {
 		opts.Vnodes = 64
 	}
@@ -65,47 +123,69 @@ func StartLocal(opts LocalOptions) (*Cluster, error) {
 
 	c := &Cluster{
 		Ring:    hashring.New(opts.Nodes, opts.Vnodes),
-		network: transport.NewNetwork(),
+		network: network,
 		baseDir: opts.BaseDir,
 		ownsDir: ownsDir,
+		opts:    opts,
+		listen:  listen,
+		dial:    dial,
 	}
-	conns := make(map[hashring.NodeID]*transport.Client, opts.Nodes)
+
+	// Open every listener first so the address book is complete before
+	// any node starts serving RingStateRequests.
+	listeners := make([]transport.Listener, opts.Nodes)
+	addrs := make(map[hashring.NodeID]string, opts.Nodes)
 	for i := 0; i < opts.Nodes; i++ {
-		addr := fmt.Sprintf("node-%d", i)
-		l, err := c.network.Listen(addr)
+		l, addr, err := listen(hashring.NodeID(i))
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		node, err := StartNode(l, NodeOptions{
-			ID:            hashring.NodeID(i),
-			Dir:           filepath.Join(opts.BaseDir, addr),
+		listeners[i] = l
+		addrs[hashring.NodeID(i)] = addr
+	}
+
+	conns := make(map[hashring.NodeID]*transport.Client, opts.Nodes)
+	for i := 0; i < opts.Nodes; i++ {
+		id := hashring.NodeID(i)
+		node, err := StartNode(listeners[i], NodeOptions{
+			ID:            id,
+			Dir:           filepath.Join(opts.BaseDir, fmt.Sprintf("node-%d", i)),
 			DBParallelism: opts.DBParallelism,
 			Storage:       opts.Storage,
 			Codec:         opts.Codec,
+			Topology:      c.Ring,
+			Addrs:         addrs,
 		})
 		if err != nil {
+			listeners[i].Close()
 			c.Close()
 			return nil, err
 		}
 		c.Nodes = append(c.Nodes, node)
 
-		conn, err := c.network.Dial(addr)
+		conn, err := dial(addrs[id])
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		conns[hashring.NodeID(i)] = transport.NewClient(conn)
+		conns[id] = conn
 	}
+	c.addrs = addrs
 	c.client = NewClient(c.Ring, conns, ClientOptions{
 		Codec:             opts.Codec,
 		ReplicationFactor: opts.ReplicationFactor,
+		Dialer:            dial,
+		Addrs:             addrs,
 	})
 	return c, nil
 }
 
 // Client returns the cluster's connected client.
 func (c *Cluster) Client() *Client { return c.client }
+
+// Topology returns the current epoch-stamped ring.
+func (c *Cluster) Topology() *hashring.Topology { return c.client.topo() }
 
 // FlushAll flushes every node's memtable to disk, so subsequent reads
 // exercise the SSTable path.
@@ -116,66 +196,6 @@ func (c *Cluster) FlushAll() error {
 		}
 	}
 	return nil
-}
-
-// StartTCP boots an n-node cluster on loopback TCP — the same topology
-// StartLocal builds in-process, but with real sockets, so integration
-// tests and demos exercise the full network path.
-func StartTCP(opts LocalOptions) (*Cluster, error) {
-	if opts.Nodes < 1 {
-		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", opts.Nodes)
-	}
-	if opts.Vnodes <= 0 {
-		opts.Vnodes = 64
-	}
-	if opts.Codec == nil {
-		opts.Codec = wire.FastCodec{}
-	}
-	ownsDir := false
-	if opts.BaseDir == "" {
-		dir, err := os.MkdirTemp("", "scalekv-tcp-")
-		if err != nil {
-			return nil, err
-		}
-		opts.BaseDir = dir
-		ownsDir = true
-	}
-	c := &Cluster{
-		Ring:    hashring.New(opts.Nodes, opts.Vnodes),
-		baseDir: opts.BaseDir,
-		ownsDir: ownsDir,
-	}
-	conns := make(map[hashring.NodeID]*transport.Client, opts.Nodes)
-	for i := 0; i < opts.Nodes; i++ {
-		l, err := transport.ListenTCP("127.0.0.1:0", 0)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		node, err := StartNode(l, NodeOptions{
-			ID:            hashring.NodeID(i),
-			Dir:           filepath.Join(opts.BaseDir, fmt.Sprintf("node-%d", i)),
-			DBParallelism: opts.DBParallelism,
-			Storage:       opts.Storage,
-			Codec:         opts.Codec,
-		})
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.Nodes = append(c.Nodes, node)
-		conn, err := transport.DialTCP(l.Addr(), 0)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		conns[hashring.NodeID(i)] = transport.NewClient(conn)
-	}
-	c.client = NewClient(c.Ring, conns, ClientOptions{
-		Codec:             opts.Codec,
-		ReplicationFactor: opts.ReplicationFactor,
-	})
-	return c, nil
 }
 
 // Close stops the client, every node, and removes owned directories.

@@ -1,7 +1,9 @@
 // Package cluster assembles the real (non-simulated) distributed store:
-// nodes that wrap a local storage engine behind the wire protocol, and a
-// client that routes by token ring, replicates writes, and runs the
-// paper's master-style fan-out queries with Aeneas stage tracing.
+// nodes that wrap a local storage engine behind the wire protocol, a
+// client that routes by an epoch-versioned token ring (replicating
+// writes, failing reads over to the next replica, refreshing its ring
+// when a node reports a newer epoch), and a coordinator that grows and
+// shrinks the cluster while it serves traffic.
 //
 // Everything runs on the transport package, so a cluster can live inside
 // one process (tests, examples) or span TCP endpoints (cmd/kvstore).
@@ -9,10 +11,12 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"scalekv/internal/hashring"
+	"scalekv/internal/row"
 	"scalekv/internal/storage"
 	"scalekv/internal/transport"
 	"scalekv/internal/wire"
@@ -32,6 +36,29 @@ type NodeOptions struct {
 	// Codec decodes requests and encodes responses. Defaults to
 	// FastCodec.
 	Codec wire.Codec
+	// Topology is the node's initial routing epoch state. Nil runs the
+	// node unversioned: every request is accepted regardless of epoch
+	// (standalone nodes, raw-wire tests).
+	Topology *hashring.Topology
+	// Addrs maps ring members to dialable transport addresses, served
+	// back to clients in RingStateResponse.
+	Addrs map[hashring.NodeID]string
+}
+
+// ringState is the node's atomically-swapped view of the cluster:
+// topology plus the member address book (immutable once installed).
+type ringState struct {
+	topo  *hashring.Topology
+	addrs map[hashring.NodeID]string
+}
+
+// migration is the node's dual-write window during a rebalance: every
+// accepted write whose token falls in one of the moves (sourced at this
+// node) is synchronously forwarded to the new owner, so writes landing
+// behind the range streamer's cursor are not lost.
+type migration struct {
+	moves []hashring.RangeMove
+	conns map[hashring.NodeID]*transport.Client
 }
 
 // Node is one running store server.
@@ -41,9 +68,18 @@ type Node struct {
 	server  *transport.Server
 	codec   wire.Codec
 	dbSlots chan struct{}
+
+	ring atomic.Pointer[ringState]
+
+	migMu sync.RWMutex
+	mig   *migration
+
 	// Served counts database requests processed, for Figure 2's
 	// ops-per-node chart.
 	Served atomic.Int64
+	// ForwardedWrites counts dual-write forwards issued during
+	// migrations — observability for rebalance tests and demos.
+	ForwardedWrites atomic.Int64
 }
 
 // StartNode opens the node's engine and serves the wire protocol on the
@@ -67,8 +103,19 @@ func StartNode(l transport.Listener, opts NodeOptions) (*Node, error) {
 		codec:   opts.Codec,
 		dbSlots: make(chan struct{}, opts.DBParallelism),
 	}
+	if opts.Topology != nil {
+		n.ring.Store(&ringState{topo: opts.Topology, addrs: copyAddrs(opts.Addrs)})
+	}
 	n.server = transport.Serve(l, n.handle)
 	return n, nil
+}
+
+func copyAddrs(in map[hashring.NodeID]string) map[hashring.NodeID]string {
+	out := make(map[hashring.NodeID]string, len(in))
+	for id, a := range in {
+		out[id] = a
+	}
+	return out
 }
 
 // Engine exposes the node's local storage for test assertions and bulk
@@ -77,6 +124,45 @@ func (n *Node) Engine() *storage.Engine { return n.engine }
 
 // ID returns the node's ring identity.
 func (n *Node) ID() hashring.NodeID { return n.id }
+
+// Topology returns the node's current ring view (nil if unversioned).
+func (n *Node) Topology() *hashring.Topology {
+	if rs := n.ring.Load(); rs != nil {
+		return rs.topo
+	}
+	return nil
+}
+
+// SetRingState installs a new topology and address book — the epoch
+// flip of a join/leave. Requests decoded after the swap are validated
+// against the new epoch.
+func (n *Node) SetRingState(t *hashring.Topology, addrs map[hashring.NodeID]string) {
+	n.ring.Store(&ringState{topo: t, addrs: copyAddrs(addrs)})
+}
+
+// BeginMigration opens the dual-write window: until EndMigration, every
+// accepted write whose partition token falls in one of the moves is
+// also forwarded (synchronously, before the ack) to the move's target
+// over the supplied connections. The caller owns the connections and
+// must keep them alive until EndMigration returns.
+func (n *Node) BeginMigration(moves []hashring.RangeMove, conns map[hashring.NodeID]*transport.Client) {
+	relevant := make([]hashring.RangeMove, 0, len(moves))
+	for _, m := range moves {
+		if m.From == n.id {
+			relevant = append(relevant, m)
+		}
+	}
+	n.migMu.Lock()
+	n.mig = &migration{moves: relevant, conns: conns}
+	n.migMu.Unlock()
+}
+
+// EndMigration closes the dual-write window.
+func (n *Node) EndMigration() {
+	n.migMu.Lock()
+	n.mig = nil
+	n.migMu.Unlock()
+}
 
 // Close stops serving, then closes the engine. Ordering matters: the
 // server quiesces first so no new writes race the shutdown, and
@@ -89,6 +175,76 @@ func (n *Node) Close() error {
 	return n.engine.Close()
 }
 
+// epochCheck validates a request's routing epoch against the node's
+// topology. Requests at epoch 0 (unversioned traffic: admin tooling,
+// the rebalance streamer, raw-wire tests) always pass, as does every
+// request when the node runs without a topology.
+func (n *Node) epochCheck(reqEpoch uint64) (errMsg string) {
+	if reqEpoch == 0 {
+		return ""
+	}
+	rs := n.ring.Load()
+	if rs == nil {
+		return ""
+	}
+	if have := rs.topo.Epoch(); have != reqEpoch {
+		return wire.WrongEpochMsg(have, reqEpoch)
+	}
+	return ""
+}
+
+// forwardEntries implements the dual-write window for a write that was
+// just applied locally: entries whose token falls in a migrating range
+// sourced here are batched per target and sent synchronously. An error
+// fails the write (the client retries; puts are idempotent).
+func (n *Node) forwardEntries(entries []row.Entry) error {
+	n.migMu.RLock()
+	mig := n.mig
+	n.migMu.RUnlock()
+	if mig == nil {
+		return nil
+	}
+	var perTarget map[hashring.NodeID][]row.Entry
+	for _, ent := range entries {
+		tok := hashring.Token(ent.PK)
+		for _, m := range mig.moves {
+			if m.Contains(tok) {
+				if perTarget == nil {
+					perTarget = make(map[hashring.NodeID][]row.Entry)
+				}
+				perTarget[m.To] = append(perTarget[m.To], ent)
+			}
+		}
+	}
+	for target, batch := range perTarget {
+		conn, ok := mig.conns[target]
+		if !ok {
+			return fmt.Errorf("cluster: node %d: no forward conn to %d", n.id, target)
+		}
+		payload, err := n.codec.Marshal(&wire.BatchPutRequest{Entries: batch}) // epoch 0: wildcard
+		if err != nil {
+			return err
+		}
+		raw, err := conn.Call(payload)
+		if err != nil {
+			return fmt.Errorf("cluster: node %d: forward to %d: %w", n.id, target, err)
+		}
+		resp, err := n.codec.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		bp, ok := resp.(*wire.BatchPutResponse)
+		if !ok {
+			return fmt.Errorf("cluster: node %d: unexpected forward response %T", n.id, resp)
+		}
+		if bp.ErrMsg != "" {
+			return fmt.Errorf("cluster: node %d: forward to %d: %s", n.id, target, bp.ErrMsg)
+		}
+		n.ForwardedWrites.Add(int64(len(batch)))
+	}
+	return nil
+}
+
 func (n *Node) handle(payload []byte) []byte {
 	recv := time.Now()
 	msg, err := n.codec.Unmarshal(payload)
@@ -97,18 +253,47 @@ func (n *Node) handle(payload []byte) []byte {
 	}
 	switch req := msg.(type) {
 	case *wire.PutRequest:
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.PutResponse{ErrMsg: msg})
+		}
 		if err := n.engine.Put(req.PK, req.CK, req.Value); err != nil {
 			return n.encode(&wire.PutResponse{ErrMsg: err.Error()})
 		}
+		if err := n.forwardEntries([]row.Entry{{PK: req.PK, CK: req.CK, Value: req.Value}}); err != nil {
+			return n.encode(&wire.PutResponse{ErrMsg: err.Error()})
+		}
+		// Re-check after applying: if the epoch flipped while this write
+		// was in flight, the dual-write window may already be closed and
+		// the forward skipped — acking would lose the write for readers
+		// at the new topology. Rejecting makes the client retry at the
+		// new epoch; the local copy is at worst idempotent garbage.
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.PutResponse{ErrMsg: msg})
+		}
 		return n.encode(&wire.PutResponse{})
 	case *wire.BatchPutRequest:
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.BatchPutResponse{ErrMsg: msg})
+		}
 		// Group commit: the whole batch lands in one engine call — one
 		// lock acquisition, one WAL write — instead of len(Entries) RPCs.
 		if err := n.engine.PutBatch(req.Entries); err != nil {
 			return n.encode(&wire.BatchPutResponse{ErrMsg: err.Error()})
 		}
+		if err := n.forwardEntries(req.Entries); err != nil {
+			return n.encode(&wire.BatchPutResponse{ErrMsg: err.Error()})
+		}
+		// Same post-apply re-check as PutRequest: an epoch flip racing
+		// this batch must surface as a retryable rejection, not an ack
+		// that skipped the dual-write window.
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.BatchPutResponse{ErrMsg: msg})
+		}
 		return n.encode(&wire.BatchPutResponse{Applied: uint64(len(req.Entries))})
 	case *wire.MultiGetRequest:
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.MultiGetResponse{ErrMsg: msg})
+		}
 		resp := &wire.MultiGetResponse{Values: make([]wire.MultiGetValue, len(req.Keys))}
 		for i, k := range req.Keys {
 			v, found, err := n.engine.Get(k.PK, k.CK)
@@ -120,6 +305,9 @@ func (n *Node) handle(payload []byte) []byte {
 		}
 		return n.encode(resp)
 	case *wire.GetRequest:
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.GetResponse{ErrMsg: msg})
+		}
 		v, found, err := n.engine.Get(req.PK, req.CK)
 		resp := &wire.GetResponse{Value: v, Found: found}
 		if err != nil {
@@ -127,6 +315,9 @@ func (n *Node) handle(payload []byte) []byte {
 		}
 		return n.encode(resp)
 	case *wire.ScanRequest:
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.ScanResponse{ErrMsg: msg})
+		}
 		cells, err := n.engine.ScanPartition(req.PK, req.From, req.To)
 		resp := &wire.ScanResponse{Cells: cells}
 		if err != nil {
@@ -134,10 +325,78 @@ func (n *Node) handle(payload []byte) []byte {
 		}
 		return n.encode(resp)
 	case *wire.CountRequest:
+		if msg := n.epochCheck(req.Epoch); msg != "" {
+			return n.encode(&wire.CountResponse{QueryID: req.QueryID, Seq: req.Seq, ErrMsg: msg})
+		}
 		return n.encode(n.count(req, recv))
+	case *wire.RingStateRequest:
+		return n.encode(n.ringStateResponse())
+	case *wire.StreamRangeRequest:
+		return n.encode(n.streamRange(req))
+	case *wire.DeleteRangeRequest:
+		removed, err := n.engine.DeleteRange(req.Lo, req.Hi)
+		resp := &wire.DeleteRangeResponse{Removed: uint64(removed)}
+		if err != nil {
+			resp.ErrMsg = err.Error()
+		}
+		return n.encode(resp)
+	case *wire.NodeStatsRequest:
+		return n.encode(n.statsResponse())
 	default:
 		return n.encode(&wire.CountResponse{ErrMsg: fmt.Sprintf("unexpected message %T", msg)})
 	}
+}
+
+// ringStateResponse serializes the node's current topology view.
+func (n *Node) ringStateResponse() *wire.RingStateResponse {
+	rs := n.ring.Load()
+	if rs == nil {
+		return &wire.RingStateResponse{ErrMsg: "node has no topology"}
+	}
+	resp := &wire.RingStateResponse{
+		Epoch:  rs.topo.Epoch(),
+		Vnodes: uint32(rs.topo.Vnodes()),
+	}
+	for _, id := range rs.topo.Nodes() {
+		resp.Nodes = append(resp.Nodes, wire.NodeAddr{ID: uint32(id), Addr: rs.addrs[id]})
+	}
+	return resp
+}
+
+// streamRange serves one page of a range handoff out of the engine.
+func (n *Node) streamRange(req *wire.StreamRangeRequest) *wire.StreamRangeResponse {
+	maxCells := int(req.MaxCells)
+	page, err := n.engine.ScanRange(req.Lo, req.Hi, req.AfterToken, req.AfterPK, maxCells)
+	if err != nil {
+		return &wire.StreamRangeResponse{ErrMsg: err.Error()}
+	}
+	return &wire.StreamRangeResponse{
+		Entries:   page.Entries,
+		NextToken: page.NextToken,
+		NextPK:    page.NextPK,
+		More:      page.More,
+	}
+}
+
+// statsResponse summarizes the engine for the coordinator.
+func (n *Node) statsResponse() *wire.NodeStatsResponse {
+	st := n.engine.Stats()
+	resp := &wire.NodeStatsResponse{
+		FlushedBytes:    uint64(st.FlushedBytes),
+		FlushCount:      uint64(st.Flushes),
+		CompactionCount: uint64(st.Compactions),
+	}
+	if rs := n.ring.Load(); rs != nil {
+		resp.Epoch = rs.topo.Epoch()
+	}
+	for _, sh := range st.Shards {
+		resp.Shards = append(resp.Shards, wire.ShardStat{
+			MemtableBytes:   uint64(sh.MemtableBytes + sh.FrozenBytes),
+			FrozenMemtables: uint32(sh.FrozenMemtables),
+			SSTables:        uint32(sh.SSTables),
+		})
+	}
+	return resp
 }
 
 // count serves the paper's aggregation: count elements by type (the

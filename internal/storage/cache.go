@@ -78,6 +78,22 @@ func (c *rowCache) invalidate(pk string) {
 	}
 }
 
+// invalidateTokenRange drops every cached partition whose token falls
+// in the inclusive [lo, hi] — DeleteRange's cache coherence.
+func (c *rowCache) invalidateTokenRange(lo, hi int64) {
+	if c == nil || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for pk, el := range c.items {
+		if tok := PartitionToken(pk); lo <= tok && tok <= hi {
+			c.ll.Remove(el)
+			delete(c.items, pk)
+		}
+	}
+}
+
 func (c *rowCache) stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0

@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"sort"
+
+	"scalekv/internal/murmur"
+	"scalekv/internal/row"
+)
+
+// This file is the engine's token-range surface: the primitives the
+// cluster's elastic rebalancing is built on. ScanRange pages a node's
+// share of a token range out for streaming to a new owner; DeleteRange
+// retires the data once the handoff is complete; Stats exposes the
+// per-shard backlog the coordinator uses to pick streaming sources.
+
+// PartitionToken returns the ring token of a partition key — the same
+// murmur token the hashring places the key by, so engine range scans
+// and ring ownership diffs agree exactly.
+func PartitionToken(pk string) int64 {
+	return murmur.Token([]byte(pk))
+}
+
+// RangePage is one page of a token-range scan. Entries are grouped by
+// partition and ordered by (token, partition key); pages always hold
+// whole partitions.
+type RangePage struct {
+	Entries []row.Entry
+	// NextToken/NextPK form the cursor for the next page when More is
+	// set: pass them as ScanRange's afterToken/afterPK.
+	NextToken int64
+	NextPK    string
+	More      bool
+}
+
+// DefaultRangePageCells bounds a ScanRange page when the caller passes
+// maxCells <= 0.
+const DefaultRangePageCells = 4096
+
+// rangePK is one partition selected for a range operation.
+type rangePK struct {
+	token int64
+	pk    string
+}
+
+// partitionsInRange collects the engine's partitions whose token falls
+// in the inclusive [lo, hi], strictly after the (afterToken, afterPK)
+// cursor, ordered by (token, pk). Wrap-around ranges are the caller's
+// concern: ownership diffs split them at the int64 boundary, so lo <= hi
+// always holds here.
+func (e *Engine) partitionsInRange(lo, hi, afterToken int64, afterPK string) []rangePK {
+	var out []rangePK
+	for _, pk := range e.Partitions() {
+		tok := PartitionToken(pk)
+		if tok < lo || tok > hi {
+			continue
+		}
+		if tok < afterToken || (tok == afterToken && pk <= afterPK) {
+			continue
+		}
+		out = append(out, rangePK{token: tok, pk: pk})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].token != out[b].token {
+			return out[a].token < out[b].token
+		}
+		return out[a].pk < out[b].pk
+	})
+	return out
+}
+
+// ScanRange returns one page of the cells whose partition token falls
+// in the inclusive token range [lo, hi], in (token, partition key)
+// order — the streaming source of a range handoff. The page holds whole
+// partitions and at least one partition regardless of maxCells; when
+// More is set, resume with the returned cursor. Pass (math.MinInt64, "")
+// to start. The scan merges memtables and SSTables exactly like a
+// partition read, and tolerates concurrent writes: partitions created
+// behind the cursor are the dual-write window's concern, not the
+// streamer's.
+func (e *Engine) ScanRange(lo, hi, afterToken int64, afterPK string, maxCells int) (*RangePage, error) {
+	if maxCells <= 0 {
+		maxCells = DefaultRangePageCells
+	}
+	page := &RangePage{}
+	selected := e.partitionsInRange(lo, hi, afterToken, afterPK)
+	for i, p := range selected {
+		cells, err := e.ScanPartition(p.pk, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			page.Entries = append(page.Entries, row.Entry{PK: p.pk, CK: c.CK, Value: c.Value})
+		}
+		page.NextToken, page.NextPK = p.token, p.pk
+		if len(page.Entries) >= maxCells && i < len(selected)-1 {
+			page.More = true
+			break
+		}
+	}
+	return page, nil
+}
+
+// CountRange returns the number of live cells whose partition token
+// falls in [lo, hi] — the verification half of a handoff (source and
+// target counts must line up before the source range is retired).
+func (e *Engine) CountRange(lo, hi int64) (int64, error) {
+	var n int64
+	for _, pk := range e.Partitions() {
+		tok := PartitionToken(pk)
+		if tok < lo || tok > hi {
+			continue
+		}
+		c, err := e.CountPartition(pk)
+		if err != nil {
+			return 0, err
+		}
+		n += int64(c)
+	}
+	return n, nil
+}
+
+// DeleteRange removes every partition whose token falls in the
+// inclusive [lo, hi] from the engine and returns the number of cells
+// dropped. It is the retirement half of a range handoff: each shard's
+// active memtable is frozen, the background worker drains the frozen
+// queue into SSTables, and a purge compaction then rewrites the shard's
+// tables without the in-range partitions. Blocking (it waits for the
+// purge) but off the write path — concurrent writes to out-of-range
+// partitions proceed; in-range writes racing a purge land in the fresh
+// active memtable and survive, so callers must fence writers first
+// (the coordinator flips the topology epoch before retiring).
+func (e *Engine) DeleteRange(lo, hi int64) (int64, error) {
+	// Advancing the generation first fences concurrent reads out of the
+	// row cache: a read that started before the purge skips its cache
+	// fill when it sees the generation moved.
+	e.purgeGen.Add(1)
+	var removed int64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			return removed, errClosed
+		}
+		s.freezeLocked()
+		req := &purgeRange{lo: lo, hi: hi}
+		s.purges = append(s.purges, req)
+		// Give the worker a fresh chance after an earlier background
+		// failure; this wait reports the retry's own outcome.
+		s.flushErr = nil
+		s.cond.Broadcast()
+		err := s.waitDrainedLocked()
+		s.mu.Unlock()
+		if err != nil {
+			return removed, err
+		}
+		removed += req.removed
+	}
+	// Advance the generation again now that the purge is complete: a
+	// read that loaded the generation mid-purge (and may have merged
+	// the doomed tables) must also fail its cache-fill check, or it
+	// would resurrect the partition right after the invalidation below.
+	e.purgeGen.Add(1)
+	e.cache().invalidateTokenRange(lo, hi)
+	return removed, nil
+}
+
+// ShardStats is one shard's load snapshot.
+type ShardStats struct {
+	Shard           int
+	MemtableBytes   int64
+	FrozenMemtables int
+	FrozenBytes     int64
+	SSTables        int
+}
+
+// EngineStats aggregates the engine's physical state: per-shard write
+// backlog plus cumulative background work. The cluster coordinator
+// reads it to pick streaming sources; tests read it to verify
+// retirement.
+type EngineStats struct {
+	Shards          []ShardStats
+	MemtableBytes   int64 // active + frozen payload across shards
+	FrozenMemtables int
+	SSTables        int
+	FlushedBytes    int64
+	Flushes         int64
+	Compactions     int64
+	RangePurges     int64
+}
+
+// Stats snapshots the engine's per-shard state and cumulative counters.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		FlushedBytes: e.Metrics.FlushedBytes.Load(),
+		Flushes:      e.Metrics.Flushes.Load(),
+		Compactions:  e.Metrics.Compactions.Load(),
+		RangePurges:  e.Metrics.RangePurges.Load(),
+	}
+	for _, s := range e.shards {
+		s.mu.RLock()
+		sh := ShardStats{
+			Shard:           s.id,
+			MemtableBytes:   s.mem.Bytes(),
+			FrozenMemtables: len(s.frozen),
+			SSTables:        len(s.tables),
+		}
+		for _, fm := range s.frozen {
+			sh.FrozenBytes += fm.mem.Bytes()
+		}
+		s.mu.RUnlock()
+		st.Shards = append(st.Shards, sh)
+		st.MemtableBytes += sh.MemtableBytes + sh.FrozenBytes
+		st.FrozenMemtables += sh.FrozenMemtables
+		st.SSTables += sh.SSTables
+	}
+	return st
+}

@@ -91,8 +91,9 @@ type shard struct {
 	memGen int64 // memtable generation, seeds the skip list
 
 	compactReq bool
-	busy       bool  // worker is writing a table outside the lock
-	flushErr   error // last background failure; cleared on success/retry
+	purges     []*purgeRange // pending DeleteRange purges, oldest first
+	busy       bool          // worker is writing a table outside the lock
+	flushErr   error         // last background failure; cleared on success/retry
 	closing    bool
 	abandoned  bool // simulated crash (tests): worker must not touch disk
 }
@@ -237,6 +238,11 @@ func (s *shard) putBatch(entries []row.Entry) error {
 		if err := s.wal.appendBatch(entries); err != nil {
 			return err
 		}
+		if s.eng.opts.Sync == SyncAlways {
+			if err := s.wal.sync(); err != nil {
+				return err
+			}
+		}
 	}
 	for _, ent := range entries {
 		s.mem.Put(ent.PK, ent.CK, ent.Value)
@@ -258,6 +264,16 @@ func (s *shard) freezeLocked() {
 	}
 	fm := &frozenMem{mem: s.mem}
 	if s.wal != nil {
+		// SyncOnSeal's durability point: the segment is complete, flush
+		// it to stable storage before handing the memtable off. A sync
+		// failure cannot fail the freeze (the pointer swap must happen);
+		// it surfaces through the background-error channel instead — the
+		// SSTable the worker writes supersedes the segment anyway.
+		if s.eng.opts.Sync != SyncNever {
+			if err := s.wal.sync(); err != nil && s.flushErr == nil {
+				s.flushErr = err
+			}
+		}
 		// The sealed segment's records are already written; closing the
 		// descriptor cannot unwrite them, so a close error is not a
 		// freeze failure.
@@ -272,11 +288,19 @@ func (s *shard) freezeLocked() {
 	s.cond.Broadcast()
 }
 
+// purgeRange is one pending DeleteRange: the worker rewrites the
+// shard's tables without the partitions whose token falls in [lo, hi]
+// and reports how many cells that dropped.
+type purgeRange struct {
+	lo, hi  int64
+	removed int64
+}
+
 // waitDrainedLocked blocks until the shard has no queued or running
 // background work, returning early with any background error. Caller
 // holds mu.
 func (s *shard) waitDrainedLocked() error {
-	for len(s.frozen) > 0 || s.busy || s.compactReq {
+	for len(s.frozen) > 0 || s.busy || s.compactReq || len(s.purges) > 0 {
 		if s.flushErr != nil {
 			return s.flushErr
 		}
@@ -298,7 +322,7 @@ func (s *shard) worker() {
 	defer s.eng.wg.Done()
 	s.mu.Lock()
 	for {
-		for !s.closing && !s.abandoned && len(s.frozen) == 0 && !s.compactReq {
+		for !s.closing && !s.abandoned && len(s.frozen) == 0 && !s.compactReq && len(s.purges) == 0 {
 			s.cond.Wait()
 		}
 		if s.abandoned {
@@ -338,6 +362,7 @@ func (s *shard) worker() {
 			s.frozen = s.frozen[1:]
 			s.flushErr = nil
 			s.eng.Metrics.Flushes.Add(1)
+			s.eng.Metrics.FlushedBytes.Add(fm.mem.Bytes())
 			if len(s.tables) > s.eng.opts.CompactAfter {
 				s.compactReq = true
 			}
@@ -355,6 +380,72 @@ func (s *shard) worker() {
 			s.busy = false
 			s.cond.Broadcast()
 
+		case len(s.purges) > 0:
+			// Only the worker pops the queue, so the head it processes
+			// outside the lock is still the head when it returns —
+			// concurrent DeleteRanges append behind it and are served on
+			// later loop turns, never dropped.
+			req := s.purges[0]
+			if len(s.tables) == 0 {
+				s.purges = s.purges[1:]
+				s.cond.Broadcast()
+				continue
+			}
+			inputs := append([]*tableHandle(nil), s.tables...)
+			seq := s.sstSeq
+			s.busy = true
+			s.mu.Unlock()
+			drop := func(pk string) bool {
+				tok := PartitionToken(pk)
+				return req.lo <= tok && tok <= req.hi
+			}
+			r, dropped, err := s.compactTables(inputs, seq, drop)
+			s.mu.Lock()
+			s.busy = false
+			if s.abandoned {
+				if err == nil && r != nil {
+					r.Close()
+					os.Remove(r.Path())
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			if err != nil {
+				s.flushErr = err // purge request stays pending for the retry
+				s.cond.Broadcast()
+				if s.closing {
+					s.mu.Unlock()
+					return
+				}
+				s.cond.Wait()
+				continue
+			}
+			// Swap the inputs for the filtered merge; a nil reader means
+			// every surviving partition was in range, so the shard keeps
+			// only tables appended after the snapshot (none today).
+			tail := s.tables[len(inputs):]
+			if r != nil {
+				s.tables = append([]*tableHandle{newTableHandle(r)}, tail...)
+				s.sstSeq = seq + 1
+			} else {
+				s.tables = append([]*tableHandle(nil), tail...)
+			}
+			req.removed = dropped
+			s.purges = s.purges[1:]
+			s.flushErr = nil
+			s.eng.Metrics.RangePurges.Add(1)
+			s.busy = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			for _, t := range inputs {
+				t.drop.Store(true)
+				t.release()
+			}
+			s.mu.Lock()
+			s.busy = false
+			s.cond.Broadcast()
+
 		case s.compactReq:
 			s.compactReq = false
 			if len(s.tables) <= 1 {
@@ -365,7 +456,7 @@ func (s *shard) worker() {
 			seq := s.sstSeq
 			s.busy = true
 			s.mu.Unlock()
-			r, err := s.compactTables(inputs, seq)
+			r, _, err := s.compactTables(inputs, seq, nil)
 			s.mu.Lock()
 			s.busy = false
 			if s.abandoned {
@@ -488,22 +579,59 @@ func (s *shard) writeTable(mem *memtable.Memtable, seq int) (*sstable.Reader, er
 }
 
 // compactTables merges the input tables into one, dropping shadowed
-// cell versions. Same .tmp-then-rename discipline as writeTable. Called
-// without the lock; the inputs stay readable throughout (sstable
-// readers are concurrency-safe, and the worker's list reference keeps
-// them open).
-func (s *shard) compactTables(inputs []*tableHandle, seq int) (*sstable.Reader, error) {
+// cell versions — and, when drop is non-nil, whole partitions (the
+// DeleteRange purge), returning how many live cells that removed. When
+// every partition is dropped no table is written and the reader is nil.
+// Same .tmp-then-rename discipline as writeTable. Called without the
+// lock; the inputs stay readable throughout (sstable readers are
+// concurrency-safe, and the worker's list reference keeps them open).
+func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk string) bool) (*sstable.Reader, int64, error) {
 	seen := map[string]bool{}
 	for _, t := range inputs {
 		for _, pk := range t.Partitions() {
 			seen[pk] = true
 		}
 	}
+	var dropped int64
 	pks := make([]string, 0, len(seen))
+	dropPKs := make([]string, 0)
 	for pk := range seen {
+		if drop != nil && drop(pk) {
+			dropPKs = append(dropPKs, pk)
+			continue
+		}
 		pks = append(pks, pk)
 	}
 	sort.Strings(pks)
+
+	// Count the live (post-merge) cells the purge removes, so handoff
+	// accounting matches what a reader would have seen.
+	readMerged := func(pk string) ([]row.Cell, error) {
+		sources := make([][]row.Cell, 0, len(inputs))
+		for _, t := range inputs {
+			cells, err := t.ReadSlice(pk, nil, nil)
+			if err == sstable.ErrNotFound {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, cells)
+		}
+		return row.Merge(sources...), nil
+	}
+	for _, pk := range dropPKs {
+		cells, err := readMerged(pk)
+		if err != nil {
+			return nil, 0, err
+		}
+		dropped += int64(len(cells))
+	}
+	if len(pks) == 0 && drop != nil {
+		// Nothing survives: the caller drops every input table and keeps
+		// no replacement.
+		return nil, dropped, nil
+	}
 
 	path := s.sstPath(seq)
 	tmp := path + ".tmp"
@@ -512,42 +640,35 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int) (*sstable.Reader, 
 		ExpectedPartitions: len(pks),
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for _, pk := range pks {
-		sources := make([][]row.Cell, 0, len(inputs))
-		for _, t := range inputs {
-			cells, err := t.ReadSlice(pk, nil, nil)
-			if err == sstable.ErrNotFound {
-				continue
-			}
-			if err != nil {
-				w.Close()
-				os.Remove(tmp)
-				return nil, err
-			}
-			sources = append(sources, cells)
-		}
-		if err := w.AddPartition(pk, row.Merge(sources...)); err != nil {
+		cells, err := readMerged(pk)
+		if err != nil {
 			w.Close()
 			os.Remove(tmp)
-			return nil, err
+			return nil, 0, err
+		}
+		if err := w.AddPartition(pk, cells); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return nil, 0, err
 		}
 	}
 	if err := w.Close(); err != nil {
 		os.Remove(tmp)
-		return nil, err
+		return nil, 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return nil, err
+		return nil, 0, err
 	}
 	r, err := sstable.Open(path)
 	if err != nil {
 		os.Remove(path)
-		return nil, err
+		return nil, 0, err
 	}
-	return r, nil
+	return r, dropped, nil
 }
 
 func (s *shard) isAbandoned() bool {

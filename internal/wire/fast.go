@@ -28,6 +28,7 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendUvarint(out, uint64(v.Seq))
 		out = enc.AppendBytes(out, []byte(v.PK))
 		out = enc.AppendUvarint(out, uint64(v.TraceSendNanos))
+		out = enc.AppendUvarint(out, v.Epoch)
 	case *CountResponse:
 		out = enc.AppendUvarint(out, v.QueryID)
 		out = enc.AppendUvarint(out, uint64(v.Seq))
@@ -46,11 +47,13 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendBytes(out, []byte(v.PK))
 		out = enc.AppendBytes(out, v.CK)
 		out = enc.AppendBytes(out, v.Value)
+		out = enc.AppendUvarint(out, v.Epoch)
 	case *PutResponse:
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	case *GetRequest:
 		out = enc.AppendBytes(out, []byte(v.PK))
 		out = enc.AppendBytes(out, v.CK)
+		out = enc.AppendUvarint(out, v.Epoch)
 	case *GetResponse:
 		out = enc.AppendBytes(out, v.Value)
 		if v.Found {
@@ -63,6 +66,7 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendBytes(out, []byte(v.PK))
 		out = appendOptBytes(out, v.From)
 		out = appendOptBytes(out, v.To)
+		out = enc.AppendUvarint(out, v.Epoch)
 	case *ScanResponse:
 		out = enc.AppendUvarint(out, uint64(len(v.Cells)))
 		for _, c := range v.Cells {
@@ -77,6 +81,7 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 			out = enc.AppendBytes(out, e.CK)
 			out = enc.AppendBytes(out, e.Value)
 		}
+		out = enc.AppendUvarint(out, v.Epoch)
 	case *BatchPutResponse:
 		out = enc.AppendUvarint(out, v.Applied)
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
@@ -86,6 +91,7 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 			out = enc.AppendBytes(out, []byte(k.PK))
 			out = enc.AppendBytes(out, k.CK)
 		}
+		out = enc.AppendUvarint(out, v.Epoch)
 	case *MultiGetResponse:
 		out = enc.AppendUvarint(out, uint64(len(v.Values)))
 		for _, val := range v.Values {
@@ -97,10 +103,66 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 			}
 		}
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *RingStateRequest:
+		// No fields.
+	case *RingStateResponse:
+		out = enc.AppendUvarint(out, v.Epoch)
+		out = enc.AppendUvarint(out, uint64(v.Vnodes))
+		out = enc.AppendUvarint(out, uint64(len(v.Nodes)))
+		for _, n := range v.Nodes {
+			out = enc.AppendUvarint(out, uint64(n.ID))
+			out = enc.AppendBytes(out, []byte(n.Addr))
+		}
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *StreamRangeRequest:
+		out = enc.AppendUvarint(out, uint64(v.Lo))
+		out = enc.AppendUvarint(out, uint64(v.Hi))
+		out = enc.AppendUvarint(out, uint64(v.AfterToken))
+		out = enc.AppendBytes(out, []byte(v.AfterPK))
+		out = enc.AppendUvarint(out, uint64(v.MaxCells))
+	case *StreamRangeResponse:
+		out = enc.AppendUvarint(out, uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			out = enc.AppendBytes(out, []byte(e.PK))
+			out = enc.AppendBytes(out, e.CK)
+			out = enc.AppendBytes(out, e.Value)
+		}
+		out = enc.AppendUvarint(out, uint64(v.NextToken))
+		out = enc.AppendBytes(out, []byte(v.NextPK))
+		out = appendBool(out, v.More)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *DeleteRangeRequest:
+		out = enc.AppendUvarint(out, uint64(v.Lo))
+		out = enc.AppendUvarint(out, uint64(v.Hi))
+	case *DeleteRangeResponse:
+		out = enc.AppendUvarint(out, v.Removed)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *NodeStatsRequest:
+		// No fields.
+	case *NodeStatsResponse:
+		out = enc.AppendUvarint(out, v.Epoch)
+		out = enc.AppendUvarint(out, uint64(len(v.Shards)))
+		for _, sh := range v.Shards {
+			out = enc.AppendUvarint(out, sh.MemtableBytes)
+			out = enc.AppendUvarint(out, uint64(sh.FrozenMemtables))
+			out = enc.AppendUvarint(out, uint64(sh.SSTables))
+		}
+		out = enc.AppendUvarint(out, v.FlushedBytes)
+		out = enc.AppendUvarint(out, v.FlushCount)
+		out = enc.AppendUvarint(out, v.CompactionCount)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	default:
 		return nil, fmt.Errorf("wire: fast codec cannot marshal %T", m)
 	}
 	return out, nil
+}
+
+// appendBool encodes a bool as one byte.
+func appendBool(out []byte, b bool) []byte {
+	if b {
+		return append(out, 1)
+	}
+	return append(out, 0)
 }
 
 // Unmarshal implements Codec.
@@ -120,6 +182,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.Seq = uint32(d.uvarint())
 		v.PK = string(d.bytes())
 		v.TraceSendNanos = int64(d.uvarint())
+		v.Epoch = d.uvarint()
 	case *CountResponse:
 		v.QueryID = d.uvarint()
 		v.Seq = uint32(d.uvarint())
@@ -141,11 +204,13 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.PK = string(d.bytes())
 		v.CK = d.copyBytes()
 		v.Value = d.copyBytes()
+		v.Epoch = d.uvarint()
 	case *PutResponse:
 		v.ErrMsg = string(d.bytes())
 	case *GetRequest:
 		v.PK = string(d.bytes())
 		v.CK = d.copyBytes()
+		v.Epoch = d.uvarint()
 	case *GetResponse:
 		v.Value = d.copyBytes()
 		v.Found = d.byte() == 1
@@ -154,6 +219,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.PK = string(d.bytes())
 		v.From = d.optBytes()
 		v.To = d.optBytes()
+		v.Epoch = d.uvarint()
 	case *ScanResponse:
 		cnt := d.uvarint()
 		if cnt > 0 {
@@ -173,6 +239,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 				})
 			}
 		}
+		v.Epoch = d.uvarint()
 	case *BatchPutResponse:
 		v.Applied = d.uvarint()
 		v.ErrMsg = string(d.bytes())
@@ -184,6 +251,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 				v.Keys = append(v.Keys, GetKey{PK: string(d.bytes()), CK: d.copyBytes()})
 			}
 		}
+		v.Epoch = d.uvarint()
 	case *MultiGetResponse:
 		cnt := d.uvarint()
 		if cnt > 0 {
@@ -193,9 +261,73 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 			}
 		}
 		v.ErrMsg = string(d.bytes())
+	case *RingStateRequest:
+		// No fields.
+	case *RingStateResponse:
+		v.Epoch = d.uvarint()
+		v.Vnodes = uint32(d.uvarint())
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Nodes = make([]NodeAddr, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Nodes = append(v.Nodes, NodeAddr{ID: uint32(d.uvarint()), Addr: string(d.bytes())})
+			}
+		}
+		v.ErrMsg = string(d.bytes())
+	case *StreamRangeRequest:
+		v.Lo = int64(d.uvarint())
+		v.Hi = int64(d.uvarint())
+		v.AfterToken = int64(d.uvarint())
+		v.AfterPK = string(d.bytes())
+		v.MaxCells = uint32(d.uvarint())
+	case *StreamRangeResponse:
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Entries = make([]row.Entry, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Entries = append(v.Entries, row.Entry{
+					PK: string(d.bytes()), CK: d.copyBytes(), Value: d.copyBytes(),
+				})
+			}
+		}
+		v.NextToken = int64(d.uvarint())
+		v.NextPK = string(d.bytes())
+		v.More = d.byte() == 1
+		v.ErrMsg = string(d.bytes())
+	case *DeleteRangeRequest:
+		v.Lo = int64(d.uvarint())
+		v.Hi = int64(d.uvarint())
+	case *DeleteRangeResponse:
+		v.Removed = d.uvarint()
+		v.ErrMsg = string(d.bytes())
+	case *NodeStatsRequest:
+		// No fields.
+	case *NodeStatsResponse:
+		v.Epoch = d.uvarint()
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Shards = make([]ShardStat, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Shards = append(v.Shards, ShardStat{
+					MemtableBytes:   d.uvarint(),
+					FrozenMemtables: uint32(d.uvarint()),
+					SSTables:        uint32(d.uvarint()),
+				})
+			}
+		}
+		v.FlushedBytes = d.uvarint()
+		v.FlushCount = d.uvarint()
+		v.CompactionCount = d.uvarint()
+		v.ErrMsg = string(d.bytes())
 	}
 	if d.err != nil {
 		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		// A well-formed fast frame is consumed exactly; leftovers mean a
+		// foreign format whose length prefix happened to parse as a type
+		// ID (e.g. a slow-codec frame).
+		return nil, fmt.Errorf("wire: %d trailing bytes in fast frame", len(d.buf))
 	}
 	return m, nil
 }

@@ -42,7 +42,40 @@ const (
 	TypeBatchPutResponse
 	TypeMultiGetRequest
 	TypeMultiGetResponse
+	TypeRingStateRequest
+	TypeRingStateResponse
+	TypeStreamRangeRequest
+	TypeStreamRangeResponse
+	TypeDeleteRangeRequest
+	TypeDeleteRangeResponse
+	TypeNodeStatsRequest
+	TypeNodeStatsResponse
 )
+
+// --- Topology epochs --------------------------------------------------------
+//
+// Routed data-path requests carry the topology epoch the client routed
+// by. A node whose topology is at a different epoch answers with a
+// wrong-epoch error instead of serving the request, forcing the client
+// to refresh its ring and re-route — the mechanism that keeps reads and
+// writes correct while nodes join and leave. Epoch 0 is the wildcard:
+// unversioned traffic (admin tooling, rebalance streaming, tests built
+// on raw wire messages) bypasses the check.
+
+// wrongEpochPrefix tags wrong-epoch rejections inside ErrMsg fields, so
+// no response message needs a new field to carry the condition.
+const wrongEpochPrefix = "wrong epoch: node at "
+
+// WrongEpochMsg formats a node's rejection of a request routed with a
+// stale (or future) topology epoch.
+func WrongEpochMsg(nodeEpoch, reqEpoch uint64) string {
+	return fmt.Sprintf("%s%d, request at %d", wrongEpochPrefix, nodeEpoch, reqEpoch)
+}
+
+// IsWrongEpoch reports whether an ErrMsg is a wrong-epoch rejection.
+func IsWrongEpoch(msg string) bool {
+	return len(msg) >= len(wrongEpochPrefix) && msg[:len(wrongEpochPrefix)] == wrongEpochPrefix
+}
 
 // CountRequest asks a slave to aggregate — count by type — one partition
 // stored locally. This is the paper's prototype query unit: the master
@@ -54,6 +87,11 @@ type CountRequest struct {
 	// TraceSendNanos carries the master's send timestamp so the slave
 	// can attribute the master-to-slave stage (Aeneas-style tracing).
 	TraceSendNanos int64
+	// Epoch is the routing topology version. Client.Count sets it so a
+	// stale client cannot silently count a partition at a node that
+	// retired it; CountAll's fan-out leaves it 0 (unversioned) and
+	// accounts failures per request instead.
+	Epoch uint64
 }
 
 // TypeID implements Message.
@@ -79,11 +117,13 @@ type CountResponse struct {
 // TypeID implements Message.
 func (*CountResponse) TypeID() uint16 { return TypeCountResponse }
 
-// PutRequest writes one cell.
+// PutRequest writes one cell. Epoch is the topology version the client
+// routed by (0 = unversioned, accepted at any epoch).
 type PutRequest struct {
 	PK    string
 	CK    []byte
 	Value []byte
+	Epoch uint64
 }
 
 // TypeID implements Message.
@@ -97,10 +137,11 @@ type PutResponse struct {
 // TypeID implements Message.
 func (*PutResponse) TypeID() uint16 { return TypePutResponse }
 
-// GetRequest reads one cell.
+// GetRequest reads one cell. Epoch 0 bypasses the topology check.
 type GetRequest struct {
-	PK string
-	CK []byte
+	PK    string
+	CK    []byte
+	Epoch uint64
 }
 
 // TypeID implements Message.
@@ -119,9 +160,10 @@ func (*GetResponse) TypeID() uint16 { return TypeGetResponse }
 // ScanRequest reads a clustering range of a partition. Nil bounds mean
 // unbounded.
 type ScanRequest struct {
-	PK   string
-	From []byte
-	To   []byte
+	PK    string
+	From  []byte
+	To    []byte
+	Epoch uint64
 }
 
 // TypeID implements Message.
@@ -141,6 +183,10 @@ func (*ScanResponse) TypeID() uint16 { return TypeScanResponse }
 // receiving node group-commits them in one engine call.
 type BatchPutRequest struct {
 	Entries []row.Entry
+	// Epoch is the routing topology version (0 = unversioned — the
+	// rebalance streamer writes moved ranges with 0 so a mid-migration
+	// target accepts them regardless of its current epoch).
+	Epoch uint64
 }
 
 // TypeID implements Message.
@@ -169,7 +215,8 @@ type GetKey struct {
 
 // MultiGetRequest reads many cells in one frame.
 type MultiGetRequest struct {
-	Keys []GetKey
+	Keys  []GetKey
+	Epoch uint64
 }
 
 // TypeID implements Message.
@@ -190,6 +237,110 @@ type MultiGetResponse struct {
 
 // TypeID implements Message.
 func (*MultiGetResponse) TypeID() uint16 { return TypeMultiGetResponse }
+
+// RingStateRequest asks a node for its current topology. Any node can
+// answer; clients use it to bootstrap and to recover from wrong-epoch
+// rejections.
+type RingStateRequest struct{}
+
+// TypeID implements Message.
+func (*RingStateRequest) TypeID() uint16 { return TypeRingStateRequest }
+
+// NodeAddr pairs a ring member with its dialable transport address.
+type NodeAddr struct {
+	ID   uint32
+	Addr string
+}
+
+// RingStateResponse carries a topology: epoch, members and the vnode
+// count. Token positions are derived deterministically from (member ID,
+// vnode index), so the membership list IS the token list in compressed
+// form — hashring.FromNodes reconstructs placement exactly.
+type RingStateResponse struct {
+	Epoch  uint64
+	Vnodes uint32
+	Nodes  []NodeAddr
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*RingStateResponse) TypeID() uint16 { return TypeRingStateResponse }
+
+// StreamRangeRequest asks a node for one page of the cells whose
+// partition token falls in the inclusive range [Lo, Hi]. Pages walk the
+// range in (token, partition key) order; the cursor (AfterToken,
+// AfterPK) resumes strictly after the named partition — pass
+// (math.MinInt64, "") for the first page. MaxCells bounds the page
+// size (whole partitions only; 0 means the server default).
+type StreamRangeRequest struct {
+	Lo, Hi     int64
+	AfterToken int64
+	AfterPK    string
+	MaxCells   uint32
+}
+
+// TypeID implements Message.
+func (*StreamRangeRequest) TypeID() uint16 { return TypeStreamRangeRequest }
+
+// StreamRangeResponse is one page of a range stream. When More is set
+// the client passes (NextToken, NextPK) as the next request's cursor.
+type StreamRangeResponse struct {
+	Entries   []row.Entry
+	NextToken int64
+	NextPK    string
+	More      bool
+	ErrMsg    string
+}
+
+// TypeID implements Message.
+func (*StreamRangeResponse) TypeID() uint16 { return TypeStreamRangeResponse }
+
+// DeleteRangeRequest retires every partition whose token falls in the
+// inclusive range [Lo, Hi] from the receiving node — the final step of
+// a range handoff, issued only after the new owner serves the range.
+type DeleteRangeRequest struct {
+	Lo, Hi int64
+}
+
+// TypeID implements Message.
+func (*DeleteRangeRequest) TypeID() uint16 { return TypeDeleteRangeRequest }
+
+// DeleteRangeResponse reports how many cells the purge removed.
+type DeleteRangeResponse struct {
+	Removed uint64
+	ErrMsg  string
+}
+
+// TypeID implements Message.
+func (*DeleteRangeResponse) TypeID() uint16 { return TypeDeleteRangeResponse }
+
+// NodeStatsRequest asks a node for its storage-engine load summary.
+type NodeStatsRequest struct{}
+
+// TypeID implements Message.
+func (*NodeStatsRequest) TypeID() uint16 { return TypeNodeStatsRequest }
+
+// ShardStat is one engine shard's load snapshot.
+type ShardStat struct {
+	MemtableBytes   uint64
+	FrozenMemtables uint32
+	SSTables        uint32
+}
+
+// NodeStatsResponse summarizes a node's engine: per-shard backlog plus
+// cumulative flush/compaction work. The coordinator uses it to pick the
+// least-loaded streaming source among a range's replicas.
+type NodeStatsResponse struct {
+	Epoch           uint64
+	Shards          []ShardStat
+	FlushedBytes    uint64
+	FlushCount      uint64
+	CompactionCount uint64
+	ErrMsg          string
+}
+
+// TypeID implements Message.
+func (*NodeStatsResponse) TypeID() uint16 { return TypeNodeStatsResponse }
 
 // Codec turns messages into bytes and back. Implementations must be safe
 // for concurrent use.
@@ -226,6 +377,22 @@ func newMessage(id uint16) (Message, error) {
 		return &MultiGetRequest{}, nil
 	case TypeMultiGetResponse:
 		return &MultiGetResponse{}, nil
+	case TypeRingStateRequest:
+		return &RingStateRequest{}, nil
+	case TypeRingStateResponse:
+		return &RingStateResponse{}, nil
+	case TypeStreamRangeRequest:
+		return &StreamRangeRequest{}, nil
+	case TypeStreamRangeResponse:
+		return &StreamRangeResponse{}, nil
+	case TypeDeleteRangeRequest:
+		return &DeleteRangeRequest{}, nil
+	case TypeDeleteRangeResponse:
+		return &DeleteRangeResponse{}, nil
+	case TypeNodeStatsRequest:
+		return &NodeStatsRequest{}, nil
+	case TypeNodeStatsResponse:
+		return &NodeStatsResponse{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", id)
 	}

@@ -34,6 +34,10 @@ func init() {
 		&ScanRequest{}, &ScanResponse{},
 		&BatchPutRequest{}, &BatchPutResponse{},
 		&MultiGetRequest{}, &MultiGetResponse{},
+		&RingStateRequest{}, &RingStateResponse{},
+		&StreamRangeRequest{}, &StreamRangeResponse{},
+		&DeleteRangeRequest{}, &DeleteRangeResponse{},
+		&NodeStatsRequest{}, &NodeStatsResponse{},
 	} {
 		t := reflect.TypeOf(m).Elem()
 		slowRegistry[t.String()] = t

@@ -51,6 +51,29 @@ func sampleMessages() []Message {
 			{Found: false},
 		}},
 		&MultiGetResponse{ErrMsg: "partition not found"},
+		&PutRequest{PK: "p", CK: []byte{1}, Value: []byte("v"), Epoch: 7},
+		&GetRequest{PK: "p", CK: []byte{9}, Epoch: 3},
+		&ScanRequest{PK: "p", Epoch: 12},
+		&BatchPutRequest{Entries: []row.Entry{{PK: "x", CK: []byte{1}, Value: []byte("y")}}, Epoch: 5},
+		&MultiGetRequest{Keys: []GetKey{{PK: "p1", CK: []byte{1}}}, Epoch: 9},
+		&RingStateRequest{},
+		&RingStateResponse{Epoch: 4, Vnodes: 64, Nodes: []NodeAddr{
+			{ID: 0, Addr: "node-0"}, {ID: 3, Addr: "127.0.0.1:7171"},
+		}},
+		&RingStateResponse{ErrMsg: "no topology"},
+		&StreamRangeRequest{Lo: -1 << 62, Hi: 1<<62 - 1, AfterToken: -9000, AfterPK: "cube-0007", MaxCells: 4096},
+		&StreamRangeResponse{Entries: []row.Entry{
+			{PK: "cube-0008", CK: []byte{1}, Value: []byte("a")},
+		}, NextToken: -42, NextPK: "cube-0008", More: true},
+		&StreamRangeResponse{ErrMsg: "engine closed"},
+		&DeleteRangeRequest{Lo: -100, Hi: 100},
+		&DeleteRangeResponse{Removed: 1234},
+		&DeleteRangeResponse{ErrMsg: "boom"},
+		&NodeStatsRequest{},
+		&NodeStatsResponse{Epoch: 2, Shards: []ShardStat{
+			{MemtableBytes: 1 << 20, FrozenMemtables: 2, SSTables: 5},
+			{MemtableBytes: 0, FrozenMemtables: 0, SSTables: 1},
+		}, FlushedBytes: 9 << 20, FlushCount: 7, CompactionCount: 1},
 	}
 }
 
@@ -169,6 +192,34 @@ func normalize(m Message) Message {
 			}
 		}
 		return &out
+	case *RingStateResponse:
+		out := *v
+		if len(out.Nodes) == 0 {
+			out.Nodes = nil
+		}
+		return &out
+	case *StreamRangeResponse:
+		out := *v
+		if len(out.Entries) == 0 {
+			out.Entries = nil
+		} else {
+			out.Entries = append([]row.Entry(nil), out.Entries...)
+		}
+		for i := range out.Entries {
+			if len(out.Entries[i].CK) == 0 {
+				out.Entries[i].CK = nil
+			}
+			if len(out.Entries[i].Value) == 0 {
+				out.Entries[i].Value = nil
+			}
+		}
+		return &out
+	case *NodeStatsResponse:
+		out := *v
+		if len(out.Shards) == 0 {
+			out.Shards = nil
+		}
+		return &out
 	}
 	return m
 }
@@ -271,6 +322,14 @@ func TestBatchMessageTypeIDsAreStable(t *testing.T) {
 		10: &BatchPutResponse{},
 		11: &MultiGetRequest{},
 		12: &MultiGetResponse{},
+		13: &RingStateRequest{},
+		14: &RingStateResponse{},
+		15: &StreamRangeRequest{},
+		16: &StreamRangeResponse{},
+		17: &DeleteRangeRequest{},
+		18: &DeleteRangeResponse{},
+		19: &NodeStatsRequest{},
+		20: &NodeStatsResponse{},
 	}
 	for id, m := range want {
 		if got := m.TypeID(); got != id {

@@ -4,6 +4,7 @@ import (
 	"scalekv/internal/cluster"
 	"scalekv/internal/core"
 	"scalekv/internal/d8tree"
+	"scalekv/internal/hashring"
 	"scalekv/internal/master"
 	"scalekv/internal/row"
 	"scalekv/internal/storage"
@@ -52,8 +53,27 @@ func MaxKeysPerNode(keys, nodes int) float64 { return core.MaxKeysPerNode(keys, 
 // --- The real cluster ------------------------------------------------------
 
 // Cluster is an in-process multi-node store (one storage engine and
-// server per node, connected by the in-process transport).
+// server per node, connected by the in-process transport). It is
+// elastic: AddNode and RemoveNode grow and shrink the ring under live
+// traffic, streaming token ranges between nodes and flipping the
+// topology epoch when the data is in place.
 type Cluster = cluster.Cluster
+
+// Topology is the epoch-versioned token ring: an immutable membership
+// snapshot whose AddNode/RemoveNode return a new topology plus the
+// token ranges that changed owner.
+type Topology = hashring.Topology
+
+// NodeID identifies a cluster member on the ring.
+type NodeID = hashring.NodeID
+
+// RangeMove is one element of an ownership diff: copy the inclusive
+// token range [Lo, Hi] from node From to node To.
+type RangeMove = hashring.RangeMove
+
+// RebalanceReport summarizes one AddNode/RemoveNode: moves, cells
+// streamed and retired, stream and flip durations.
+type RebalanceReport = cluster.RebalanceReport
 
 // Client routes operations by token ring and runs the master-style
 // fan-out (CountAll).
@@ -94,7 +114,23 @@ type MultiGetValue = wire.MultiGetValue
 // memtable, WAL segments, SSTables and background flusher, so writes
 // never wait on SSTable I/O and parallel readers don't contend on one
 // lock. Shards: 1 restores the single-stripe layout for ablations.
+// Sync selects the WAL fsync policy (SyncNever / SyncOnSeal /
+// SyncAlways).
 type StorageOptions = storage.Options
+
+// SyncMode selects when WAL segments are fsynced.
+type SyncMode = storage.SyncMode
+
+// WAL fsync policies, in increasing durability (and cost) order.
+const (
+	SyncNever  = storage.SyncNever
+	SyncOnSeal = storage.SyncOnSeal
+	SyncAlways = storage.SyncAlways
+)
+
+// EngineStats is a storage engine's load snapshot: per-shard memtable
+// backlog, SSTable counts, flushed bytes and background-work counters.
+type EngineStats = storage.EngineStats
 
 // Codec serializes wire messages; SlowCodec and FastCodec reproduce the
 // Section V-B comparison.
