@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine bench-rebalance lint
+.PHONY: build test bench bench-engine bench-rebalance bench-delete lint
 
 build:
 	go build ./...
@@ -25,6 +25,15 @@ bench-engine:
 # epoch-retry/failover paths.
 bench-rebalance:
 	go test -run=NONE -bench=Rebalance -benchtime=3x .
+
+# Delete-path canary: mixed Put/Get/Delete throughput on the engine
+# (tombstone writes + versioned merge), plus the delete-under-rebalance
+# convergence smoke (overwrites and deletes racing a live join must end
+# identical on every replica). Run on any change to cell versioning,
+# tombstones, or the LWW merge.
+bench-delete:
+	go test -run=NONE -bench=EngineMixedDelete -benchtime=0.5s ./internal/storage/
+	go test -run 'TestOverwriteAndDeleteDuringRebalanceConverge' -count=1 ./internal/cluster/
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

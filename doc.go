@@ -102,6 +102,38 @@
 // so with ReplicationFactor > 1 a dead primary degrades reads instead
 // of failing them.
 //
+// # Consistency: versioned cells, last-write-wins, real deletes
+//
+// Every cell carries a Version — a (Seq, Node) hybrid counter stamped
+// by the engine that accepted the write — and conflicts are resolved by
+// last-write-wins on that version wherever two copies of a cell meet: a
+// memtable overwrite, a read merging memtables with SSTables, a
+// compaction, or a replica receiving both a rebalance-streamed copy and
+// a dual-write-forwarded overwrite of the same cell. Stream pages and
+// forwards ship the original stamps verbatim, so every replica picks
+// the same winner no matter which copy arrives last — the property that
+// makes overwrites (and deletes) during an AddNode/RemoveNode converge.
+//
+// Client.Delete is a first-class distributed write: the accepting node
+// stamps a tombstone that masks every older copy of the cell — in
+// memtables, in SSTables, on replicas, across flushes, compactions and
+// process restarts — until compaction collects it under the shard's GC
+// watermark (the lowest version an unflushed memtable might still
+// hold). Deleted means deleted, not "until the next flush".
+//
+// ClientOptions.ReadRepair (off by default) adds best-effort
+// convergence on the read path: a Get that failed over to a later
+// replica re-puts the cell it found, at its original version, to the
+// replicas it skipped. LWW makes the repair harmless (a replica holding
+// something newer keeps it); it narrows divergence after an outage but
+// repairs only what failover reads touch, never deletes or
+// pre-versioning cells, and is no substitute for anti-entropy.
+//
+// On disk, versioning is SSTable format v2; tables written before the
+// change (v1) stay readable — their cells carry the zero version and
+// lose to any stamped write — and the SHARDS manifest records the
+// format generation.
+//
 // Durability is tunable per node via StorageOptions.Sync: SyncNever
 // (default; fsync only at segment close), SyncOnSeal (fsync when a
 // memtable freezes) or SyncAlways (fsync every write call; batches

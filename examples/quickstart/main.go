@@ -50,6 +50,23 @@ func main() {
 	}
 	fmt.Printf("point read: sensor-007 @ 00:30 -> % x\n", v)
 
+	// Delete is a first-class write: the cell is masked by a versioned
+	// tombstone that survives flushes and compactions, so "deleted"
+	// means deleted — even after the memtables are forced to disk.
+	if err := c.Delete("sensor-007", []byte("2026-06-10T00:30")); err != nil {
+		log.Fatal(err)
+	}
+	if _, found, err = c.Get("sensor-007", []byte("2026-06-10T00:30")); err != nil || found {
+		log.Fatalf("deleted cell still visible: err=%v found=%v", err, found)
+	}
+	if err := cl.FlushAll(); err != nil { // tombstone reaches the SSTables
+		log.Fatal(err)
+	}
+	if _, found, err = c.Get("sensor-007", []byte("2026-06-10T00:30")); err != nil || found {
+		log.Fatalf("deleted cell resurrected by flush: err=%v found=%v", err, found)
+	}
+	fmt.Println("delete: sensor-007 @ 00:30 removed, still gone after flush")
+
 	// Multi-get: many point reads in one round trip per involved node.
 	keys := []scalekv.GetKey{
 		{PK: "sensor-001", CK: []byte("2026-06-10T00:10")},

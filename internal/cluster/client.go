@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scalekv/internal/hashring"
@@ -58,16 +59,31 @@ type Dialer func(addr string) (*transport.Client, error)
 // instead of failing every read — provided data was written with a
 // replication factor above one.
 type Client struct {
-	codec  wire.Codec
-	rf     int
-	dialer Dialer
+	codec      wire.Codec
+	rf         int
+	dialer     Dialer
+	readRepair bool
 
 	mu      sync.Mutex
 	ring    *hashring.Topology
 	conns   map[hashring.NodeID]*transport.Client
 	addrs   map[hashring.NodeID]string
 	queryID uint64
+
+	// RepairedReads counts best-effort read-repair writes issued after
+	// failover reads (observability; see ClientOptions.ReadRepair).
+	RepairedReads atomic.Int64
+	// repairsInFlight bounds concurrent repair goroutines (see
+	// repairAsync).
+	repairsInFlight atomic.Int64
 }
+
+// maxRepairsInFlight caps concurrent read-repair goroutines. Failover
+// reads against a dead primary can fire at full read throughput; the
+// repair is best-effort, so past the cap new repairs are simply
+// skipped instead of accumulating goroutines that all block dialing
+// the same unreachable node.
+const maxRepairsInFlight = 8
 
 // ClientOptions configures a cluster client.
 type ClientOptions struct {
@@ -82,6 +98,16 @@ type ClientOptions struct {
 	Dialer Dialer
 	// Addrs seeds the member address book used with Dialer.
 	Addrs map[hashring.NodeID]string
+	// ReadRepair makes a Get that failed over past one or more replicas
+	// (rf > 1) asynchronously re-put the cell it read — with its
+	// original version, so last-write-wins keeps the propagation
+	// harmless — to the partition's other replicas. Best-effort: errors
+	// are dropped, cells written before versioning are not repaired
+	// (their zero version cannot be re-stamped safely), and deletes are
+	// not repaired (a tombstone read reports not-found); it narrows
+	// replica divergence after a node outage but is no anti-entropy
+	// guarantee.
+	ReadRepair bool
 }
 
 // NewClient wraps per-node RPC clients with ring routing. The conns map
@@ -95,12 +121,13 @@ func NewClient(ring *hashring.Topology, conns map[hashring.NodeID]*transport.Cli
 		opts.ReplicationFactor = 1
 	}
 	c := &Client{
-		codec:  opts.Codec,
-		rf:     opts.ReplicationFactor,
-		dialer: opts.Dialer,
-		ring:   ring,
-		conns:  make(map[hashring.NodeID]*transport.Client, len(conns)),
-		addrs:  make(map[hashring.NodeID]string, len(opts.Addrs)),
+		codec:      opts.Codec,
+		rf:         opts.ReplicationFactor,
+		dialer:     opts.Dialer,
+		readRepair: opts.ReadRepair,
+		ring:       ring,
+		conns:      make(map[hashring.NodeID]*transport.Client, len(conns)),
+		addrs:      make(map[hashring.NodeID]string, len(opts.Addrs)),
 	}
 	for id, conn := range conns {
 		c.conns[id] = conn
@@ -344,13 +371,13 @@ func (c *Client) fanOutWrite(nodes []hashring.NodeID, payload []byte) error {
 	return firstErr
 }
 
-// reapPut waits for one in-flight put (single or batch) and converts its
-// response into an error. Wrong-epoch rejections and transport failures
-// come back retryable.
+// reapPut waits for one in-flight write (single put, batch or delete)
+// and converts its response into an error. Wrong-epoch rejections and
+// transport failures come back retryable.
 func (c *Client) reapPut(ch <-chan []byte) error {
 	raw, ok := <-ch
 	if !ok {
-		return retryable(fmt.Errorf("cluster: put failed: %w", transport.ErrClosed))
+		return retryable(fmt.Errorf("cluster: write failed: %w", transport.ErrClosed))
 	}
 	resp, err := c.codec.Unmarshal(raw)
 	if err != nil {
@@ -362,6 +389,8 @@ func (c *Client) reapPut(ch <-chan []byte) error {
 		errMsg = pr.ErrMsg
 	case *wire.BatchPutResponse:
 		errMsg = pr.ErrMsg
+	case *wire.DeleteResponse:
+		errMsg = pr.ErrMsg
 	default:
 		return fmt.Errorf("cluster: unexpected response %T", resp)
 	}
@@ -372,6 +401,35 @@ func (c *Client) reapPut(ch <-chan []byte) error {
 		return retryable(errors.New(errMsg))
 	}
 	return errors.New(errMsg)
+}
+
+// Delete removes one cell on every replica of its partition — the
+// distributed half of the engine's tombstone write. Routing, replica
+// fan-out, wrong-epoch refresh/re-route and idempotent retries all
+// match Put: the accepting node stamps the tombstone's version and
+// dual-write-forwards it during a migration, so the delete converges to
+// the same winner on every replica even while the range is moving.
+func (c *Client) Delete(pk string, ck []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
+		t := c.topo()
+		payload, err := c.codec.Marshal(&wire.DeleteRequest{PK: pk, CK: ck, Epoch: t.Epoch()})
+		if err != nil {
+			return err
+		}
+		err = c.fanOutWrite(t.Replicas(pk, c.rf), payload)
+		if err == nil {
+			return nil
+		}
+		if !isRetryable(err) {
+			return err
+		}
+		lastErr = err
+		if rerr := c.refreshRing(); rerr != nil {
+			break
+		}
+	}
+	return lastErr
 }
 
 // PutBatch writes many cells in replica-aware batches: entries are
@@ -451,6 +509,16 @@ func (c *Client) goBatch(node hashring.NodeID, batch []row.Entry, epoch uint64) 
 
 // --- Reads ------------------------------------------------------------------
 
+// readServed reports which replica answered a routedRead: the serving
+// node, its index in the replica list, and the list itself. A non-zero
+// index means the read failed over past earlier replicas — the signal
+// read-repair keys on.
+type readServed struct {
+	node     hashring.NodeID
+	idx      int
+	replicas []hashring.NodeID
+}
+
 // routedRead is the shared failover/refresh loop behind Get, Scan and
 // Count: marshal the request for the current epoch, walk the
 // partition's replicas on transport errors (a dead primary degrades a
@@ -459,16 +527,17 @@ func (c *Client) goBatch(node hashring.NodeID, batch []row.Entry, epoch uint64) 
 // build must stamp the given epoch into the request; errMsgOf extracts
 // the typed response's error message. Sharing the loop keeps the three
 // read paths from diverging on retry or epoch policy.
-func routedRead[R wire.Message](c *Client, pk string, build func(epoch uint64) wire.Message, errMsgOf func(R) string) (R, error) {
+func routedRead[R wire.Message](c *Client, pk string, build func(epoch uint64) wire.Message, errMsgOf func(R) string) (R, readServed, error) {
 	var zero R
 	var lastErr error
 	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
 		t := c.topo()
 		payload, err := c.codec.Marshal(build(t.Epoch()))
 		if err != nil {
-			return zero, err
+			return zero, readServed{}, err
 		}
-		for _, node := range t.Replicas(pk, c.rf) {
+		replicas := t.Replicas(pk, c.rf)
+		for i, node := range replicas {
 			raw, err := c.callRaw(node, payload)
 			if err != nil {
 				lastErr = retryable(err)
@@ -476,20 +545,20 @@ func routedRead[R wire.Message](c *Client, pk string, build func(epoch uint64) w
 			}
 			resp, err := c.codec.Unmarshal(raw)
 			if err != nil {
-				return zero, err
+				return zero, readServed{}, err
 			}
 			tr, ok := resp.(R)
 			if !ok {
-				return zero, fmt.Errorf("cluster: unexpected response %T", resp)
+				return zero, readServed{}, fmt.Errorf("cluster: unexpected response %T", resp)
 			}
 			if msg := errMsgOf(tr); msg != "" {
 				if wire.IsWrongEpoch(msg) {
 					lastErr = retryable(errors.New(msg))
 					break // stale ring: refresh, then re-route
 				}
-				return zero, errors.New(msg)
+				return zero, readServed{}, errors.New(msg)
 			}
-			return tr, nil
+			return tr, readServed{node: node, idx: i, replicas: replicas}, nil
 		}
 		if err := c.refreshRing(); err != nil {
 			break
@@ -498,20 +567,73 @@ func routedRead[R wire.Message](c *Client, pk string, build func(epoch uint64) w
 	if lastErr == nil {
 		lastErr = fmt.Errorf("cluster: read %q: no replicas", pk)
 	}
-	return zero, lastErr
+	return zero, readServed{}, lastErr
 }
 
 // Get reads one cell, starting at the partition's primary replica and
 // failing over across replicas; wrong-epoch rejections refresh the
-// ring and re-route (see routedRead).
+// ring and re-route (see routedRead). With ClientOptions.ReadRepair, a
+// read that failed over re-propagates the cell it found to the other
+// replicas in the background.
 func (c *Client) Get(pk string, ck []byte) ([]byte, bool, error) {
-	resp, err := routedRead(c, pk,
+	resp, served, err := routedRead(c, pk,
 		func(epoch uint64) wire.Message { return &wire.GetRequest{PK: pk, CK: ck, Epoch: epoch} },
 		func(r *wire.GetResponse) string { return r.ErrMsg })
 	if err != nil {
 		return nil, false, err
 	}
+	if c.readRepair && served.idx > 0 && resp.Found && resp.VerSeq > 0 {
+		c.repairAsync(served, row.Entry{
+			PK: pk, CK: ck, Value: resp.Value,
+			Ver: row.Version{Seq: resp.VerSeq, Node: resp.VerNode},
+		})
+	}
 	return resp.Value, resp.Found, nil
+}
+
+// repairAsync best-effort re-puts a cell — with its original version,
+// so a replica that already holds something newer keeps it (the
+// last-write-wins merge makes the repair harmless) — to every replica
+// other than the one that served the read. Errors are dropped: the
+// lagging replica was likely the unreachable node the read failed over
+// past, and the repair simply misses until it returns.
+func (c *Client) repairAsync(served readServed, ent row.Entry) {
+	targets := make([]hashring.NodeID, 0, len(served.replicas)-1)
+	for _, node := range served.replicas {
+		if node != served.node {
+			targets = append(targets, node)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	if c.repairsInFlight.Add(1) > maxRepairsInFlight {
+		// Another burst of failover reads is already repairing; drop
+		// this one rather than pile goroutines onto an unreachable node.
+		c.repairsInFlight.Add(-1)
+		return
+	}
+	// Epoch 0: the repair is admin-class traffic, valid at any epoch —
+	// a topology flip mid-repair must not turn a best-effort write into
+	// a retry loop.
+	payload, err := c.codec.Marshal(&wire.BatchPutRequest{Entries: []row.Entry{ent}})
+	if err != nil {
+		c.repairsInFlight.Add(-1)
+		return
+	}
+	c.RepairedReads.Add(1)
+	go func() {
+		defer c.repairsInFlight.Add(-1)
+		for _, node := range targets {
+			conn, err := c.conn(node)
+			if err != nil {
+				continue
+			}
+			if _, err := conn.Call(payload); err != nil {
+				c.dropConn(node, conn)
+			}
+		}
+	}()
 }
 
 // MultiGet reads many cells, one MultiGetRequest per involved node, all
@@ -639,7 +761,7 @@ func (c *Client) MultiGet(keys []wire.GetKey) ([]wire.MultiGetValue, error) {
 // Scan reads a clustering range of a partition, failing over across
 // replicas like Get.
 func (c *Client) Scan(pk string, from, to []byte) ([]row.Cell, error) {
-	resp, err := routedRead(c, pk,
+	resp, _, err := routedRead(c, pk,
 		func(epoch uint64) wire.Message { return &wire.ScanRequest{PK: pk, From: from, To: to, Epoch: epoch} },
 		func(r *wire.ScanResponse) string { return r.ErrMsg })
 	if err != nil {
@@ -654,7 +776,7 @@ func (c *Client) Scan(pk string, from, to []byte) ([]row.Cell, error) {
 // partition after a rebalance. (CountAll's fan-out stays unversioned
 // and accounts failures per request instead.)
 func (c *Client) Count(pk string) (map[uint8]uint64, uint64, error) {
-	resp, err := routedRead(c, pk,
+	resp, _, err := routedRead(c, pk,
 		func(epoch uint64) wire.Message { return &wire.CountRequest{PK: pk, Epoch: epoch} },
 		func(r *wire.CountResponse) string { return r.ErrMsg })
 	if err != nil {

@@ -32,10 +32,13 @@ import (
 //  5. retire — close the dual-write window and DeleteRange the moved
 //     ranges on their old owners (or, for a leave, stop the node).
 //
-// Known window: the store has no per-cell timestamps, so a cell
-// overwritten during the stream can race its forwarded copy on the
-// target (last arrival wins). Distinct-key ingest — the paper's
-// workloads — is unaffected; versioned cells are future work.
+// Correctness under the stream/forward race: every cell carries the
+// version its accepting engine stamped, stream pages and dual-write
+// forwards ship those versions verbatim, and the target's merge is
+// last-write-wins on version — so a cell overwritten (or deleted)
+// during the stream converges to the overwrite on every replica no
+// matter which copy arrives last. Tombstones ride the stream like any
+// cell, so deletes survive the handoff too.
 
 // streamPageCells is the page size the coordinator streams ranges with.
 const streamPageCells = 4096

@@ -29,6 +29,9 @@ type LocalOptions struct {
 	Codec wire.Codec
 	// Storage tunes every node's engine.
 	Storage storage.Options
+	// ReadRepair enables the client's failover read-repair (see
+	// ClientOptions.ReadRepair).
+	ReadRepair bool
 }
 
 // Cluster is a set of in-process nodes plus a connected client —
@@ -177,6 +180,7 @@ func start(opts LocalOptions, listen func(hashring.NodeID) (transport.Listener, 
 		ReplicationFactor: opts.ReplicationFactor,
 		Dialer:            dial,
 		Addrs:             addrs,
+		ReadRepair:        opts.ReadRepair,
 	})
 	return c, nil
 }

@@ -93,6 +93,10 @@ func StartNode(l transport.Listener, opts NodeOptions) (*Node, error) {
 	}
 	st := opts.Storage
 	st.Dir = opts.Dir
+	// The node's ring identity doubles as the engine's version-stamping
+	// identity, so two replicas accepting concurrent writes can never
+	// mint the same (Seq, Node) version for different cells.
+	st.NodeID = uint16(opts.ID)
 	engine, err := storage.Open(st)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", opts.ID, err)
@@ -245,6 +249,11 @@ func (n *Node) forwardEntries(entries []row.Entry) error {
 	return nil
 }
 
+// handle dispatches one decoded request. Each message type gets its own
+// method: the per-request goroutine's live stack while deep in the
+// engine then holds only the taken branch's locals, not the union of
+// every case — this path runs once per RPC, so its stack footprint is
+// hot.
 func (n *Node) handle(payload []byte) []byte {
 	recv := time.Now()
 	msg, err := n.codec.Unmarshal(payload)
@@ -253,77 +262,17 @@ func (n *Node) handle(payload []byte) []byte {
 	}
 	switch req := msg.(type) {
 	case *wire.PutRequest:
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.PutResponse{ErrMsg: msg})
-		}
-		if err := n.engine.Put(req.PK, req.CK, req.Value); err != nil {
-			return n.encode(&wire.PutResponse{ErrMsg: err.Error()})
-		}
-		if err := n.forwardEntries([]row.Entry{{PK: req.PK, CK: req.CK, Value: req.Value}}); err != nil {
-			return n.encode(&wire.PutResponse{ErrMsg: err.Error()})
-		}
-		// Re-check after applying: if the epoch flipped while this write
-		// was in flight, the dual-write window may already be closed and
-		// the forward skipped — acking would lose the write for readers
-		// at the new topology. Rejecting makes the client retry at the
-		// new epoch; the local copy is at worst idempotent garbage.
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.PutResponse{ErrMsg: msg})
-		}
-		return n.encode(&wire.PutResponse{})
+		return n.encode(n.handlePut(req))
+	case *wire.DeleteRequest:
+		return n.encode(n.handleDelete(req))
 	case *wire.BatchPutRequest:
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.BatchPutResponse{ErrMsg: msg})
-		}
-		// Group commit: the whole batch lands in one engine call — one
-		// lock acquisition, one WAL write — instead of len(Entries) RPCs.
-		if err := n.engine.PutBatch(req.Entries); err != nil {
-			return n.encode(&wire.BatchPutResponse{ErrMsg: err.Error()})
-		}
-		if err := n.forwardEntries(req.Entries); err != nil {
-			return n.encode(&wire.BatchPutResponse{ErrMsg: err.Error()})
-		}
-		// Same post-apply re-check as PutRequest: an epoch flip racing
-		// this batch must surface as a retryable rejection, not an ack
-		// that skipped the dual-write window.
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.BatchPutResponse{ErrMsg: msg})
-		}
-		return n.encode(&wire.BatchPutResponse{Applied: uint64(len(req.Entries))})
+		return n.encode(n.handleBatchPut(req))
 	case *wire.MultiGetRequest:
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.MultiGetResponse{ErrMsg: msg})
-		}
-		resp := &wire.MultiGetResponse{Values: make([]wire.MultiGetValue, len(req.Keys))}
-		for i, k := range req.Keys {
-			v, found, err := n.engine.Get(k.PK, k.CK)
-			if err != nil {
-				resp.ErrMsg = err.Error()
-				break
-			}
-			resp.Values[i] = wire.MultiGetValue{Value: v, Found: found}
-		}
-		return n.encode(resp)
+		return n.encode(n.handleMultiGet(req))
 	case *wire.GetRequest:
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.GetResponse{ErrMsg: msg})
-		}
-		v, found, err := n.engine.Get(req.PK, req.CK)
-		resp := &wire.GetResponse{Value: v, Found: found}
-		if err != nil {
-			resp.ErrMsg = err.Error()
-		}
-		return n.encode(resp)
+		return n.encode(n.handleGet(req))
 	case *wire.ScanRequest:
-		if msg := n.epochCheck(req.Epoch); msg != "" {
-			return n.encode(&wire.ScanResponse{ErrMsg: msg})
-		}
-		cells, err := n.engine.ScanPartition(req.PK, req.From, req.To)
-		resp := &wire.ScanResponse{Cells: cells}
-		if err != nil {
-			resp.ErrMsg = err.Error()
-		}
-		return n.encode(resp)
+		return n.encode(n.handleScan(req))
 	case *wire.CountRequest:
 		if msg := n.epochCheck(req.Epoch); msg != "" {
 			return n.encode(&wire.CountResponse{QueryID: req.QueryID, Seq: req.Seq, ErrMsg: msg})
@@ -334,17 +283,133 @@ func (n *Node) handle(payload []byte) []byte {
 	case *wire.StreamRangeRequest:
 		return n.encode(n.streamRange(req))
 	case *wire.DeleteRangeRequest:
-		removed, err := n.engine.DeleteRange(req.Lo, req.Hi)
-		resp := &wire.DeleteRangeResponse{Removed: uint64(removed)}
-		if err != nil {
-			resp.ErrMsg = err.Error()
-		}
-		return n.encode(resp)
+		return n.encode(n.handleDeleteRange(req))
 	case *wire.NodeStatsRequest:
 		return n.encode(n.statsResponse())
 	default:
 		return n.encode(&wire.CountResponse{ErrMsg: fmt.Sprintf("unexpected message %T", msg)})
 	}
+}
+
+func (n *Node) handlePut(req *wire.PutRequest) *wire.PutResponse {
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.PutResponse{ErrMsg: msg}
+	}
+	// Apply through the batch path so the engine's version stamp is
+	// readable afterwards: the dual-write forward must carry it, or
+	// the forwarded copy and a streamed copy of the same cell could
+	// merge differently at the target.
+	ents := []row.Entry{{PK: req.PK, CK: req.CK, Value: req.Value}}
+	if err := n.engine.PutBatch(ents); err != nil {
+		return &wire.PutResponse{ErrMsg: err.Error()}
+	}
+	if err := n.forwardEntries(ents); err != nil {
+		return &wire.PutResponse{ErrMsg: err.Error()}
+	}
+	// Re-check after applying: if the epoch flipped while this write
+	// was in flight, the dual-write window may already be closed and
+	// the forward skipped — acking would lose the write for readers
+	// at the new topology. Rejecting makes the client retry at the
+	// new epoch; the local copy is at worst idempotent garbage.
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.PutResponse{ErrMsg: msg}
+	}
+	return &wire.PutResponse{}
+}
+
+func (n *Node) handleDelete(req *wire.DeleteRequest) *wire.DeleteResponse {
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.DeleteResponse{ErrMsg: msg}
+	}
+	// A delete is a tombstone write: same stamping, same dual-write
+	// forwarding and same post-apply epoch re-check as a put, so a
+	// delete issued during a rebalance lands on the range's new
+	// owner with the version that makes every replica agree.
+	ents := []row.Entry{{PK: req.PK, CK: req.CK, Tombstone: true}}
+	if err := n.engine.PutBatch(ents); err != nil {
+		return &wire.DeleteResponse{ErrMsg: err.Error()}
+	}
+	if err := n.forwardEntries(ents); err != nil {
+		return &wire.DeleteResponse{ErrMsg: err.Error()}
+	}
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.DeleteResponse{ErrMsg: msg}
+	}
+	return &wire.DeleteResponse{}
+}
+
+func (n *Node) handleBatchPut(req *wire.BatchPutRequest) *wire.BatchPutResponse {
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.BatchPutResponse{ErrMsg: msg}
+	}
+	// Group commit: the whole batch lands in one engine call — one
+	// lock acquisition, one WAL write — instead of len(Entries) RPCs.
+	if err := n.engine.PutBatch(req.Entries); err != nil {
+		return &wire.BatchPutResponse{ErrMsg: err.Error()}
+	}
+	if err := n.forwardEntries(req.Entries); err != nil {
+		return &wire.BatchPutResponse{ErrMsg: err.Error()}
+	}
+	// Same post-apply re-check as PutRequest: an epoch flip racing
+	// this batch must surface as a retryable rejection, not an ack
+	// that skipped the dual-write window.
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.BatchPutResponse{ErrMsg: msg}
+	}
+	return &wire.BatchPutResponse{Applied: uint64(len(req.Entries))}
+}
+
+func (n *Node) handleMultiGet(req *wire.MultiGetRequest) *wire.MultiGetResponse {
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.MultiGetResponse{ErrMsg: msg}
+	}
+	resp := &wire.MultiGetResponse{Values: make([]wire.MultiGetValue, len(req.Keys))}
+	for i, k := range req.Keys {
+		v, found, err := n.engine.Get(k.PK, k.CK)
+		if err != nil {
+			resp.ErrMsg = err.Error()
+			break
+		}
+		resp.Values[i] = wire.MultiGetValue{Value: v, Found: found}
+	}
+	return resp
+}
+
+func (n *Node) handleGet(req *wire.GetRequest) *wire.GetResponse {
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.GetResponse{ErrMsg: msg}
+	}
+	cell, found, err := n.engine.GetVersioned(req.PK, req.CK)
+	resp := &wire.GetResponse{}
+	if found && !cell.Tombstone {
+		resp.Value, resp.Found = cell.Value, true
+		resp.VerSeq, resp.VerNode = cell.Ver.Seq, cell.Ver.Node
+	}
+	if err != nil {
+		resp.ErrMsg = err.Error()
+	}
+	return resp
+}
+
+func (n *Node) handleScan(req *wire.ScanRequest) *wire.ScanResponse {
+	if msg := n.epochCheck(req.Epoch); msg != "" {
+		return &wire.ScanResponse{ErrMsg: msg}
+	}
+	cells, err := n.engine.ScanPartition(req.PK, req.From, req.To)
+	resp := &wire.ScanResponse{Cells: cells}
+	if err != nil {
+		resp.ErrMsg = err.Error()
+	}
+	return resp
+}
+
+func (n *Node) handleDeleteRange(req *wire.DeleteRangeRequest) *wire.DeleteRangeResponse {
+	removed, err := n.engine.DeleteRange(req.Lo, req.Hi)
+	resp := &wire.DeleteRangeResponse{Removed: uint64(removed)}
+	if err != nil {
+		resp.ErrMsg = err.Error()
+	}
+	return resp
 }
 
 // ringStateResponse serializes the node's current topology view.

@@ -4,6 +4,14 @@
 // the memtable is frozen (Freeze marks it immutable) and handed to a
 // background flusher that writes it out as an SSTable while readers keep
 // merging it.
+//
+// Cells are versioned: Put resolves a clustering-key collision by
+// last-write-wins on the cell version, not by arrival order, so a stale
+// copy (a rebalance stream page landing after the dual-write forward of
+// a newer overwrite, a read-repair of an old value) can never clobber a
+// newer one. Tombstones are stored like any other cell — a delete is a
+// versioned write that masks older copies in frozen memtables and
+// SSTables until compaction collects it.
 package memtable
 
 import (
@@ -15,12 +23,49 @@ import (
 	"scalekv/internal/skiplist"
 )
 
+// Stored value layout: uvarint seq | uvarint node | flags | payload.
+const flagTombstone = byte(1)
+
+func encodeValue(ver row.Version, tombstone bool, value []byte) []byte {
+	out := make([]byte, 0, len(value)+12)
+	out = enc.AppendUvarint(out, ver.Seq)
+	out = enc.AppendUvarint(out, uint64(ver.Node))
+	flags := byte(0)
+	if tombstone {
+		flags = flagTombstone
+	}
+	out = append(out, flags)
+	return append(out, value...)
+}
+
+// decodeValue splits a stored value. The encoding is private to this
+// package and written only by Put, so corruption is impossible; the
+// zero-length checks guard programmer error loudly.
+func decodeValue(stored []byte) (ver row.Version, tombstone bool, value []byte) {
+	seq, n := enc.Uvarint(stored)
+	stored = stored[n:]
+	node, n2 := enc.Uvarint(stored)
+	stored = stored[n2:]
+	if n <= 0 || n2 <= 0 || len(stored) == 0 {
+		panic("memtable: corrupt stored value")
+	}
+	ver = row.Version{Seq: seq, Node: uint16(node)}
+	return ver, stored[0]&flagTombstone != 0, stored[1:]
+}
+
 // Memtable is a sorted, concurrent map from (partition key, clustering
-// key) to value.
+// key) to a versioned cell.
 type Memtable struct {
 	mu     sync.RWMutex
 	list   *skiplist.List
 	frozen bool
+	// minVer/maxVer bound the versions stored (over every Put accepted,
+	// including ones later overwritten — a conservative envelope). The
+	// engine uses maxVer to keep the point-read fast path (an active-
+	// memtable hit newer than every flushed version needs no SSTable
+	// merge) and minVer as the tombstone GC watermark input.
+	minVer, maxVer row.Version
+	hasVer         bool
 }
 
 // New creates an empty memtable; the seed drives skip-list tower heights
@@ -29,40 +74,55 @@ func New(seed int64) *Memtable {
 	return &Memtable{list: skiplist.New(seed)}
 }
 
-// Put stores value under (pk, ck). The ck and value slices are copied.
-// Put panics on a frozen memtable: a write landing after the freeze
-// would be silently dropped when the frozen table is retired, so the
-// invariant violation must be loud.
-func (m *Memtable) Put(pk string, ck, value []byte) {
+// Put stores a cell under (pk, ck) if its version is not older than the
+// version already stored — last write wins, decided by version. Ties go
+// to the incoming cell (a re-put of the same write is idempotent). The
+// ck and value slices are copied. Put panics on a frozen memtable: a
+// write landing after the freeze would be silently dropped when the
+// frozen table is retired, so the invariant violation must be loud.
+func (m *Memtable) Put(pk string, ck, value []byte, ver row.Version, tombstone bool) {
 	ik := enc.EncodeInternalKey(pk, ck)
-	v := append([]byte(nil), value...)
+	v := encodeValue(ver, tombstone, value)
 	m.mu.Lock()
 	if m.frozen {
 		m.mu.Unlock()
 		panic("memtable: Put on frozen memtable")
 	}
-	m.list.Set(ik, v)
+	if !m.hasVer {
+		m.minVer, m.maxVer, m.hasVer = ver, ver, true
+	} else {
+		if ver.Less(m.minVer) {
+			m.minVer = ver
+		}
+		if m.maxVer.Less(ver) {
+			m.maxVer = ver
+		}
+	}
+	m.list.Update(ik, func(old []byte, exists bool) ([]byte, bool) {
+		if exists {
+			if oldVer, _, _ := decodeValue(old); ver.Less(oldVer) {
+				return nil, false // stale copy: the stored cell is newer
+			}
+		}
+		return v, true
+	})
 	m.mu.Unlock()
 }
 
-// Get returns the value for (pk, ck).
-func (m *Memtable) Get(pk string, ck []byte) ([]byte, bool) {
+// Get returns the cell stored for (pk, ck) — value, version and
+// tombstone flag. A tombstone is returned like any other cell (ok=true);
+// masking it from reads is the engine's merge's job, which needs the
+// version to decide whether the tombstone wins.
+func (m *Memtable) Get(pk string, ck []byte) (value []byte, ver row.Version, tombstone, ok bool) {
 	ik := enc.EncodeInternalKey(pk, ck)
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.list.Get(ik)
-}
-
-// Delete removes (pk, ck) and reports whether it was present. Like Put
-// it panics on a frozen memtable.
-func (m *Memtable) Delete(pk string, ck []byte) bool {
-	ik := enc.EncodeInternalKey(pk, ck)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.frozen {
-		panic("memtable: Delete on frozen memtable")
+	stored, ok := m.list.Get(ik)
+	m.mu.RUnlock()
+	if !ok {
+		return nil, row.Version{}, false, false
 	}
-	return m.list.Delete(ik)
+	ver, tombstone, value = decodeValue(stored)
+	return value, ver, tombstone, true
 }
 
 // Freeze marks the memtable immutable. The storage engine freezes a
@@ -81,8 +141,25 @@ func (m *Memtable) Frozen() bool {
 	return m.frozen
 }
 
+// MaxVersion returns the highest version any accepted Put carried (zero
+// if none).
+func (m *Memtable) MaxVersion() row.Version {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.maxVer
+}
+
+// MinVersion returns the lowest version any accepted Put carried and
+// whether one exists — the shard's tombstone GC watermark reads it.
+func (m *Memtable) MinVersion() (row.Version, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.minVer, m.hasVer
+}
+
 // ScanPartition returns every cell of the partition with from <= CK < to,
-// in clustering order. Nil bounds mean unbounded.
+// in clustering order — tombstones included (the engine's merge masks
+// them against older sources before serving).
 func (m *Memtable) ScanPartition(pk string, from, to []byte) []row.Cell {
 	start := enc.PartitionPrefix(pk)
 	if from != nil {
@@ -103,12 +180,13 @@ func (m *Memtable) ScanPartition(pk string, from, to []byte) []row.Cell {
 		if err != nil {
 			continue // unreachable for keys written by Put
 		}
-		cells = append(cells, row.Cell{CK: ck, Value: it.Value()})
+		ver, tomb, value := decodeValue(it.Value())
+		cells = append(cells, row.Cell{CK: ck, Value: value, Ver: ver, Tombstone: tomb})
 	}
 	return cells
 }
 
-// Len returns the number of cells stored.
+// Len returns the number of cells stored (tombstones included).
 func (m *Memtable) Len() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -124,9 +202,11 @@ func (m *Memtable) Bytes() int64 {
 
 // Entry is one internal-key/value pair yielded by Each.
 type Entry struct {
-	PK    string
-	CK    []byte
-	Value []byte
+	PK        string
+	CK        []byte
+	Value     []byte
+	Ver       row.Version
+	Tombstone bool
 }
 
 // Each calls fn for every cell in internal-key order. It is used by the
@@ -140,7 +220,8 @@ func (m *Memtable) Each(fn func(Entry) error) error {
 		if err != nil {
 			continue
 		}
-		if err := fn(Entry{PK: pk, CK: ck, Value: it.Value()}); err != nil {
+		ver, tomb, value := decodeValue(it.Value())
+		if err := fn(Entry{PK: pk, CK: ck, Value: value, Ver: ver, Tombstone: tomb}); err != nil {
 			return err
 		}
 	}

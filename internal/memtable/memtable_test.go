@@ -5,18 +5,29 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"scalekv/internal/row"
 )
+
+// put stores a live cell with an auto-incremented version, standing in
+// for the engine's stamp.
+var testSeq uint64
+
+func put(m *Memtable, pk string, ck, value []byte) {
+	testSeq++
+	m.Put(pk, ck, value, row.Version{Seq: testSeq}, false)
+}
 
 func TestPutGet(t *testing.T) {
 	m := New(1)
-	m.Put("p1", []byte("c1"), []byte("v1"))
-	m.Put("p1", []byte("c2"), []byte("v2"))
-	m.Put("p2", []byte("c1"), []byte("v3"))
-	v, ok := m.Get("p1", []byte("c1"))
+	put(m, "p1", []byte("c1"), []byte("v1"))
+	put(m, "p1", []byte("c2"), []byte("v2"))
+	put(m, "p2", []byte("c1"), []byte("v3"))
+	v, _, _, ok := m.Get("p1", []byte("c1"))
 	if !ok || string(v) != "v1" {
 		t.Fatalf("got %q,%v", v, ok)
 	}
-	if _, ok := m.Get("p3", []byte("c1")); ok {
+	if _, _, _, ok := m.Get("p3", []byte("c1")); ok {
 		t.Fatal("found absent partition")
 	}
 	if m.Len() != 3 {
@@ -24,12 +35,72 @@ func TestPutGet(t *testing.T) {
 	}
 }
 
+func TestLastWriteWinsByVersion(t *testing.T) {
+	m := New(1)
+	m.Put("p", []byte("c"), []byte("new"), row.Version{Seq: 10, Node: 2}, false)
+	// A stale copy arriving later must not clobber the newer cell.
+	m.Put("p", []byte("c"), []byte("old"), row.Version{Seq: 5, Node: 7}, false)
+	v, ver, _, ok := m.Get("p", []byte("c"))
+	if !ok || string(v) != "new" || ver.Seq != 10 {
+		t.Fatalf("stale write won: %q ver=%+v", v, ver)
+	}
+	// A higher version replaces.
+	m.Put("p", []byte("c"), []byte("newest"), row.Version{Seq: 11, Node: 1}, false)
+	if v, _, _, _ := m.Get("p", []byte("c")); string(v) != "newest" {
+		t.Fatalf("newer write lost: %q", v)
+	}
+	// Equal sequence: the higher node wins; same version: idempotent.
+	m.Put("p", []byte("c"), []byte("tie"), row.Version{Seq: 11, Node: 3}, false)
+	if v, ver, _, _ := m.Get("p", []byte("c")); string(v) != "tie" || ver.Node != 3 {
+		t.Fatalf("node tie-break failed: %q ver=%+v", v, ver)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len %d want 1", m.Len())
+	}
+}
+
+func TestTombstoneStoredAndVersioned(t *testing.T) {
+	m := New(1)
+	m.Put("p", []byte("c"), []byte("v"), row.Version{Seq: 1}, false)
+	m.Put("p", []byte("c"), nil, row.Version{Seq: 2}, true)
+	_, ver, tomb, ok := m.Get("p", []byte("c"))
+	if !ok || !tomb || ver.Seq != 2 {
+		t.Fatalf("tombstone not stored: ok=%v tomb=%v ver=%+v", ok, tomb, ver)
+	}
+	// A stale put cannot resurrect the cell.
+	m.Put("p", []byte("c"), []byte("zombie"), row.Version{Seq: 1}, false)
+	if _, _, tomb, _ := m.Get("p", []byte("c")); !tomb {
+		t.Fatal("stale put resurrected a deleted cell")
+	}
+	// Tombstones appear in scans (the engine merges and masks them).
+	cells := m.ScanPartition("p", nil, nil)
+	if len(cells) != 1 || !cells[0].Tombstone {
+		t.Fatalf("scan hid the tombstone: %+v", cells)
+	}
+}
+
+func TestMinMaxVersionTracked(t *testing.T) {
+	m := New(1)
+	if _, ok := m.MinVersion(); ok {
+		t.Fatal("empty memtable reports a min version")
+	}
+	m.Put("p", []byte("a"), nil, row.Version{Seq: 7}, false)
+	m.Put("p", []byte("b"), nil, row.Version{Seq: 3}, false)
+	m.Put("p", []byte("c"), nil, row.Version{Seq: 9}, true)
+	if min, ok := m.MinVersion(); !ok || min.Seq != 3 {
+		t.Fatalf("min = %+v, %v", min, ok)
+	}
+	if max := m.MaxVersion(); max.Seq != 9 {
+		t.Fatalf("max = %+v", max)
+	}
+}
+
 func TestValueIsCopied(t *testing.T) {
 	m := New(1)
 	buf := []byte("original")
-	m.Put("p", []byte("c"), buf)
+	put(m, "p", []byte("c"), buf)
 	copy(buf, "CLOBBER!")
-	v, _ := m.Get("p", []byte("c"))
+	v, _, _, _ := m.Get("p", []byte("c"))
 	if string(v) != "original" {
 		t.Fatalf("stored value aliased caller buffer: %q", v)
 	}
@@ -39,8 +110,8 @@ func TestScanPartitionIsolation(t *testing.T) {
 	m := New(1)
 	// Partition keys chosen so one is a prefix of another.
 	for i := 0; i < 5; i++ {
-		m.Put("a", []byte{byte(i)}, []byte("va"))
-		m.Put("ab", []byte{byte(i)}, []byte("vab"))
+		put(m, "a", []byte{byte(i)}, []byte("va"))
+		put(m, "ab", []byte{byte(i)}, []byte("vab"))
 	}
 	cells := m.ScanPartition("a", nil, nil)
 	if len(cells) != 5 {
@@ -56,7 +127,7 @@ func TestScanPartitionIsolation(t *testing.T) {
 func TestScanPartitionRange(t *testing.T) {
 	m := New(1)
 	for i := 0; i < 10; i++ {
-		m.Put("p", []byte{byte(i)}, []byte{byte(i)})
+		put(m, "p", []byte{byte(i)}, []byte{byte(i)})
 	}
 	cells := m.ScanPartition("p", []byte{3}, []byte{7})
 	if len(cells) != 4 {
@@ -70,7 +141,7 @@ func TestScanPartitionRange(t *testing.T) {
 func TestScanOrdering(t *testing.T) {
 	m := New(1)
 	for i := 9; i >= 0; i-- { // insert in reverse
-		m.Put("p", []byte{byte(i)}, nil)
+		put(m, "p", []byte{byte(i)}, nil)
 	}
 	cells := m.ScanPartition("p", nil, nil)
 	for i, c := range cells {
@@ -80,23 +151,9 @@ func TestScanOrdering(t *testing.T) {
 	}
 }
 
-func TestDelete(t *testing.T) {
-	m := New(1)
-	m.Put("p", []byte("c"), []byte("v"))
-	if !m.Delete("p", []byte("c")) {
-		t.Fatal("delete failed")
-	}
-	if m.Delete("p", []byte("c")) {
-		t.Fatal("double delete succeeded")
-	}
-	if m.Len() != 0 {
-		t.Fatal("len not zero after delete")
-	}
-}
-
 func TestFreezeMakesImmutable(t *testing.T) {
 	m := New(1)
-	m.Put("p", []byte("c"), []byte("v"))
+	put(m, "p", []byte("c"), []byte("v"))
 	if m.Frozen() {
 		t.Fatal("fresh memtable reports frozen")
 	}
@@ -105,7 +162,7 @@ func TestFreezeMakesImmutable(t *testing.T) {
 		t.Fatal("Freeze did not mark the memtable")
 	}
 	// Reads keep working on a frozen memtable.
-	if v, ok := m.Get("p", []byte("c")); !ok || string(v) != "v" {
+	if v, _, _, ok := m.Get("p", []byte("c")); !ok || string(v) != "v" {
 		t.Fatalf("frozen read got %q,%v", v, ok)
 	}
 	if got := len(m.ScanPartition("p", nil, nil)); got != 1 {
@@ -113,8 +170,7 @@ func TestFreezeMakesImmutable(t *testing.T) {
 	}
 	// Writes must panic: a write after the freeze would be silently
 	// dropped when the frozen table is retired.
-	mustPanic(t, func() { m.Put("p", []byte("c2"), []byte("v2")) })
-	mustPanic(t, func() { m.Delete("p", []byte("c")) })
+	mustPanic(t, func() { put(m, "p", []byte("c2"), []byte("v2")) })
 }
 
 func mustPanic(t *testing.T, fn func()) {
@@ -131,7 +187,7 @@ func TestEachVisitsAllSorted(t *testing.T) {
 	m := New(1)
 	const n = 100
 	for i := 0; i < n; i++ {
-		m.Put(fmt.Sprintf("p%02d", i%10), []byte{byte(i / 10)}, []byte{1})
+		put(m, fmt.Sprintf("p%02d", i%10), []byte{byte(i / 10)}, []byte{1})
 	}
 	var count int
 	lastPK := ""
@@ -142,6 +198,9 @@ func TestEachVisitsAllSorted(t *testing.T) {
 		}
 		if e.PK == lastPK && bytes.Compare(e.CK, lastCK) <= 0 {
 			t.Fatalf("ck order violated in %q", e.PK)
+		}
+		if e.Ver.IsZero() {
+			t.Fatal("Each dropped the cell version")
 		}
 		lastPK, lastCK = e.PK, e.CK
 		count++
@@ -158,7 +217,7 @@ func TestEachVisitsAllSorted(t *testing.T) {
 func TestEachStopsOnError(t *testing.T) {
 	m := New(1)
 	for i := 0; i < 10; i++ {
-		m.Put("p", []byte{byte(i)}, nil)
+		put(m, "p", []byte{byte(i)}, nil)
 	}
 	calls := 0
 	wantErr := fmt.Errorf("stop")
@@ -177,7 +236,7 @@ func TestEachStopsOnError(t *testing.T) {
 func TestPartitions(t *testing.T) {
 	m := New(1)
 	for _, pk := range []string{"z", "a", "m", "a", "z"} {
-		m.Put(pk, []byte("c"), nil)
+		put(m, pk, []byte("c"), nil)
 	}
 	got := m.Partitions()
 	want := []string{"a", "m", "z"}
@@ -193,7 +252,7 @@ func TestPartitions(t *testing.T) {
 
 func TestBytesTracksPayload(t *testing.T) {
 	m := New(1)
-	m.Put("p", []byte("ck"), []byte("value"))
+	put(m, "p", []byte("ck"), []byte("value"))
 	if m.Bytes() <= 0 {
 		t.Fatal("bytes not tracked")
 	}
@@ -202,7 +261,7 @@ func TestBytesTracksPayload(t *testing.T) {
 func TestConcurrentReadersOneWriter(t *testing.T) {
 	m := New(1)
 	for i := 0; i < 1000; i++ {
-		m.Put("warm", []byte(fmt.Sprintf("%04d", i)), []byte("v"))
+		put(m, "warm", []byte(fmt.Sprintf("%04d", i)), []byte("v"))
 	}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -222,7 +281,7 @@ func TestConcurrentReadersOneWriter(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 2000; i++ {
-		m.Put("writes", []byte(fmt.Sprintf("%04d", i)), []byte("v"))
+		put(m, "writes", []byte(fmt.Sprintf("%04d", i)), []byte("v"))
 	}
 	close(stop)
 	wg.Wait()
@@ -239,14 +298,14 @@ func BenchmarkPut(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Put("bench", cks[i], cks[i])
+		m.Put("bench", cks[i], cks[i], row.Version{Seq: uint64(i + 1)}, false)
 	}
 }
 
 func BenchmarkScanPartition1000(b *testing.B) {
 	m := New(1)
 	for i := 0; i < 1000; i++ {
-		m.Put("bench", []byte(fmt.Sprintf("%09d", i)), make([]byte, 64))
+		put(m, "bench", []byte(fmt.Sprintf("%09d", i)), make([]byte, 64))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -72,13 +72,30 @@ func (l *List) findGE(key []byte, prev []*node) *node {
 // Set inserts or replaces the value for key. The key and value slices are
 // stored as given; callers that reuse buffers must copy first.
 func (l *List) Set(key, value []byte) {
+	l.Update(key, func([]byte, bool) ([]byte, bool) { return value, true })
+}
+
+// Update inserts or replaces the value for key through a decision
+// callback, finding the position once: f receives the current value (nil,
+// false when the key is absent) and returns the value to store plus
+// whether to store it at all. The memtable uses it for last-write-wins
+// puts — compare versions and keep the newer — without paying a second
+// traversal for the read.
+func (l *List) Update(key []byte, f func(old []byte, exists bool) ([]byte, bool)) {
 	prev := make([]*node, maxHeight)
 	for i := range prev {
 		prev[i] = l.head
 	}
 	if n := l.findGE(key, prev); n != nil && bytes.Equal(n.key, key) {
-		l.bytes += int64(len(value) - len(n.value))
-		n.value = value
+		value, store := f(n.value, true)
+		if store {
+			l.bytes += int64(len(value) - len(n.value))
+			n.value = value
+		}
+		return
+	}
+	value, store := f(nil, false)
+	if !store {
 		return
 	}
 	h := l.randomHeight()

@@ -18,6 +18,17 @@
 //
 // where the footer stores section offsets, the entry count and a CRC of
 // the two index sections.
+//
+// Two format revisions coexist. The v1 cell encoding is (ck, value) and
+// its footer ends in "SKVT"; cells read back with the zero version. The
+// v2 encoding appends each cell's version and a flags byte (tombstones
+// survive flush and mask older copies until compaction collects them),
+// and its footer ends in "SKV2" and additionally records the maximum
+// version sequence in the table — the engine restores its write counter
+// from it on reopen, and skips tables that cannot beat an already-found
+// version on point reads. The writer always produces v2 (except under
+// WriterOptions.LegacyV1, kept for compatibility tests); the reader
+// serves both.
 package sstable
 
 import (
@@ -40,9 +51,17 @@ import (
 // default of 64KB.
 const DefaultColumnIndexSize = 64 << 10
 
-var magic = []byte("SKVT")
+var (
+	magic   = []byte("SKVT") // header, and v1 footer terminator
+	magicV2 = []byte("SKV2") // v2 footer terminator
+)
 
-const footerSize = 8 + 8 + 8 + 4 + 4 // indexOff, bloomOff, count, crc, magic
+const (
+	footerSizeV1 = 8 + 8 + 8 + 4 + 4     // indexOff, bloomOff, count, crc, magic
+	footerSizeV2 = 8 + 8 + 8 + 8 + 4 + 4 // + maxSeq before the crc
+)
+
+const flagTombstone = byte(1)
 
 // ErrCorrupt reports a structurally invalid SSTable file.
 var ErrCorrupt = errors.New("sstable: corrupt file")
@@ -69,6 +88,8 @@ type Writer struct {
 	columnIndexSize int
 	lastPK          string
 	started         bool
+	legacy          bool
+	maxSeq          uint64
 	err             error
 }
 
@@ -82,6 +103,11 @@ type WriterOptions struct {
 	ExpectedPartitions int
 	// BloomFPRate is the target false positive rate; 0 means 1%.
 	BloomFPRate float64
+	// LegacyV1 writes the pre-versioning cell format (no versions, no
+	// tombstones — AddPartition rejects tombstone cells). It exists so
+	// compatibility tests can produce the tables an older engine would
+	// have left on disk; production flushes always write v2.
+	LegacyV1 bool
 }
 
 // NewWriter creates an SSTable file at path, truncating any existing one.
@@ -104,6 +130,7 @@ func NewWriter(path string, opts WriterOptions) (*Writer, error) {
 		w:               &countingWriter{w: f},
 		filter:          bloom.NewWithRate(opts.ExpectedPartitions, opts.BloomFPRate),
 		columnIndexSize: opts.ColumnIndexSize,
+		legacy:          opts.LegacyV1,
 	}
 	if _, err := w.w.Write(magic); err != nil {
 		f.Close()
@@ -143,6 +170,23 @@ func (w *Writer) AddPartition(pk string, cells []row.Cell) error {
 		}
 		data = enc.AppendBytes(data, c.CK)
 		data = enc.AppendBytes(data, c.Value)
+		if w.legacy {
+			if c.Tombstone {
+				w.err = fmt.Errorf("sstable: tombstone cell in legacy v1 table (partition %q)", pk)
+				return w.err
+			}
+			continue
+		}
+		data = enc.AppendUvarint(data, c.Ver.Seq)
+		data = enc.AppendUvarint(data, uint64(c.Ver.Node))
+		flags := byte(0)
+		if c.Tombstone {
+			flags = flagTombstone
+		}
+		data = append(data, flags)
+		if c.Ver.Seq > w.maxSeq {
+			w.maxSeq = c.Ver.Seq
+		}
 	}
 	// Cassandra semantics: partitions smaller than one chunk carry no
 	// column index at all.
@@ -205,12 +249,23 @@ func (w *Writer) Close() error {
 	crc := crc32.ChecksumIEEE(idx)
 	crc = crc32.Update(crc, crc32.IEEETable, bf)
 
-	footer := make([]byte, footerSize)
-	binary.LittleEndian.PutUint64(footer[0:], indexOff)
-	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
-	binary.LittleEndian.PutUint64(footer[16:], uint64(len(w.index)))
-	binary.LittleEndian.PutUint32(footer[24:], crc)
-	copy(footer[28:], magic)
+	var footer []byte
+	if w.legacy {
+		footer = make([]byte, footerSizeV1)
+		binary.LittleEndian.PutUint64(footer[0:], indexOff)
+		binary.LittleEndian.PutUint64(footer[8:], bloomOff)
+		binary.LittleEndian.PutUint64(footer[16:], uint64(len(w.index)))
+		binary.LittleEndian.PutUint32(footer[24:], crc)
+		copy(footer[28:], magic)
+	} else {
+		footer = make([]byte, footerSizeV2)
+		binary.LittleEndian.PutUint64(footer[0:], indexOff)
+		binary.LittleEndian.PutUint64(footer[8:], bloomOff)
+		binary.LittleEndian.PutUint64(footer[16:], uint64(len(w.index)))
+		binary.LittleEndian.PutUint64(footer[24:], w.maxSeq)
+		binary.LittleEndian.PutUint32(footer[32:], crc)
+		copy(footer[36:], magicV2)
+	}
 	if _, err := w.w.Write(footer); err != nil {
 		w.f.Close()
 		return err
@@ -250,11 +305,14 @@ type Reader struct {
 	index  []indexEntry
 	byPK   map[string]int
 	filter *bloom.Filter
+	legacy bool   // v1 cell encoding: no versions, no tombstones
+	maxSeq uint64 // highest version sequence in the table (0 for v1)
 	Stats  ReadStats
 }
 
 // Open loads an SSTable's index and bloom filter into memory and returns
-// a reader for it.
+// a reader for it. The format revision is detected from the footer
+// terminator: "SKVT" (v1) or "SKV2".
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -265,6 +323,25 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
+	if st.Size() < int64(len(magic)+footerSizeV1) {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	var term [4]byte
+	if _, err := f.ReadAt(term[:], st.Size()-4); err != nil {
+		f.Close()
+		return nil, err
+	}
+	legacy := false
+	footerSize := footerSizeV2
+	switch {
+	case bytes.Equal(term[:], magicV2):
+	case bytes.Equal(term[:], magic):
+		legacy, footerSize = true, footerSizeV1
+	default:
+		f.Close()
+		return nil, ErrCorrupt
+	}
 	if st.Size() < int64(len(magic)+footerSize) {
 		f.Close()
 		return nil, ErrCorrupt
@@ -274,15 +351,18 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	if !bytes.Equal(footer[28:32], magic) {
-		f.Close()
-		return nil, ErrCorrupt
-	}
 	indexOff := binary.LittleEndian.Uint64(footer[0:])
 	bloomOff := binary.LittleEndian.Uint64(footer[8:])
 	count := binary.LittleEndian.Uint64(footer[16:])
-	wantCRC := binary.LittleEndian.Uint32(footer[24:])
-	if indexOff > bloomOff || bloomOff > uint64(st.Size())-footerSize {
+	var maxSeq uint64
+	var wantCRC uint32
+	if legacy {
+		wantCRC = binary.LittleEndian.Uint32(footer[24:])
+	} else {
+		maxSeq = binary.LittleEndian.Uint64(footer[24:])
+		wantCRC = binary.LittleEndian.Uint32(footer[32:])
+	}
+	if indexOff > bloomOff || bloomOff > uint64(st.Size())-uint64(footerSize) {
 		f.Close()
 		return nil, ErrCorrupt
 	}
@@ -292,7 +372,7 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	bloomBuf := make([]byte, uint64(st.Size())-footerSize-bloomOff)
+	bloomBuf := make([]byte, uint64(st.Size())-uint64(footerSize)-bloomOff)
 	if _, err := f.ReadAt(bloomBuf, int64(bloomOff)); err != nil {
 		f.Close()
 		return nil, err
@@ -304,7 +384,7 @@ func Open(path string) (*Reader, error) {
 		return nil, fmt.Errorf("%w: index crc mismatch", ErrCorrupt)
 	}
 
-	r := &Reader{f: f, byPK: make(map[string]int, count)}
+	r := &Reader{f: f, byPK: make(map[string]int, count), legacy: legacy, maxSeq: maxSeq}
 	p := idxBuf
 	n, used := enc.Uvarint(p)
 	if used <= 0 || n != count {
@@ -341,6 +421,15 @@ func Open(path string) (*Reader, error) {
 
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
+
+// MaxSeq returns the highest cell version sequence stored in the table;
+// 0 for legacy v1 tables (whose cells all carry the zero version). The
+// engine restores its write counter from it and uses it to skip tables
+// that cannot beat an already-found version.
+func (r *Reader) MaxSeq() uint64 { return r.maxSeq }
+
+// Legacy reports whether the table uses the pre-versioning v1 format.
+func (r *Reader) Legacy() bool { return r.legacy }
 
 // Path returns the file backing this table; the storage engine's
 // compactor uses it to retire exactly the inputs it merged.
@@ -483,7 +572,7 @@ func (r *Reader) ReadPartition(pk string) ([]row.Cell, error) {
 		return nil, err
 	}
 	r.Stats.PartitionsRead.Add(1)
-	return decodeCells(pp.data, int(pp.cellCount))
+	return decodeCells(pp.data, int(pp.cellCount), r.legacy)
 }
 
 // ReadSlice returns the cells of a partition with from <= CK < to. For
@@ -541,6 +630,14 @@ func (r *Reader) ReadSlice(pk string, from, to []byte) ([]row.Cell, error) {
 			return nil, ErrCorrupt
 		}
 		data = data[u2:]
+		var ver row.Version
+		var tomb bool
+		if !r.legacy {
+			var ok bool
+			if ver, tomb, data, ok = decodeCellMeta(data); !ok {
+				return nil, ErrCorrupt
+			}
+		}
 		if to != nil && bytes.Compare(ck, to) >= 0 {
 			break
 		}
@@ -548,11 +645,29 @@ func (r *Reader) ReadSlice(pk string, from, to []byte) ([]row.Cell, error) {
 			continue
 		}
 		cells = append(cells, row.Cell{
-			CK:    append([]byte(nil), ck...),
-			Value: append([]byte(nil), val...),
+			CK:        append([]byte(nil), ck...),
+			Value:     append([]byte(nil), val...),
+			Ver:       ver,
+			Tombstone: tomb,
 		})
 	}
 	return cells, nil
+}
+
+// decodeCellMeta parses the v2 per-cell trailer: seq, node, flags.
+func decodeCellMeta(data []byte) (ver row.Version, tomb bool, rest []byte, ok bool) {
+	seq, n1 := enc.Uvarint(data)
+	if n1 <= 0 {
+		return ver, false, nil, false
+	}
+	data = data[n1:]
+	node, n2 := enc.Uvarint(data)
+	if n2 <= 0 || len(data) < n2+1 {
+		return ver, false, nil, false
+	}
+	data = data[n2:]
+	ver = row.Version{Seq: seq, Node: uint16(node)}
+	return ver, data[0]&flagTombstone != 0, data[1:], true
 }
 
 // HasColumnIndex reports whether the partition carries a column index
@@ -569,7 +684,7 @@ func (r *Reader) HasColumnIndex(pk string) (bool, error) {
 	return len(pp.colCKs) > 0, nil
 }
 
-func decodeCells(data []byte, hint int) ([]row.Cell, error) {
+func decodeCells(data []byte, hint int, legacy bool) ([]row.Cell, error) {
 	cells := make([]row.Cell, 0, hint)
 	for len(data) > 0 {
 		ck, u := enc.Bytes(data)
@@ -582,9 +697,19 @@ func decodeCells(data []byte, hint int) ([]row.Cell, error) {
 			return nil, ErrCorrupt
 		}
 		data = data[u2:]
+		var ver row.Version
+		var tomb bool
+		if !legacy {
+			var ok bool
+			if ver, tomb, data, ok = decodeCellMeta(data); !ok {
+				return nil, ErrCorrupt
+			}
+		}
 		cells = append(cells, row.Cell{
-			CK:    append([]byte(nil), ck...),
-			Value: append([]byte(nil), val...),
+			CK:        append([]byte(nil), ck...),
+			Value:     append([]byte(nil), val...),
+			Ver:       ver,
+			Tombstone: tomb,
 		})
 	}
 	return cells, nil

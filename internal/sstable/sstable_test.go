@@ -286,7 +286,7 @@ func TestOpenRejectsCorruptFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)-footerSize-2] ^= 0xFF
+	data[len(data)-footerSizeV2-2] ^= 0xFF
 	bad := filepath.Join(dir, "bad.sst")
 	os.WriteFile(bad, data, 0o644)
 	if _, err := Open(bad); err == nil {

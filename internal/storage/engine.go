@@ -64,6 +64,12 @@ const (
 type Options struct {
 	// Dir is the data directory; it is created if missing.
 	Dir string
+	// NodeID is the engine's identity inside cell versions: every write
+	// this engine stamps carries it as the version tie-breaker. Cluster
+	// nodes set it to their ring ID so replicas stamping concurrently
+	// never produce equal versions for different writes; a standalone
+	// engine can leave it 0.
+	NodeID uint16
 	// Sync selects the WAL fsync policy. Zero value is SyncNever.
 	Sync SyncMode
 	// Shards is the lock-stripe count: each shard has its own memtable,
@@ -115,10 +121,12 @@ type Metrics struct {
 	Puts            atomic.Int64
 	Gets            atomic.Int64
 	Scans           atomic.Int64
+	Deletes         atomic.Int64
 	Flushes         atomic.Int64
 	FlushedBytes    atomic.Int64
 	Compactions     atomic.Int64
 	RangePurges     atomic.Int64
+	TombstonesGCed  atomic.Int64
 	BloomSkips      atomic.Int64
 	SSTablesTouched atomic.Int64
 	CacheHits       atomic.Int64
@@ -137,11 +145,25 @@ type Engine struct {
 
 	Metrics Metrics
 
+	// seq is the version counter: every accepted write stamps
+	// (seq+1, NodeID), and any incoming pre-versioned write (a forwarded
+	// or streamed copy, a read-repair) pulls it forward to at least that
+	// sequence, hybrid-logical-clock style — so a local write accepted
+	// after a remote copy arrives always orders after it. Restored on
+	// open from the WAL and SSTable max sequences.
+	seq atomic.Uint64
+
 	// purgeGen counts DeleteRange purges; reads snapshot it before
 	// merging a partition and skip the row-cache fill when it moved, so
 	// an in-flight read cannot re-cache a partition a concurrent purge
 	// just removed.
 	purgeGen atomic.Int64
+
+	// scanMu/scanIdx cache the token-sorted partition index of an
+	// in-progress ScanRange so each page resumes by binary search
+	// instead of re-enumerating every partition (see ScanRange).
+	scanMu  sync.Mutex
+	scanIdx map[scanKey]*scanIndex
 
 	// Test hooks, nil in production. Set them before any engine
 	// activity: the first mutex handoff to the workers publishes them.
@@ -222,14 +244,24 @@ func rejectLegacyLayout(dir string) error {
 	return nil
 }
 
-// loadOrInitShardCount reads the SHARDS manifest, writing it with want
-// on first open. The persisted value wins on reopen: partition keys
-// were hashed to files with it.
+// manifestFormat is the on-disk format generation recorded in the
+// SHARDS manifest: "v2" marks a directory whose tables carry per-cell
+// versions and tombstones. A manifest without a format field (just the
+// shard count) was written before versioning; its v1 tables and legacy
+// WAL segments are still readable, and the manifest is upgraded in
+// place because every table written from here on is v2.
+const manifestFormat = "v2"
+
+// loadOrInitShardCount reads the SHARDS manifest — "<count> <format>" —
+// writing it with want on first open. The persisted count wins on
+// reopen: partition keys were hashed to files with it. An unknown
+// format field fails loudly: the directory was written by a newer
+// engine whose files this one would misread.
 func loadOrInitShardCount(dir string, want int) (int, error) {
 	path := filepath.Join(dir, "SHARDS")
 	b, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d\n", want)), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d %s\n", want, manifestFormat)), 0o644); err != nil {
 			return 0, err
 		}
 		return want, nil
@@ -237,9 +269,23 @@ func loadOrInitShardCount(dir string, want int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	fields := strings.Fields(string(b))
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("storage: corrupt shard manifest %s: %q", path, b)
+	}
+	n, err := strconv.Atoi(fields[0])
 	if err != nil || n < 1 {
 		return 0, fmt.Errorf("storage: corrupt shard manifest %s: %q", path, b)
+	}
+	switch {
+	case len(fields) == 1:
+		// Pre-versioning manifest: upgrade, the data files stay readable.
+		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d %s\n", n, manifestFormat)), 0o644); err != nil {
+			return 0, err
+		}
+	case fields[1] == manifestFormat:
+	default:
+		return 0, fmt.Errorf("storage: %s was written with format %q; this engine supports %q", path, fields[1], manifestFormat)
 	}
 	return n, nil
 }
@@ -260,11 +306,46 @@ func (e *Engine) shardIndex(pk string) int {
 // rowCache method tolerates a nil receiver.
 func (e *Engine) cache() *rowCache { return e.rcache }
 
-// Put stores value under (pk, ck). It returns once the write is in the
-// shard's WAL segment and active memtable; flushing to SSTable happens
-// in the background and is never waited on.
+// stamp assigns the next local version — the engine is the "accepting
+// node" of the write.
+func (e *Engine) stamp() row.Version {
+	return row.Version{Seq: e.seq.Add(1), Node: e.opts.NodeID}
+}
+
+// advanceSeq pulls the version counter forward to at least seq, so a
+// local write accepted after an incoming pre-versioned copy (forwarded,
+// streamed, repaired) always stamps a higher sequence.
+func (e *Engine) advanceSeq(seq uint64) {
+	for {
+		cur := e.seq.Load()
+		if cur >= seq || e.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Put stores value under (pk, ck), stamped with a fresh local version.
+// It returns once the write is in the shard's WAL segment and active
+// memtable; flushing to SSTable happens in the background and is never
+// waited on.
 func (e *Engine) Put(pk string, ck, value []byte) error {
 	e.Metrics.Puts.Add(1)
+	return e.write(pk, ck, value, e.stamp(), false)
+}
+
+// Delete removes (pk, ck) by writing a tombstone: a versioned cell that
+// masks every older copy of the address — in the active memtable, in
+// frozen memtables awaiting flush, and in SSTables — until compaction
+// collects it under the shard's GC watermark. A delete is a first-class
+// durable write: it is WAL-logged, survives flush, compaction and
+// reopen, and replicates like a put.
+func (e *Engine) Delete(pk string, ck []byte) error {
+	e.Metrics.Deletes.Add(1)
+	return e.write(pk, ck, nil, e.stamp(), true)
+}
+
+// write is the shared single-cell write path behind Put and Delete.
+func (e *Engine) write(pk string, ck, value []byte, ver row.Version, tombstone bool) error {
 	s := e.shardFor(pk)
 	s.mu.Lock()
 	if s.closing {
@@ -280,7 +361,7 @@ func (e *Engine) Put(pk string, ck, value []byte) error {
 		return err
 	}
 	if s.wal != nil {
-		if err := s.wal.append(walPut, pk, ck, value); err != nil {
+		if err := s.wal.append(pk, ck, value, ver, tombstone); err != nil {
 			s.mu.Unlock()
 			return err
 		}
@@ -291,7 +372,7 @@ func (e *Engine) Put(pk string, ck, value []byte) error {
 			}
 		}
 	}
-	s.mem.Put(pk, ck, value)
+	s.mem.Put(pk, ck, value, ver, tombstone)
 	if s.mem.Bytes() >= e.opts.FlushThreshold {
 		s.freezeLocked()
 	}
@@ -324,11 +405,38 @@ func (s *shard) checkBacklogLocked() error {
 // stops at the failing entry of the failing shard; entries already
 // appended stay applied (same semantics as a partially completed
 // sequence of Puts).
+//
+// Versioning: entries with a zero Ver are fresh writes and are stamped
+// in place with this engine's next versions (callers — the cluster's
+// write handlers — read the stamps back to forward them); entries that
+// already carry a version (forwarded, streamed or repaired copies) keep
+// it, and the engine's counter is pulled forward past it so later local
+// writes still win last-write-wins. Tombstone entries are applied like
+// puts.
 func (e *Engine) PutBatch(entries []row.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
 	e.Metrics.Puts.Add(int64(len(entries)))
+	var maxIncoming uint64
+	for i := range entries {
+		if entries[i].Ver.IsZero() {
+			entries[i].Ver = e.stamp()
+		} else if entries[i].Ver.Seq > maxIncoming {
+			maxIncoming = entries[i].Ver.Seq
+		}
+	}
+	if maxIncoming > 0 {
+		e.advanceSeq(maxIncoming)
+	}
+	// Single-entry batches are the wire put path (the node applies
+	// through PutBatch to read the stamp back for forwarding); skip the
+	// bucketing machinery for them.
+	if len(entries) == 1 {
+		err := e.shardFor(entries[0].PK).putBatch(entries)
+		e.cache().invalidate(entries[0].PK)
+		return err
+	}
 	var err error
 	if len(e.shards) == 1 {
 		err = e.shards[0].putBatch(entries)
@@ -359,65 +467,52 @@ func (e *Engine) PutBatch(entries []row.Entry) error {
 	return err
 }
 
-// Delete removes (pk, ck) from the shard's active memtable. Tombstones
-// are not implemented: the paper's workloads are append-then-read-only,
-// so deletes only need to cover cells that are still in the active
-// memtable — cells already frozen for flush or flushed to SSTables are
-// not masked. A delete that covers nothing is a no-op everywhere,
-// including the WAL: logging it unconditionally would make crash
-// recovery apply it across freeze boundaries and remove a cell the
-// live engine still served.
-func (e *Engine) Delete(pk string, ck []byte) error {
-	s := e.shardFor(pk)
-	s.mu.Lock()
-	if s.closing {
-		s.mu.Unlock()
-		return errClosed
+// Get returns the live value for (pk, ck): the highest-versioned cell
+// across the active memtable, frozen memtables and SSTables, masked by
+// tombstones. Sources whose maximum version cannot beat the best cell
+// found so far are skipped, so the common case — the newest copy is in
+// the active memtable — touches nothing else.
+func (e *Engine) Get(pk string, ck []byte) ([]byte, bool, error) {
+	cell, found, err := e.GetVersioned(pk, ck)
+	if err != nil || !found || cell.Tombstone {
+		return nil, false, err
 	}
-	if _, present := s.mem.Get(pk, ck); !present {
-		s.mu.Unlock()
-		return nil
-	}
-	if err := s.ensureWALLocked(); err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	if s.wal != nil {
-		if err := s.wal.append(walDelete, pk, ck, nil); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-		if e.opts.Sync == SyncAlways {
-			if err := s.wal.sync(); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-		}
-	}
-	s.mem.Delete(pk, ck)
-	s.mu.Unlock()
-	e.cache().invalidate(pk)
-	return nil
+	return cell.Value, true, nil
 }
 
-// Get returns the newest value for (pk, ck): active memtable first,
-// then frozen memtables newest to oldest, then SSTables newest to
-// oldest.
-func (e *Engine) Get(pk string, ck []byte) ([]byte, bool, error) {
+// GetVersioned returns the winning cell for (pk, ck) with its version
+// and tombstone flag — found=true with Tombstone set means the address
+// is deleted (Get reports it as absent). The cluster's read path uses
+// the version for read-repair.
+func (e *Engine) GetVersioned(pk string, ck []byte) (row.Cell, bool, error) {
 	e.Metrics.Gets.Add(1)
 	view := e.shardFor(pk).snapshot()
 	defer view.close()
 
-	if v, ok := view.mem.Get(pk, ck); ok {
-		return v, true, nil
+	var best row.Cell
+	found := false
+	// Newest sources first; a later (older) source only replaces the
+	// best cell on a strictly higher version, so exact ties keep the
+	// newer source's copy — the same tie-break as row.Merge.
+	if v, ver, tomb, ok := view.mem.Get(pk, ck); ok {
+		best = row.Cell{CK: ck, Value: v, Ver: ver, Tombstone: tomb}
+		found = true
 	}
 	for i := len(view.frozen) - 1; i >= 0; i-- {
-		if v, ok := view.frozen[i].mem.Get(pk, ck); ok {
-			return v, true, nil
+		fm := view.frozen[i].mem
+		if found && !best.Ver.Less(fm.MaxVersion()) {
+			continue // nothing in this memtable can beat the best cell
+		}
+		if v, ver, tomb, ok := fm.Get(pk, ck); ok && (!found || best.Ver.Less(ver)) {
+			best = row.Cell{CK: ck, Value: v, Ver: ver, Tombstone: tomb}
+			found = true
 		}
 	}
 	for i := len(view.tables) - 1; i >= 0; i-- {
 		t := view.tables[i]
+		if found && t.MaxSeq() < best.Ver.Seq {
+			continue // every cell in this table loses to the best cell
+		}
 		if !t.MayContain(pk) {
 			e.Metrics.BloomSkips.Add(1)
 			continue
@@ -428,13 +523,14 @@ func (e *Engine) Get(pk string, ck []byte) ([]byte, bool, error) {
 			continue
 		}
 		if err != nil {
-			return nil, false, err
+			return row.Cell{}, false, err
 		}
-		if len(cells) > 0 && bytes.Equal(cells[0].CK, ck) {
-			return cells[0].Value, true, nil
+		if len(cells) > 0 && bytes.Equal(cells[0].CK, ck) && (!found || best.Ver.Less(cells[0].Ver)) {
+			best = cells[0]
+			found = true
 		}
 	}
-	return nil, false, nil
+	return best, found, nil
 }
 
 // nextKey returns the immediate successor of ck in byte order.
@@ -444,8 +540,9 @@ func nextKey(ck []byte) []byte {
 	return out
 }
 
-// ScanPartition returns the merged cells of a partition with
-// from <= CK < to, newest version winning. Nil bounds mean unbounded.
+// ScanPartition returns the live merged cells of a partition with
+// from <= CK < to, the highest version winning and tombstones masking
+// what they shadow. Nil bounds mean unbounded.
 func (e *Engine) ScanPartition(pk string, from, to []byte) ([]row.Cell, error) {
 	e.Metrics.Scans.Add(1)
 	if from == nil && to == nil {
@@ -457,11 +554,31 @@ func (e *Engine) ScanPartition(pk string, from, to []byte) ([]row.Cell, error) {
 	}
 
 	purgeGen := e.purgeGen.Load()
+	merged, err := e.scanPartitionRaw(pk, from, to)
+	if err != nil {
+		return nil, err
+	}
+	live := row.DropTombstones(merged)
+	// Cache only if no DeleteRange ran while this read was merging: the
+	// purge invalidates the cache when it finishes, and a stale fill
+	// after that would serve deleted data indefinitely.
+	if from == nil && to == nil && e.purgeGen.Load() == purgeGen {
+		e.cache().put(pk, live)
+	}
+	return live, nil
+}
+
+// scanPartitionRaw merges a partition across every source by version,
+// keeping tombstones in the output — the range streamer reads through
+// it so deletes propagate to new owners during a rebalance.
+func (e *Engine) scanPartitionRaw(pk string, from, to []byte) ([]row.Cell, error) {
 	view := e.shardFor(pk).snapshot()
 	defer view.close()
 
-	// Sources oldest to newest so row.Merge lets the newest win:
-	// SSTables, then frozen memtables, then the active memtable.
+	// Sources oldest to newest so row.Merge's tie-break (equal versions:
+	// later source wins) preserves the historical newest-table-wins
+	// order for pre-versioning cells: SSTables, then frozen memtables,
+	// then the active memtable.
 	sources := make([][]row.Cell, 0, len(view.tables)+len(view.frozen)+1)
 	for _, t := range view.tables {
 		if !t.MayContain(pk) {
@@ -482,14 +599,7 @@ func (e *Engine) ScanPartition(pk string, from, to []byte) ([]row.Cell, error) {
 		sources = append(sources, fm.mem.ScanPartition(pk, from, to))
 	}
 	sources = append(sources, view.mem.ScanPartition(pk, from, to))
-	merged := row.Merge(sources...)
-	// Cache only if no DeleteRange ran while this read was merging: the
-	// purge invalidates the cache when it finishes, and a stale fill
-	// after that would serve deleted data indefinitely.
-	if from == nil && to == nil && e.purgeGen.Load() == purgeGen {
-		e.cache().put(pk, merged)
-	}
-	return merged, nil
+	return row.Merge(sources...), nil
 }
 
 // CountPartition returns the number of live cells in a partition.

@@ -53,10 +53,9 @@ func TestEngineAgainstModel(t *testing.T) {
 	pk := func() string { return fmt.Sprintf("p%02d", rng.Intn(8)) }
 	ck := func() []byte { return []byte(fmt.Sprintf("c%03d", rng.Intn(50))) }
 
-	// Deletes only hide cells still in the active memtable (the engine
-	// has no tombstones by design: frozen memtables and SSTables are not
-	// masked); the model must match, so deletes are only issued for
-	// cells that live nowhere else.
+	// Deletes are first-class tombstone writes: they mask the cell
+	// wherever its older versions live (active, frozen, SSTable), so
+	// the model applies them unconditionally.
 	const ops = 6000
 	for i := 0; i < ops; i++ {
 		switch op := rng.Intn(100); {
@@ -66,11 +65,8 @@ func TestEngineAgainstModel(t *testing.T) {
 				t.Fatalf("op %d: put: %v", i, err)
 			}
 			ref.put(p, c, v)
-		case op < 50: // delete (only safe for active-memtable-only cells)
+		case op < 50: // delete
 			p, c := pk(), ck()
-			if !cellOnlyInActiveMem(e, p, c) {
-				continue
-			}
 			if err := e.Delete(p, c); err != nil {
 				t.Fatalf("op %d: delete: %v", i, err)
 			}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"math"
 	"sort"
 
 	"scalekv/internal/murmur"
@@ -43,18 +44,14 @@ type rangePK struct {
 }
 
 // partitionsInRange collects the engine's partitions whose token falls
-// in the inclusive [lo, hi], strictly after the (afterToken, afterPK)
-// cursor, ordered by (token, pk). Wrap-around ranges are the caller's
-// concern: ownership diffs split them at the int64 boundary, so lo <= hi
-// always holds here.
-func (e *Engine) partitionsInRange(lo, hi, afterToken int64, afterPK string) []rangePK {
+// in the inclusive [lo, hi], ordered by (token, pk). Wrap-around ranges
+// are the caller's concern: ownership diffs split them at the int64
+// boundary, so lo <= hi always holds here.
+func (e *Engine) partitionsInRange(lo, hi int64) []rangePK {
 	var out []rangePK
 	for _, pk := range e.Partitions() {
 		tok := PartitionToken(pk)
 		if tok < lo || tok > hi {
-			continue
-		}
-		if tok < afterToken || (tok == afterToken && pk <= afterPK) {
 			continue
 		}
 		out = append(out, rangePK{token: tok, pk: pk})
@@ -68,34 +65,106 @@ func (e *Engine) partitionsInRange(lo, hi, afterToken int64, afterPK string) []r
 	return out
 }
 
+// scanKey identifies one in-progress range scan in the index cache.
+type scanKey struct{ lo, hi int64 }
+
+// scanIndex is the token-sorted partition list of one range scan,
+// built on the scan's first page and reused — resumed by binary search
+// — by every following page. gen pins the purge generation the index
+// was built under: a DeleteRange invalidates it.
+type scanIndex struct {
+	gen   int64
+	parts []rangePK
+}
+
+// maxScanIndexes bounds the cache; scans drop their entry when the last
+// page is served, so the bound only matters for abandoned scans.
+const maxScanIndexes = 4
+
+// scanPartitions returns the partitions of [lo, hi] strictly after the
+// (afterToken, afterPK) cursor. The first page of a scan enumerates and
+// token-sorts the engine's partitions once and caches the index; later
+// pages binary-search the cursor in the cached index instead of paying
+// the full enumeration per page. Partitions created after the index was
+// built are not picked up mid-scan — for the rebalance streamer (the
+// only paged caller) those are exactly the writes the dual-write window
+// already forwards.
+func (e *Engine) scanPartitions(lo, hi, afterToken int64, afterPK string) []rangePK {
+	key := scanKey{lo: lo, hi: hi}
+	first := afterToken == math.MinInt64 && afterPK == ""
+	gen := e.purgeGen.Load()
+
+	e.scanMu.Lock()
+	idx := e.scanIdx[key]
+	e.scanMu.Unlock()
+	if first || idx == nil || idx.gen != gen {
+		idx = &scanIndex{gen: gen, parts: e.partitionsInRange(lo, hi)}
+		e.scanMu.Lock()
+		if e.scanIdx == nil {
+			e.scanIdx = make(map[scanKey]*scanIndex)
+		}
+		for k := range e.scanIdx {
+			if len(e.scanIdx) < maxScanIndexes {
+				break
+			}
+			delete(e.scanIdx, k)
+		}
+		e.scanIdx[key] = idx
+		e.scanMu.Unlock()
+	}
+	if first {
+		return idx.parts
+	}
+	// Resume strictly after the cursor.
+	at := sort.Search(len(idx.parts), func(i int) bool {
+		p := idx.parts[i]
+		return p.token > afterToken || (p.token == afterToken && p.pk > afterPK)
+	})
+	return idx.parts[at:]
+}
+
+// dropScanIndex retires a finished scan's cached partition index.
+func (e *Engine) dropScanIndex(lo, hi int64) {
+	e.scanMu.Lock()
+	delete(e.scanIdx, scanKey{lo: lo, hi: hi})
+	e.scanMu.Unlock()
+}
+
 // ScanRange returns one page of the cells whose partition token falls
 // in the inclusive token range [lo, hi], in (token, partition key)
 // order — the streaming source of a range handoff. The page holds whole
 // partitions and at least one partition regardless of maxCells; when
 // More is set, resume with the returned cursor. Pass (math.MinInt64, "")
 // to start. The scan merges memtables and SSTables exactly like a
-// partition read, and tolerates concurrent writes: partitions created
-// behind the cursor are the dual-write window's concern, not the
+// partition read — tombstones included, so a delete propagates to the
+// range's new owner and keeps masking older copies there. The partition
+// set is indexed once on the first page (see scanPartitions); writes
+// landing mid-scan are the dual-write window's concern, not the
 // streamer's.
 func (e *Engine) ScanRange(lo, hi, afterToken int64, afterPK string, maxCells int) (*RangePage, error) {
 	if maxCells <= 0 {
 		maxCells = DefaultRangePageCells
 	}
 	page := &RangePage{}
-	selected := e.partitionsInRange(lo, hi, afterToken, afterPK)
+	selected := e.scanPartitions(lo, hi, afterToken, afterPK)
 	for i, p := range selected {
-		cells, err := e.ScanPartition(p.pk, nil, nil)
+		cells, err := e.scanPartitionRaw(p.pk, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range cells {
-			page.Entries = append(page.Entries, row.Entry{PK: p.pk, CK: c.CK, Value: c.Value})
+			page.Entries = append(page.Entries, row.Entry{
+				PK: p.pk, CK: c.CK, Value: c.Value, Ver: c.Ver, Tombstone: c.Tombstone,
+			})
 		}
 		page.NextToken, page.NextPK = p.token, p.pk
 		if len(page.Entries) >= maxCells && i < len(selected)-1 {
 			page.More = true
 			break
 		}
+	}
+	if !page.More {
+		e.dropScanIndex(lo, hi)
 	}
 	return page, nil
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -108,13 +109,14 @@ func (s *shard) walPath(seq int) string {
 
 // openShard loads one shard's SSTables and replays its WAL segments,
 // oldest first, each into its own frozen memtable queued for background
-// flush. One segment per memtable generation is an invariant the
-// write path maintains (every freeze seals the segment), and replay
-// must preserve it: a delete record only ever targeted cells of its own
-// generation — the live engine logs a delete only when the cell is in
-// the active memtable — so applying it beyond its segment would remove
-// an older frozen version the pre-crash engine still served. Replayed
-// segments stay on disk until their data reaches an SSTable.
+// flush. The engine's version counter is pulled forward past every
+// version seen (table footers record their max sequence; v2 WAL records
+// carry theirs), so post-recovery writes always order after pre-crash
+// ones. Legacy (pre-versioning) records carry no version and are
+// stamped in replay order, which preserves the original within-segment
+// ordering — including a delete covering an earlier put, which now
+// replays as a tombstone. Replayed segments stay on disk until their
+// data reaches an SSTable.
 func (e *Engine) openShard(id int) (*shard, error) {
 	s := &shard{id: id, eng: e, mem: memtable.New(shardSeed(e.opts.Seed, id, 0))}
 	s.cond = sync.NewCond(&s.mu)
@@ -132,6 +134,7 @@ func (e *Engine) openShard(id int) (*shard, error) {
 			}
 			return nil, fmt.Errorf("storage: reopen %s: %w", name, err)
 		}
+		e.advanceSeq(r.MaxSeq())
 		s.tables = append(s.tables, newTableHandle(r))
 		var n int
 		fmt.Sscanf(filepath.Base(name), fmt.Sprintf("sst-s%02d-%%06d.db", id), &n)
@@ -149,12 +152,18 @@ func (e *Engine) openShard(id int) (*shard, error) {
 		for _, seg := range segs {
 			s.memGen++
 			rec := memtable.New(shardSeed(e.opts.Seed, id, s.memGen))
-			if err := replayWAL(seg, func(op byte, pk string, ck, value []byte) {
-				switch op {
+			if err := replayWAL(seg, func(r walRec) {
+				switch r.op {
+				case walPutV2:
+					e.advanceSeq(r.ver.Seq)
+					rec.Put(r.pk, r.ck, r.value, r.ver, r.tombstone)
 				case walPut:
-					rec.Put(pk, ck, value)
+					rec.Put(r.pk, r.ck, r.value, e.stamp(), false)
 				case walDelete:
-					rec.Delete(pk, ck)
+					// Legacy delete, replayed as a tombstone: it masks the
+					// puts it covered (and, unlike the pre-versioning
+					// engine, stays effective past flush).
+					rec.Put(r.pk, r.ck, nil, e.stamp(), true)
 				}
 			}); err != nil {
 				for _, t := range s.tables {
@@ -168,10 +177,9 @@ func (e *Engine) openShard(id int) (*shard, error) {
 				s.walSeq = n + 1
 			}
 			if rec.Len() == 0 {
-				// The segment's net effect is nothing (puts cancelled by
-				// deletes within the generation). Retire it now: nothing
-				// else ever would, and it would be re-replayed on every
-				// reopen.
+				// The segment held no intact records at all. Retire it now:
+				// nothing else ever would, and it would be re-replayed on
+				// every reopen.
 				os.Remove(seg)
 				continue
 			}
@@ -221,7 +229,8 @@ func (s *shard) ensureWALLocked() error {
 }
 
 // putBatch is the per-shard half of Engine.PutBatch: one lock
-// acquisition and one WAL write for the whole slice.
+// acquisition and one WAL write for the whole slice. Entries arrive
+// already stamped with their versions.
 func (s *shard) putBatch(entries []row.Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -245,7 +254,7 @@ func (s *shard) putBatch(entries []row.Entry) error {
 		}
 	}
 	for _, ent := range entries {
-		s.mem.Put(ent.PK, ent.CK, ent.Value)
+		s.mem.Put(ent.PK, ent.CK, ent.Value, ent.Ver, ent.Tombstone)
 	}
 	if s.mem.Bytes() >= s.eng.opts.FlushThreshold {
 		s.freezeLocked()
@@ -393,13 +402,14 @@ func (s *shard) worker() {
 			}
 			inputs := append([]*tableHandle(nil), s.tables...)
 			seq := s.sstSeq
+			gcBelow := s.gcWatermarkLocked()
 			s.busy = true
 			s.mu.Unlock()
 			drop := func(pk string) bool {
 				tok := PartitionToken(pk)
 				return req.lo <= tok && tok <= req.hi
 			}
-			r, dropped, err := s.compactTables(inputs, seq, drop)
+			r, dropped, err := s.compactTables(inputs, seq, drop, gcBelow)
 			s.mu.Lock()
 			s.busy = false
 			if s.abandoned {
@@ -454,9 +464,10 @@ func (s *shard) worker() {
 			}
 			inputs := append([]*tableHandle(nil), s.tables...)
 			seq := s.sstSeq
+			gcBelow := s.gcWatermarkLocked()
 			s.busy = true
 			s.mu.Unlock()
-			r, _, err := s.compactTables(inputs, seq, nil)
+			r, _, err := s.compactTables(inputs, seq, nil, gcBelow)
 			s.mu.Lock()
 			s.busy = false
 			if s.abandoned {
@@ -549,7 +560,9 @@ func (s *shard) writeTable(mem *memtable.Memtable, seq int) (*sstable.Reader, er
 			}
 			curPK, cur, first = ent.PK, nil, false
 		}
-		cur = append(cur, row.Cell{CK: ent.CK, Value: ent.Value})
+		// Tombstones flush like any cell: they must keep masking older
+		// copies in other tables until compaction collects them.
+		cur = append(cur, row.Cell{CK: ent.CK, Value: ent.Value, Ver: ent.Ver, Tombstone: ent.Tombstone})
 		return nil
 	})
 	if err == nil {
@@ -578,14 +591,40 @@ func (s *shard) writeTable(mem *memtable.Memtable, seq int) (*sstable.Reader, er
 	return r, nil
 }
 
+// gcWatermarkLocked returns the version sequence below which this
+// shard's tombstones may be garbage-collected by a compaction over all
+// of its tables: the lowest version any unflushed memtable (active or
+// frozen) might still hold. A tombstone older than that bound cannot be
+// masking anything outside the compaction inputs — the inputs cover
+// every table, and every memtable cell is provably newer — so dropping
+// it (and everything it shadowed, which the merge already did) is safe.
+// A tombstone at or above the bound is kept: an older shadowed copy may
+// sit in a memtable (a rebalance stream page, a read-repair) and will
+// only be masked if the tombstone is still there when it flushes.
+// Caller holds mu.
+func (s *shard) gcWatermarkLocked() uint64 {
+	wm := uint64(math.MaxUint64)
+	if v, ok := s.mem.MinVersion(); ok && v.Seq < wm {
+		wm = v.Seq
+	}
+	for _, fm := range s.frozen {
+		if v, ok := fm.mem.MinVersion(); ok && v.Seq < wm {
+			wm = v.Seq
+		}
+	}
+	return wm
+}
+
 // compactTables merges the input tables into one, dropping shadowed
-// cell versions — and, when drop is non-nil, whole partitions (the
-// DeleteRange purge), returning how many live cells that removed. When
-// every partition is dropped no table is written and the reader is nil.
-// Same .tmp-then-rename discipline as writeTable. Called without the
-// lock; the inputs stay readable throughout (sstable readers are
-// concurrency-safe, and the worker's list reference keeps them open).
-func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk string) bool) (*sstable.Reader, int64, error) {
+// cell versions, collecting tombstones whose version sequence is below
+// gcBelow (the shard's GC watermark) — and, when drop is non-nil, whole
+// partitions (the DeleteRange purge), returning how many live cells
+// that removed. When every partition is dropped no table is written and
+// the reader is nil. Same .tmp-then-rename discipline as writeTable.
+// Called without the lock; the inputs stay readable throughout (sstable
+// readers are concurrency-safe, and the worker's list reference keeps
+// them open).
+func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk string) bool, gcBelow uint64) (*sstable.Reader, int64, error) {
 	seen := map[string]bool{}
 	for _, t := range inputs {
 		for _, pk := range t.Partitions() {
@@ -625,7 +664,7 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 		if err != nil {
 			return nil, 0, err
 		}
-		dropped += int64(len(cells))
+		dropped += int64(len(row.DropTombstones(cells)))
 	}
 	if len(pks) == 0 && drop != nil {
 		// Nothing survives: the caller drops every input table and keeps
@@ -642,12 +681,30 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 	if err != nil {
 		return nil, 0, err
 	}
+	var tombstonesGCed int64
 	for _, pk := range pks {
 		cells, err := readMerged(pk)
 		if err != nil {
 			w.Close()
 			os.Remove(tmp)
 			return nil, 0, err
+		}
+		// Collect tombstones under the GC watermark: the merge already
+		// dropped everything they shadowed within the inputs, and the
+		// watermark guarantees nothing older is still waiting to flush.
+		if gcBelow > 0 {
+			kept := cells[:0]
+			for _, c := range cells {
+				if c.Tombstone && c.Ver.Seq < gcBelow {
+					tombstonesGCed++
+					continue
+				}
+				kept = append(kept, c)
+			}
+			cells = kept
+		}
+		if len(cells) == 0 {
+			continue // the partition was only tombstones; it is gone
 		}
 		if err := w.AddPartition(pk, cells); err != nil {
 			w.Close()
@@ -668,6 +725,7 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 		os.Remove(path)
 		return nil, 0, err
 	}
+	s.eng.Metrics.TombstonesGCed.Add(tombstonesGCed)
 	return r, dropped, nil
 }
 

@@ -1,7 +1,5 @@
 package storage
 
-import "scalekv/internal/sstable"
-
 // crashForTest simulates a kill -9: background workers are abandoned
 // before they can touch disk again, WAL files are closed without a
 // flush, and the engine is left unusable. The data directory afterwards
@@ -21,36 +19,6 @@ func crashForTest(e *Engine) {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
-}
-
-// cellOnlyInActiveMem reports whether (pk, ck) lives in the shard's
-// active memtable and nowhere else — the precondition under which
-// Delete fully hides the cell (the engine has no tombstones; frozen
-// memtables and SSTables are not masked).
-func cellOnlyInActiveMem(e *Engine, pk string, ck []byte) bool {
-	view := e.shardFor(pk).snapshot()
-	defer view.close()
-	if _, ok := view.mem.Get(pk, ck); !ok {
-		return false
-	}
-	for _, fm := range view.frozen {
-		if _, ok := fm.mem.Get(pk, ck); ok {
-			return false
-		}
-	}
-	for _, t := range view.tables {
-		if !t.MayContain(pk) {
-			continue
-		}
-		cells, err := t.ReadSlice(pk, ck, nextKey(ck))
-		if err == sstable.ErrNotFound {
-			continue
-		}
-		if err != nil || len(cells) > 0 {
-			return false
-		}
-	}
-	return true
 }
 
 // frozenCount returns how many memtables are queued for flush across

@@ -12,11 +12,28 @@ import (
 	"scalekv/internal/row"
 )
 
-// walRecord ops.
+// walRecord ops. walPut and walDelete are the legacy (pre-versioning)
+// revision: no version, and walDelete meant "remove from the active
+// memtable". walPutV2 is the current revision: every record carries the
+// cell version and a flags byte (tombstones are just flagged puts). The
+// engine only writes v2 records; replay still accepts both revisions so
+// segments written before the format change stay recoverable.
 const (
 	walPut    = byte(1)
 	walDelete = byte(2)
+	walPutV2  = byte(3)
 )
+
+const walFlagTombstone = byte(1)
+
+// walRec is one replayed record, already normalized across revisions.
+type walRec struct {
+	op        byte
+	pk        string
+	ck, value []byte
+	ver       row.Version
+	tombstone bool
+}
 
 // wal is one write-ahead-log segment: length-prefixed, CRC-protected
 // records. Each shard appends to an active segment; freezing the
@@ -38,9 +55,9 @@ func openWAL(path string) (*wal, error) {
 	return &wal{f: f, path: path}, nil
 }
 
-func (w *wal) append(op byte, pk string, ck, value []byte) error {
+func (w *wal) append(pk string, ck, value []byte, ver row.Version, tombstone bool) error {
 	w.buf = w.buf[:0]
-	w.buf = appendRecord(w.buf, op, pk, ck, value)
+	w.buf = appendRecordV2(w.buf, pk, ck, value, ver, tombstone)
 	_, err := w.f.Write(w.buf)
 	return err
 }
@@ -48,24 +65,33 @@ func (w *wal) append(op byte, pk string, ck, value []byte) error {
 // appendBatch writes one record per entry through a single buffered
 // write — the group-commit half of Engine.PutBatch. Each record keeps
 // its own header and CRC, so replay needs no batch framing and a torn
-// tail still truncates at a record boundary.
+// tail still truncates at a record boundary. Entries must already be
+// stamped with their versions.
 func (w *wal) appendBatch(entries []row.Entry) error {
 	w.buf = w.buf[:0]
 	for _, e := range entries {
-		w.buf = appendRecord(w.buf, walPut, e.PK, e.CK, e.Value)
+		w.buf = appendRecordV2(w.buf, e.PK, e.CK, e.Value, e.Ver, e.Tombstone)
 	}
 	_, err := w.f.Write(w.buf)
 	return err
 }
 
-// appendRecord encodes one framed record: length | crc | payload.
-func appendRecord(out []byte, op byte, pk string, ck, value []byte) []byte {
+// appendRecordV2 encodes one framed record: length | crc | payload,
+// where the payload is op | pk | ck | value | seq | node | flags.
+func appendRecordV2(out []byte, pk string, ck, value []byte, ver row.Version, tombstone bool) []byte {
 	start := len(out)
 	out = append(out, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
-	out = append(out, op)
+	out = append(out, walPutV2)
 	out = enc.AppendBytes(out, []byte(pk))
 	out = enc.AppendBytes(out, ck)
 	out = enc.AppendBytes(out, value)
+	out = enc.AppendUvarint(out, ver.Seq)
+	out = enc.AppendUvarint(out, uint64(ver.Node))
+	flags := byte(0)
+	if tombstone {
+		flags = walFlagTombstone
+	}
+	out = append(out, flags)
 	payload := out[start+8:]
 	binary.LittleEndian.PutUint32(out[start:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(out[start+4:], crc32.ChecksumIEEE(payload))
@@ -76,8 +102,11 @@ func (w *wal) sync() error  { return w.f.Sync() }
 func (w *wal) close() error { return w.f.Close() }
 
 // replayWAL streams every intact record to fn, stopping silently at a
-// torn tail.
-func replayWAL(path string, fn func(op byte, pk string, ck, value []byte)) error {
+// torn tail. Legacy records come through with op walPut/walDelete and a
+// zero version; the caller assigns replay versions (openShard stamps
+// them in record order, which preserves the original within-segment
+// ordering including delete-covers-put).
+func replayWAL(path string, fn func(rec walRec)) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -103,7 +132,7 @@ func replayWAL(path string, fn func(op byte, pk string, ck, value []byte)) error
 		if crc32.ChecksumIEEE(payload) != want {
 			return nil // corrupt tail record
 		}
-		op := payload[0]
+		rec := walRec{op: payload[0]}
 		p := payload[1:]
 		pkb, u := enc.Bytes(p)
 		if u == 0 {
@@ -119,6 +148,25 @@ func replayWAL(path string, fn func(op byte, pk string, ck, value []byte)) error
 		if u3 == 0 {
 			return nil
 		}
-		fn(op, string(pkb), ck, val)
+		p = p[u3:]
+		rec.pk, rec.ck, rec.value = string(pkb), ck, val
+		if rec.op == walPutV2 {
+			seq, n1 := enc.Uvarint(p)
+			if n1 <= 0 {
+				return nil
+			}
+			p = p[n1:]
+			node, n2 := enc.Uvarint(p)
+			if n2 <= 0 {
+				return nil
+			}
+			p = p[n2:]
+			if len(p) == 0 {
+				return nil
+			}
+			rec.ver = row.Version{Seq: seq, Node: uint16(node)}
+			rec.tombstone = p[0]&walFlagTombstone != 0
+		}
+		fn(rec)
 	}
 }

@@ -62,6 +62,14 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 			out = append(out, 0)
 		}
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+		out = enc.AppendUvarint(out, v.VerSeq)
+		out = enc.AppendUvarint(out, uint64(v.VerNode))
+	case *DeleteRequest:
+		out = enc.AppendBytes(out, []byte(v.PK))
+		out = enc.AppendBytes(out, v.CK)
+		out = enc.AppendUvarint(out, v.Epoch)
+	case *DeleteResponse:
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	case *ScanRequest:
 		out = enc.AppendBytes(out, []byte(v.PK))
 		out = appendOptBytes(out, v.From)
@@ -72,14 +80,13 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		for _, c := range v.Cells {
 			out = enc.AppendBytes(out, c.CK)
 			out = enc.AppendBytes(out, c.Value)
+			out = appendVersion(out, c.Ver, c.Tombstone)
 		}
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	case *BatchPutRequest:
 		out = enc.AppendUvarint(out, uint64(len(v.Entries)))
 		for _, e := range v.Entries {
-			out = enc.AppendBytes(out, []byte(e.PK))
-			out = enc.AppendBytes(out, e.CK)
-			out = enc.AppendBytes(out, e.Value)
+			out = appendEntry(out, e)
 		}
 		out = enc.AppendUvarint(out, v.Epoch)
 	case *BatchPutResponse:
@@ -123,9 +130,7 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 	case *StreamRangeResponse:
 		out = enc.AppendUvarint(out, uint64(len(v.Entries)))
 		for _, e := range v.Entries {
-			out = enc.AppendBytes(out, []byte(e.PK))
-			out = enc.AppendBytes(out, e.CK)
-			out = enc.AppendBytes(out, e.Value)
+			out = appendEntry(out, e)
 		}
 		out = enc.AppendUvarint(out, uint64(v.NextToken))
 		out = enc.AppendBytes(out, []byte(v.NextPK))
@@ -163,6 +168,28 @@ func appendBool(out []byte, b bool) []byte {
 		return append(out, 1)
 	}
 	return append(out, 0)
+}
+
+// entryFlagTombstone marks a deleted entry/cell on the wire.
+const entryFlagTombstone = byte(1)
+
+// appendVersion encodes a cell version plus flags: seq, node, flags.
+func appendVersion(out []byte, ver row.Version, tombstone bool) []byte {
+	out = enc.AppendUvarint(out, ver.Seq)
+	out = enc.AppendUvarint(out, uint64(ver.Node))
+	flags := byte(0)
+	if tombstone {
+		flags = entryFlagTombstone
+	}
+	return append(out, flags)
+}
+
+// appendEntry encodes one row.Entry: pk, ck, value, version, flags.
+func appendEntry(out []byte, e row.Entry) []byte {
+	out = enc.AppendBytes(out, []byte(e.PK))
+	out = enc.AppendBytes(out, e.CK)
+	out = enc.AppendBytes(out, e.Value)
+	return appendVersion(out, e.Ver, e.Tombstone)
 }
 
 // Unmarshal implements Codec.
@@ -215,6 +242,14 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.Value = d.copyBytes()
 		v.Found = d.byte() == 1
 		v.ErrMsg = string(d.bytes())
+		v.VerSeq = d.uvarint()
+		v.VerNode = uint16(d.uvarint())
+	case *DeleteRequest:
+		v.PK = string(d.bytes())
+		v.CK = d.copyBytes()
+		v.Epoch = d.uvarint()
+	case *DeleteResponse:
+		v.ErrMsg = string(d.bytes())
 	case *ScanRequest:
 		v.PK = string(d.bytes())
 		v.From = d.optBytes()
@@ -225,7 +260,9 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		if cnt > 0 {
 			v.Cells = make([]row.Cell, 0, cnt)
 			for i := uint64(0); i < cnt && d.err == nil; i++ {
-				v.Cells = append(v.Cells, row.Cell{CK: d.copyBytes(), Value: d.copyBytes()})
+				c := row.Cell{CK: d.copyBytes(), Value: d.copyBytes()}
+				c.Ver, c.Tombstone = d.version()
+				v.Cells = append(v.Cells, c)
 			}
 		}
 		v.ErrMsg = string(d.bytes())
@@ -234,9 +271,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		if cnt > 0 {
 			v.Entries = make([]row.Entry, 0, cnt)
 			for i := uint64(0); i < cnt && d.err == nil; i++ {
-				v.Entries = append(v.Entries, row.Entry{
-					PK: string(d.bytes()), CK: d.copyBytes(), Value: d.copyBytes(),
-				})
+				v.Entries = append(v.Entries, d.entry())
 			}
 		}
 		v.Epoch = d.uvarint()
@@ -285,9 +320,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		if cnt > 0 {
 			v.Entries = make([]row.Entry, 0, cnt)
 			for i := uint64(0); i < cnt && d.err == nil; i++ {
-				v.Entries = append(v.Entries, row.Entry{
-					PK: string(d.bytes()), CK: d.copyBytes(), Value: d.copyBytes(),
-				})
+				v.Entries = append(v.Entries, d.entry())
 			}
 		}
 		v.NextToken = int64(d.uvarint())
@@ -401,4 +434,18 @@ func (d *decoder) optBytes() []byte {
 		return nil
 	}
 	return d.copyBytes()
+}
+
+// version decodes a cell version plus flags written by appendVersion.
+func (d *decoder) version() (row.Version, bool) {
+	seq := d.uvarint()
+	node := uint16(d.uvarint())
+	return row.Version{Seq: seq, Node: node}, d.byte()&entryFlagTombstone != 0
+}
+
+// entry decodes one row.Entry written by appendEntry.
+func (d *decoder) entry() row.Entry {
+	e := row.Entry{PK: string(d.bytes()), CK: d.copyBytes(), Value: d.copyBytes()}
+	e.Ver, e.Tombstone = d.version()
+	return e
 }

@@ -50,6 +50,8 @@ const (
 	TypeDeleteRangeResponse
 	TypeNodeStatsRequest
 	TypeNodeStatsResponse
+	TypeDeleteRequest
+	TypeDeleteResponse
 )
 
 // --- Topology epochs --------------------------------------------------------
@@ -137,6 +139,27 @@ type PutResponse struct {
 // TypeID implements Message.
 func (*PutResponse) TypeID() uint16 { return TypePutResponse }
 
+// DeleteRequest deletes one cell — a first-class distributed write that
+// lands as a versioned tombstone, so the delete survives flushes,
+// compactions and rebalances on every replica. Epoch semantics match
+// PutRequest.
+type DeleteRequest struct {
+	PK    string
+	CK    []byte
+	Epoch uint64
+}
+
+// TypeID implements Message.
+func (*DeleteRequest) TypeID() uint16 { return TypeDeleteRequest }
+
+// DeleteResponse acknowledges a delete.
+type DeleteResponse struct {
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*DeleteResponse) TypeID() uint16 { return TypeDeleteResponse }
+
 // GetRequest reads one cell. Epoch 0 bypasses the topology check.
 type GetRequest struct {
 	PK    string
@@ -147,11 +170,17 @@ type GetRequest struct {
 // TypeID implements Message.
 func (*GetRequest) TypeID() uint16 { return TypeGetRequest }
 
-// GetResponse returns one cell value.
+// GetResponse returns one cell value, together with the version of the
+// write that produced it — the client's read-repair compares and
+// re-propagates by it.
 type GetResponse struct {
 	Value  []byte
 	Found  bool
 	ErrMsg string
+	// VerSeq/VerNode are the winning cell's version (zero when the cell
+	// was written before versioning, or when Found is false).
+	VerSeq  uint64
+	VerNode uint16
 }
 
 // TypeID implements Message.
@@ -180,7 +209,12 @@ func (*ScanResponse) TypeID() uint16 { return TypeScanResponse }
 
 // BatchPutRequest writes many cells in one frame — the aggregated-put
 // unit of the bulk-write pipeline. Entries may span partitions; the
-// receiving node group-commits them in one engine call.
+// receiving node group-commits them in one engine call. Entries carry
+// their version and tombstone flag on the wire: client-originated
+// writes send the zero version (the accepting node stamps them), while
+// rebalance streaming, dual-write forwarding and read-repair send the
+// original stamps so every replica's last-write-wins merge picks the
+// same winner.
 type BatchPutRequest struct {
 	Entries []row.Entry
 	// Epoch is the routing topology version (0 = unversioned — the
@@ -393,6 +427,10 @@ func newMessage(id uint16) (Message, error) {
 		return &NodeStatsRequest{}, nil
 	case TypeNodeStatsResponse:
 		return &NodeStatsResponse{}, nil
+	case TypeDeleteRequest:
+		return &DeleteRequest{}, nil
+	case TypeDeleteResponse:
+		return &DeleteResponse{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", id)
 	}

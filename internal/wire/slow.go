@@ -38,6 +38,7 @@ func init() {
 		&StreamRangeRequest{}, &StreamRangeResponse{},
 		&DeleteRangeRequest{}, &DeleteRangeResponse{},
 		&NodeStatsRequest{}, &NodeStatsResponse{},
+		&DeleteRequest{}, &DeleteResponse{},
 	} {
 		t := reflect.TypeOf(m).Elem()
 		slowRegistry[t.String()] = t

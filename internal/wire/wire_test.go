@@ -74,6 +74,25 @@ func sampleMessages() []Message {
 			{MemtableBytes: 1 << 20, FrozenMemtables: 2, SSTables: 5},
 			{MemtableBytes: 0, FrozenMemtables: 0, SSTables: 1},
 		}, FlushedBytes: 9 << 20, FlushCount: 7, CompactionCount: 1},
+		// Versioned cells and tombstones: the fields every replica's
+		// last-write-wins merge depends on must survive both codecs.
+		&DeleteRequest{PK: "p", CK: []byte{1, 2, 3}, Epoch: 11},
+		&DeleteRequest{PK: "p", CK: []byte{9}},
+		&DeleteResponse{},
+		&DeleteResponse{ErrMsg: "boom"},
+		&GetResponse{Value: []byte("v"), Found: true, VerSeq: 99, VerNode: 7},
+		&ScanResponse{Cells: []row.Cell{
+			{CK: []byte{1}, Value: []byte("a"), Ver: row.Version{Seq: 5, Node: 2}},
+			{CK: []byte{2}, Ver: row.Version{Seq: 6, Node: 1}, Tombstone: true},
+		}},
+		&BatchPutRequest{Entries: []row.Entry{
+			{PK: "p", CK: []byte{1}, Value: []byte("fwd"), Ver: row.Version{Seq: 1 << 40, Node: 65535}},
+			{PK: "p", CK: []byte{2}, Ver: row.Version{Seq: 12, Node: 3}, Tombstone: true},
+		}, Epoch: 4},
+		&StreamRangeResponse{Entries: []row.Entry{
+			{PK: "cube-0008", CK: []byte{1}, Value: []byte("a"), Ver: row.Version{Seq: 77, Node: 2}},
+			{PK: "cube-0008", CK: []byte{2}, Ver: row.Version{Seq: 78, Node: 2}, Tombstone: true},
+		}, NextToken: -42, NextPK: "cube-0008", More: true},
 	}
 }
 
@@ -330,6 +349,8 @@ func TestBatchMessageTypeIDsAreStable(t *testing.T) {
 		18: &DeleteRangeResponse{},
 		19: &NodeStatsRequest{},
 		20: &NodeStatsResponse{},
+		21: &DeleteRequest{},
+		22: &DeleteResponse{},
 	}
 	for id, m := range want {
 		if got := m.TypeID(); got != id {
@@ -350,6 +371,8 @@ func TestQuickBatchPutRoundTrip(t *testing.T) {
 				}
 				in.Entries = append(in.Entries, row.Entry{
 					PK: pk, CK: []byte{byte(i)}, Value: val,
+					Ver:       row.Version{Seq: uint64(i)*7 + 1, Node: uint16(i * 13)},
+					Tombstone: i%3 == 0,
 				})
 			}
 			data, err := c.Marshal(in)
@@ -367,6 +390,9 @@ func TestQuickBatchPutRoundTrip(t *testing.T) {
 			for i, e := range in.Entries {
 				g := got.Entries[i]
 				if g.PK != e.PK || !bytes.Equal(g.CK, e.CK) || !bytes.Equal(g.Value, e.Value) {
+					return false
+				}
+				if g.Ver != e.Ver || g.Tombstone != e.Tombstone {
 					return false
 				}
 			}

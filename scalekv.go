@@ -88,8 +88,15 @@ type MasterOptions = cluster.MasterOptions
 // MasterResult is a fan-out query outcome with stage trace.
 type MasterResult = cluster.MasterResult
 
-// Cell is one clustering-key/value pair.
+// Cell is one clustering-key/value pair, stamped with the version of
+// the write that produced it.
 type Cell = row.Cell
+
+// Version orders writes to one cell address: a (Seq, Node) hybrid
+// counter stamped by the storage engine that accepted the write.
+// Wherever two copies of a cell meet — replicas, rebalance streams,
+// compactions — the higher version wins (last-write-wins).
+type Version = row.Version
 
 // Entry is one write addressed to a partition — the unit of the batched
 // bulk-write path.
