@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine bench-rebalance bench-delete lint
+.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair lint
 
 build:
 	go build ./...
@@ -34,6 +34,14 @@ bench-rebalance:
 bench-delete:
 	go test -run=NONE -bench=EngineMixedDelete -benchtime=0.5s ./internal/storage/
 	go test -run 'TestOverwriteAndDeleteDuringRebalanceConverge' -count=1 ./internal/cluster/
+
+# Anti-entropy canary: repair a seeded-divergence rf=2 cluster (cells
+# reconciled/sec) and digest a converged one (must ship zero cells),
+# plus the repair-convergence test. Run on any change to the digest
+# tree, the repair walk, tombstone GC or the migration fence.
+bench-repair:
+	go test -run=NONE -bench=Repair -benchtime=3x .
+	go test -run 'TestRepairConverges' -count=1 ./internal/cluster/
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -12,6 +12,11 @@
 //	kvstore -nodes host0:7070,host1:7070 get   <pk> <ck>
 //	kvstore -nodes host0:7070,host1:7070 scan  <pk>
 //	kvstore -nodes host0:7070,host1:7070 count <pk>
+//
+// Anti-entropy (admin-triggered, or periodic with -repair-every):
+//
+//	kvstore -nodes host0:7070,host1:7070 -rf 2 repair
+//	kvstore -nodes host0:7070,host1:7070 -rf 2 -repair-every 30s repair
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"scalekv/internal/cluster"
 	"scalekv/internal/hashring"
@@ -76,8 +82,9 @@ func client(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	nodesFlag := fs.String("nodes", "127.0.0.1:7070", "comma-separated node addresses, ring order")
 	rf := fs.Int("rf", 1, "replication factor for writes")
+	repairEvery := fs.Duration("repair-every", 0, "rerun `repair` on this interval until interrupted (0 = once)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: kvstore [-nodes a,b,c] <put|get|scan|count> args...")
+		fmt.Fprintln(os.Stderr, "usage: kvstore [-nodes a,b,c] <put|get|scan|count|repair> args...")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -90,16 +97,31 @@ func client(args []string) {
 	addrs := strings.Split(*nodesFlag, ",")
 	ring := hashring.New(len(addrs), 64)
 	conns := make(map[hashring.NodeID]*transport.Client, len(addrs))
+	book := make(map[hashring.NodeID]string, len(addrs))
 	for i, addr := range addrs {
-		conn, err := transport.DialTCP(strings.TrimSpace(addr), 0)
+		addr = strings.TrimSpace(addr)
+		conn, err := transport.DialTCP(addr, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kvstore: dial node %d: %v\n", i, err)
 			os.Exit(1)
 		}
 		conns[hashring.NodeID(i)] = transport.NewClient(conn)
+		book[hashring.NodeID(i)] = addr
 	}
 	cli := cluster.NewClient(ring, conns, cluster.ClientOptions{
 		Codec: wire.FastCodec{}, ReplicationFactor: *rf,
+		// A dialer and address book let the client follow topology
+		// changes it learns from ring refreshes (the periodic repair
+		// daemon depends on this to reach members that joined after
+		// boot).
+		Dialer: func(addr string) (*transport.Client, error) {
+			conn, err := transport.DialTCP(addr, 0)
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewClient(conn), nil
+		},
+		Addrs: book,
 	})
 	defer cli.Close()
 
@@ -150,6 +172,57 @@ func client(args []string) {
 		fmt.Printf("elements: %d\n", total)
 		for ty, n := range counts {
 			fmt.Printf("  type %d: %d\n", ty, n)
+		}
+	case "repair":
+		// Anti-entropy pass: converge every replica of every range to
+		// the per-cell last-write-wins winner. One-shot by default; with
+		// -repair-every it loops until interrupted. Run it often enough
+		// that every delete is repaired to all replicas before its
+		// tombstone is compacted away on the replicas that saw it —
+		// otherwise a replica that was down for the delete can feed the
+		// old value back in (Cassandra's gc_grace discipline).
+		need(0, "repair")
+		if *rf < 2 {
+			// At rf=1 no range has a second owner, so the pass would
+			// no-op while printing a success-looking report.
+			fmt.Fprintln(os.Stderr, "kvstore repair: pass -rf 2 (or higher) — there is nothing to reconcile at rf 1")
+			os.Exit(2)
+		}
+		runOnce := func() error {
+			start := time.Now()
+			rep, err := cli.RepairAll(*rf)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("repair: %d ranges, %d pairs, %d digests, %d leaf mismatches, %d cells shipped (%d legacy skipped) in %s\n",
+				rep.Ranges, rep.Pairs, rep.DigestRPCs, rep.LeafMismatches, rep.CellsShipped, rep.SkippedLegacy, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
+		if *repairEvery <= 0 {
+			if err := runOnce(); err != nil {
+				die(err)
+			}
+			return
+		}
+		// Periodic mode is a standing daemon: a transient pass failure
+		// (a node mid-restart) is logged and retried on the next tick,
+		// never fatal — exiting would silently end anti-entropy.
+		if err := runOnce(); err != nil {
+			fmt.Fprintln(os.Stderr, "kvstore repair:", err)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		tick := time.NewTicker(*repairEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := runOnce(); err != nil {
+					fmt.Fprintln(os.Stderr, "kvstore repair:", err)
+				}
+			case <-sig:
+				return
+			}
 		}
 	default:
 		fs.Usage()

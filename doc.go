@@ -119,15 +119,55 @@
 // memtables, in SSTables, on replicas, across flushes, compactions and
 // process restarts — until compaction collects it under the shard's GC
 // watermark (the lowest version an unflushed memtable might still
-// hold). Deleted means deleted, not "until the next flush".
+// hold). While the node is the target of a range migration, or an
+// anti-entropy pass is running, a fence suspends that collection for
+// the in-flight ranges: a stale streamed copy arriving after its
+// masking tombstone would otherwise have been collected still finds
+// the delete in force. Deleted means deleted, not "until the next
+// flush" — and not "until an unlucky rebalance" either. One
+// Cassandra-shaped caveat remains: the watermark and fence are local,
+// so a replica that was DOWN for the delete and stayed away until the
+// surviving replicas collected the tombstone can reintroduce the old
+// value through a later repair (the classic gc_grace discipline —
+// repair must run between a delete and the tombstone's collection;
+// Engine.FenceRange is also available to hold GC across planned
+// maintenance).
 //
 // ClientOptions.ReadRepair (off by default) adds best-effort
 // convergence on the read path: a Get that failed over to a later
-// replica re-puts the cell it found, at its original version, to the
-// replicas it skipped. LWW makes the repair harmless (a replica holding
-// something newer keeps it); it narrows divergence after an outage but
-// repairs only what failover reads touch, never deletes or
-// pre-versioning cells, and is no substitute for anti-entropy.
+// replica re-puts the cell it found — or the tombstone it hit, so
+// deletes propagate too — at its original version, to the replicas it
+// skipped. LWW makes the repair harmless (a replica holding something
+// newer keeps it); it narrows divergence after an outage but repairs
+// only what failover reads touch and never pre-versioning cells.
+//
+// # Anti-entropy: digest-tree replica repair
+//
+// Read-repair is opportunistic; Cluster.Repair is the convergence
+// guarantee. One pass walks every replicated token range of the
+// current topology and, for each range, compares Merkle-style digests
+// (Engine.RangeDigest: per-bucket hashes of (pk, ck, version, flags)
+// tuples, tombstones included) between the range's owners over the
+// DigestRequest/DigestResponse exchange. Matching leaves are skipped;
+// mismatched leaves are descended into with narrower digests while
+// they stay large, then reconciled by streaming the leaf's cells from
+// both owners (the epoch-0 range stream) and shipping each side's
+// last-write-wins winners to the other at their original versions. A
+// replica can only move forward: anything newer it already holds wins
+// its local merge. After one pass every replica of a range is
+// logically identical — same winners, same tombstones — no matter
+// which dual-write forwards were dropped or which replica each
+// concurrent writer reached; a pass over a converged cluster ships
+// nothing and costs only digests.
+//
+//	report, err := cl.Repair(2) // rf; <=0 means the cluster's factor
+//	fmt.Println(report.CellsShipped, report.LeafMismatches)
+//
+// Client.RepairRange / Client.RepairAll run the same pass from any
+// client (cmd/kvstore exposes it as the `repair` subcommand, one-shot
+// or periodic via -repair-every). Divergent cells written before
+// versioning are left alone — their zero versions cannot be ordered —
+// and are counted in the report.
 //
 // On disk, versioning is SSTable format v2; tables written before the
 // change (v1) stay readable — their cells carry the zero version and

@@ -101,11 +101,13 @@ type ClientOptions struct {
 	// ReadRepair makes a Get that failed over past one or more replicas
 	// (rf > 1) asynchronously re-put the cell it read — with its
 	// original version, so last-write-wins keeps the propagation
-	// harmless — to the partition's other replicas. Best-effort: errors
-	// are dropped, cells written before versioning are not repaired
-	// (their zero version cannot be re-stamped safely), and deletes are
-	// not repaired (a tombstone read reports not-found); it narrows
-	// replica divergence after a node outage but is no anti-entropy
+	// harmless — to the partition's other replicas. Deletes repair too:
+	// a failover read that lands on a tombstone forwards the tombstone,
+	// so the skipped replica stops serving the old value. Best-effort:
+	// errors are dropped and cells written before versioning are not
+	// repaired (their zero version cannot be re-stamped safely); it
+	// narrows replica divergence after a node outage but touches only
+	// what failover reads hit — Cluster.Repair is the convergence
 	// guarantee.
 	ReadRepair bool
 }
@@ -582,21 +584,25 @@ func (c *Client) Get(pk string, ck []byte) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if c.readRepair && served.idx > 0 && resp.Found && resp.VerSeq > 0 {
+	// Repair values AND tombstones: a failover read of a deleted cell
+	// must propagate the delete, or the lagging replica keeps serving
+	// the old value forever once it is primary again.
+	if c.readRepair && served.idx > 0 && resp.VerSeq > 0 && (resp.Found || resp.Tombstone) {
 		c.repairAsync(served, row.Entry{
-			PK: pk, CK: ck, Value: resp.Value,
+			PK: pk, CK: ck, Value: resp.Value, Tombstone: resp.Tombstone,
 			Ver: row.Version{Seq: resp.VerSeq, Node: resp.VerNode},
 		})
 	}
 	return resp.Value, resp.Found, nil
 }
 
-// repairAsync best-effort re-puts a cell — with its original version,
-// so a replica that already holds something newer keeps it (the
-// last-write-wins merge makes the repair harmless) — to every replica
-// other than the one that served the read. Errors are dropped: the
-// lagging replica was likely the unreachable node the read failed over
-// past, and the repair simply misses until it returns.
+// repairAsync best-effort re-puts a cell (or a tombstone — deletes ride
+// the same path) — with its original version, so a replica that already
+// holds something newer keeps it (the last-write-wins merge makes the
+// repair harmless) — to every replica other than the one that served
+// the read. Errors are dropped: the lagging replica was likely the
+// unreachable node the read failed over past, and the repair simply
+// misses until it returns.
 func (c *Client) repairAsync(served readServed, ent row.Entry) {
 	targets := make([]hashring.NodeID, 0, len(served.replicas)-1)
 	for _, node := range served.replicas {

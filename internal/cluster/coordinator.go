@@ -169,14 +169,25 @@ func (c *Cluster) AddNode() (*Node, *RebalanceReport, error) {
 
 	// The joining node takes part in the flip (it must validate the new
 	// epoch once clients route to it), so it joins the node list before
-	// the state machine runs.
+	// the state machine runs. The teardown is a defer, not an error
+	// branch: an abort must never strand a booted-but-unrouted node —
+	// not on a returned error, and not when the coordinator dies mid-
+	// join (a panic unwinding through here). Either way the victim's
+	// listener and engine close, its directory stays on disk, and a
+	// retried AddNode re-picks the same ID and reopens it idempotently.
 	c.Nodes = append(c.Nodes, node)
+	committed := false
+	defer func() {
+		if !committed {
+			c.Nodes = c.Nodes[:len(c.Nodes)-1]
+			node.Close()
+		}
+	}()
 	report, err := c.rebalance(old, next, moves, addrsNext, id)
 	if err != nil {
-		c.Nodes = c.Nodes[:len(c.Nodes)-1]
-		node.Close()
 		return nil, nil, err
 	}
+	committed = true
 	c.addrs = addrsNext
 	return node, report, nil
 }
@@ -245,13 +256,17 @@ func (c *Cluster) rebalance(old, next *hashring.Topology, moves []hashring.Range
 	moves = co.pickSources(old, moves, c.opts.ReplicationFactor)
 	report.Moves = moves
 
-	// 2. Dual-write window. Each source node forwards in-range writes
-	// to their new owners from here on; combined with streaming from a
+	// 2. Migration window. Each source node forwards in-range writes to
+	// their new owners from here on; combined with streaming from a
 	// snapshot-consistent engine, nothing written during the move is
-	// lost.
+	// lost. Each target node fences its engine's tombstone GC over the
+	// inbound ranges, so a delete it accepts during the window keeps
+	// masking any sub-watermark stale copy a stream page delivers later.
 	sources := make(map[hashring.NodeID][]hashring.RangeMove)
+	targets := make(map[hashring.NodeID]bool)
 	for _, m := range moves {
 		sources[m.From] = append(sources[m.From], m)
+		targets[m.To] = true
 	}
 	migrating := make([]*Node, 0, len(sources))
 	defer func() {
@@ -260,8 +275,8 @@ func (c *Cluster) rebalance(old, next *hashring.Topology, moves []hashring.Range
 		}
 	}()
 	for _, n := range c.Nodes {
-		ms, ok := sources[n.ID()]
-		if !ok {
+		ms, isSource := sources[n.ID()]
+		if !isSource && !targets[n.ID()] {
 			continue
 		}
 		fwd := make(map[hashring.NodeID]*transport.Client)
@@ -275,13 +290,18 @@ func (c *Cluster) rebalance(old, next *hashring.Topology, moves []hashring.Range
 			}
 			fwd[m.To] = conn
 		}
-		n.BeginMigration(ms, fwd)
+		n.BeginMigration(moves, fwd)
 		migrating = append(migrating, n)
 	}
 
 	// 3. Stream every move, paged, source -> target, at epoch 0.
 	streamStart := time.Now()
 	for _, m := range moves {
+		if hook := c.testStreamErr; hook != nil {
+			if err := hook(m); err != nil {
+				return nil, fmt.Errorf("cluster: stream %v: %w", m, err)
+			}
+		}
 		streamed, pages, err := co.streamRange(m, c.addrs[m.From], addrsNext[m.To])
 		if err != nil {
 			return nil, fmt.Errorf("cluster: stream %v: %w", m, err)

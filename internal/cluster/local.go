@@ -59,8 +59,14 @@ type Cluster struct {
 	// addrs is the member address book at the current epoch.
 	addrs map[hashring.NodeID]string
 
-	// topoMu serializes topology changes (one join/leave at a time).
+	// topoMu serializes topology changes (one join/leave at a time) and
+	// repair passes (which must not race a migration's epoch-0 traffic).
 	topoMu sync.Mutex
+
+	// testStreamErr, when set (tests only), is consulted before each
+	// range is streamed during a rebalance — an injected failure or
+	// panic simulates a coordinator dying mid-join.
+	testStreamErr func(hashring.RangeMove) error
 }
 
 // StartLocal boots an n-node cluster inside the current process,

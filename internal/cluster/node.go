@@ -52,13 +52,25 @@ type ringState struct {
 	addrs map[hashring.NodeID]string
 }
 
-// migration is the node's dual-write window during a rebalance: every
-// accepted write whose token falls in one of the moves (sourced at this
-// node) is synchronously forwarded to the new owner, so writes landing
-// behind the range streamer's cursor are not lost.
+// migration is the node's migration-window state during a rebalance.
+// On a source node it is the dual-write window: every accepted write
+// whose token falls in one of the moves (sourced at this node) is
+// synchronously forwarded to the new owner, so writes landing behind
+// the range streamer's cursor are not lost. On a target node it holds
+// the engine GC fences over the inbound ranges: until the window
+// closes, compaction must not collect tombstones there, or a stale
+// stream page arriving late could resurrect a deleted cell (the
+// gc_grace hazard).
 type migration struct {
-	moves []hashring.RangeMove
-	conns map[hashring.NodeID]*transport.Client
+	moves  []hashring.RangeMove
+	conns  map[hashring.NodeID]*transport.Client
+	fences []func()
+}
+
+func (m *migration) releaseFences() {
+	for _, release := range m.fences {
+		release()
+	}
 }
 
 // Node is one running store server.
@@ -144,28 +156,45 @@ func (n *Node) SetRingState(t *hashring.Topology, addrs map[hashring.NodeID]stri
 	n.ring.Store(&ringState{topo: t, addrs: copyAddrs(addrs)})
 }
 
-// BeginMigration opens the dual-write window: until EndMigration, every
-// accepted write whose partition token falls in one of the moves is
-// also forwarded (synchronously, before the ack) to the move's target
-// over the supplied connections. The caller owns the connections and
-// must keep them alive until EndMigration returns.
+// BeginMigration opens the migration window for the moves this node
+// takes part in. As a source (move.From == id): until EndMigration,
+// every accepted write whose partition token falls in the move is also
+// forwarded (synchronously, before the ack) to the move's target over
+// the supplied connections — the caller owns the connections and must
+// keep them alive until EndMigration returns. As a target (move.To ==
+// id): the engine's tombstone GC is fenced over the inbound ranges, so
+// a delete accepted here keeps masking sub-watermark stale copies the
+// stream may still deliver.
 func (n *Node) BeginMigration(moves []hashring.RangeMove, conns map[hashring.NodeID]*transport.Client) {
 	relevant := make([]hashring.RangeMove, 0, len(moves))
+	var fences []func()
 	for _, m := range moves {
 		if m.From == n.id {
 			relevant = append(relevant, m)
 		}
+		if m.To == n.id {
+			fences = append(fences, n.engine.FenceRange(m.Lo, m.Hi))
+		}
 	}
 	n.migMu.Lock()
-	n.mig = &migration{moves: relevant, conns: conns}
+	prev := n.mig
+	n.mig = &migration{moves: relevant, conns: conns, fences: fences}
 	n.migMu.Unlock()
+	if prev != nil {
+		prev.releaseFences()
+	}
 }
 
-// EndMigration closes the dual-write window.
+// EndMigration closes the migration window: forwarding stops and the
+// target-side GC fences lift.
 func (n *Node) EndMigration() {
 	n.migMu.Lock()
+	prev := n.mig
 	n.mig = nil
 	n.migMu.Unlock()
+	if prev != nil {
+		prev.releaseFences()
+	}
 }
 
 // Close stops serving, then closes the engine. Ordering matters: the
@@ -282,6 +311,8 @@ func (n *Node) handle(payload []byte) []byte {
 		return n.encode(n.ringStateResponse())
 	case *wire.StreamRangeRequest:
 		return n.encode(n.streamRange(req))
+	case *wire.DigestRequest:
+		return n.encode(n.handleDigest(req))
 	case *wire.DeleteRangeRequest:
 		return n.encode(n.handleDeleteRange(req))
 	case *wire.NodeStatsRequest:
@@ -381,9 +412,16 @@ func (n *Node) handleGet(req *wire.GetRequest) *wire.GetResponse {
 	}
 	cell, found, err := n.engine.GetVersioned(req.PK, req.CK)
 	resp := &wire.GetResponse{}
-	if found && !cell.Tombstone {
-		resp.Value, resp.Found = cell.Value, true
+	if found {
+		// A tombstone answers "not found" (no value, Found stays false)
+		// but still reports its version and flag, so a failover read of
+		// a deleted cell can repair the delete to lagging replicas.
 		resp.VerSeq, resp.VerNode = cell.Ver.Seq, cell.Ver.Node
+		if cell.Tombstone {
+			resp.Tombstone = true
+		} else {
+			resp.Value, resp.Found = cell.Value, true
+		}
 	}
 	if err != nil {
 		resp.ErrMsg = err.Error()
@@ -441,6 +479,20 @@ func (n *Node) streamRange(req *wire.StreamRangeRequest) *wire.StreamRangeRespon
 		NextPK:    page.NextPK,
 		More:      page.More,
 	}
+}
+
+// handleDigest serves a range digest out of the engine — admin-class
+// traffic like streaming, valid at any epoch.
+func (n *Node) handleDigest(req *wire.DigestRequest) *wire.DigestResponse {
+	leaves, err := n.engine.RangeDigest(req.Lo, req.Hi, int(req.Depth))
+	if err != nil {
+		return &wire.DigestResponse{ErrMsg: err.Error()}
+	}
+	resp := &wire.DigestResponse{Leaves: make([]wire.DigestLeaf, len(leaves))}
+	for i, l := range leaves {
+		resp.Leaves[i] = wire.DigestLeaf{Hash: l.Hash, Cells: l.Cells}
+	}
+	return resp
 }
 
 // statsResponse summarizes the engine for the coordinator.

@@ -1,0 +1,310 @@
+package cluster
+
+// This file is the anti-entropy repair pass: the background convergence
+// guarantee the per-cell versions were built for. Failover read-repair
+// only narrows divergence on keys a failover read happens to touch;
+// this pass walks every replicated token range, compares Merkle-style
+// digests between the range's owners, descends only into mismatched
+// subtrees, and reconciles leaf differences by shipping cells BOTH
+// directions with last-write-wins on version — so after one pass every
+// replica of a range holds the same winners, tombstones included,
+// regardless of which dual-write forwards were dropped, which replica a
+// concurrent writer reached first, or which side saw a delete.
+//
+// The exchange rides the epoch-0 admin path end to end: DigestRequest
+// probes, StreamRangeRequest pulls the cells of a mismatched leaf from
+// both owners, and BatchPutRequest ships each side's winners to the
+// other with their original versions, so the receiving engine's LWW
+// merge keeps anything newer it already has — repair can never move a
+// replica backwards.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scalekv/internal/hashring"
+	"scalekv/internal/row"
+	"scalekv/internal/storage"
+	"scalekv/internal/wire"
+)
+
+const (
+	// repairDigestDepth is the tree fan-out per digest round: 2^4 = 16
+	// leaf buckets per request. A mismatched leaf with more cells than
+	// repairLeafMaxCells is probed again at this depth over the leaf's
+	// own sub-range — the "descend into mismatched subtrees" walk —
+	// instead of streamed wholesale.
+	repairDigestDepth  = 4
+	repairLeafMaxCells = 512
+	// repairMaxDescent bounds the descent; 12 rounds of depth 4 resolve
+	// token ranges down to 2^16 wide before falling back to streaming.
+	repairMaxDescent = 12
+)
+
+// RepairReport summarizes one anti-entropy pass.
+type RepairReport struct {
+	// Ranges is how many replicated token ranges were walked; Pairs how
+	// many (reference, replica) digest comparisons ran.
+	Ranges int
+	Pairs  int
+	// DigestRPCs counts digest probes; LeafMismatches how many digest
+	// leaves differed (each is either descended into or streamed).
+	DigestRPCs     int
+	LeafMismatches int
+	// CellsShipped counts cells sent to lagging replicas, both
+	// directions. Zero on a converged cluster — the pass then cost only
+	// digests.
+	CellsShipped int64
+	// SkippedLegacy counts divergent pre-versioning (zero-version) cells
+	// left alone: their versions cannot be compared, and re-stamping
+	// them would manufacture a fresh write out of stale data.
+	SkippedLegacy int64
+}
+
+// Repair runs one anti-entropy pass over the cluster at replication
+// factor rf (<= 0 means the cluster's configured factor): every
+// replicated range converges to the per-cell last-write-wins winner on
+// all its owners. It serializes with AddNode/RemoveNode — repair and
+// migration both move epoch-0 traffic — and fences every engine's
+// tombstone GC for the duration, so a tombstone observed by a digest
+// cannot be collected before the pass finishes propagating it.
+func (c *Cluster) Repair(rf int) (*RepairReport, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if rf <= 0 {
+		rf = c.opts.ReplicationFactor
+	}
+	for _, n := range c.Nodes {
+		release := n.Engine().FenceRange(math.MinInt64, math.MaxInt64)
+		defer release()
+	}
+	return c.client.RepairRange(math.MinInt64, math.MaxInt64, rf)
+}
+
+// RepairAll repairs every replicated range of the client's current
+// topology — the admin entry point for remote clusters (cmd/kvstore).
+// It refreshes the ring first (best effort — standalone nodes carry no
+// topology), because repair traffic is all epoch-0 and would otherwise
+// never trip the wrong-epoch refresh: a periodic repair daemon must
+// not walk its boot-time ring forever while the cluster grows. Unlike
+// Cluster.Repair it cannot fence remote engines' tombstone GC, so run
+// it often enough that deletes repair before their tombstones are
+// collected.
+func (c *Client) RepairAll(rf int) (*RepairReport, error) {
+	_ = c.refreshRing()
+	return c.RepairRange(math.MinInt64, math.MaxInt64, rf)
+}
+
+// RepairRange anti-entropy-repairs the intersection of [lo, hi] with
+// every replicated range of the current topology at replication factor
+// rf (<= 0 means the client's configured factor). For each range it
+// syncs the primary bidirectionally with every other owner — after
+// which the primary holds the range's global LWW state — and then
+// re-syncs the earlier owners so all of them end on that state; a
+// second call over converged replicas ships nothing.
+func (c *Client) RepairRange(lo, hi int64, rf int) (*RepairReport, error) {
+	if rf <= 0 {
+		rf = c.rf
+	}
+	rep := &RepairReport{}
+	t := c.topo()
+	for _, or := range t.OwnedRanges(rf) {
+		rlo, rhi := or.Lo, or.Hi
+		if rlo < lo {
+			rlo = lo
+		}
+		if rhi > hi {
+			rhi = hi
+		}
+		if rlo > rhi || len(or.Owners) < 2 {
+			continue
+		}
+		rep.Ranges++
+		ref := or.Owners[0]
+		others := or.Owners[1:]
+		// Sweep 1: pull everything into the reference (bidirectionally,
+		// so each partner also receives what the reference has gathered
+		// so far). After the last pair, ref and the last partner hold
+		// the range's global LWW state.
+		for _, other := range others {
+			rep.Pairs++
+			if err := c.syncPair(ref, other, rlo, rhi, repairMaxDescent, rep); err != nil {
+				return rep, err
+			}
+		}
+		// Sweep 2 (rf > 2 only): earlier partners have not seen what
+		// later ones contributed; one more sync against the now-complete
+		// reference finishes them. Converged pairs cost one digest
+		// round trip each.
+		for i := 0; i+1 < len(others); i++ {
+			rep.Pairs++
+			if err := c.syncPair(ref, others[i], rlo, rhi, repairMaxDescent, rep); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// syncPair converges nodes a and b on [lo, hi]: digest both sides,
+// descend into mismatched leaves while they are large and splittable,
+// and reconcile the rest cell by cell.
+func (c *Client) syncPair(a, b hashring.NodeID, lo, hi int64, budget int, rep *RepairReport) error {
+	la, err := c.digest(a, lo, hi, rep)
+	if err != nil {
+		return err
+	}
+	lb, err := c.digest(b, lo, hi, rep)
+	if err != nil {
+		return err
+	}
+	ranges := storage.DigestRanges(lo, hi, repairDigestDepth)
+	if len(la) != len(ranges) || len(lb) != len(ranges) {
+		return fmt.Errorf("cluster: digest shape mismatch over [%d,%d]: %d vs %d vs %d leaves",
+			lo, hi, len(la), len(lb), len(ranges))
+	}
+	for i, r := range ranges {
+		if la[i] == lb[i] {
+			continue
+		}
+		rep.LeafMismatches++
+		blo, bhi := r[0], r[1]
+		big := la[i].Cells > repairLeafMaxCells || lb[i].Cells > repairLeafMaxCells
+		if big && budget > 0 && blo < bhi {
+			if err := c.syncPair(a, b, blo, bhi, budget-1, rep); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.reconcileLeaf(a, b, blo, bhi, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// digest fetches one node's digest leaves for [lo, hi].
+func (c *Client) digest(node hashring.NodeID, lo, hi int64, rep *RepairReport) ([]wire.DigestLeaf, error) {
+	rep.DigestRPCs++
+	resp, err := c.call(node, &wire.DigestRequest{Lo: lo, Hi: hi, Depth: repairDigestDepth})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: digest node %d: %w", node, err)
+	}
+	dr, ok := resp.(*wire.DigestResponse)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected digest response %T", resp)
+	}
+	if dr.ErrMsg != "" {
+		return nil, fmt.Errorf("cluster: digest node %d: %s", node, dr.ErrMsg)
+	}
+	return dr.Leaves, nil
+}
+
+// cellAddr keys one cell address during leaf reconciliation.
+type cellAddr struct {
+	pk string
+	ck string
+}
+
+// reconcileLeaf pulls the cells of [lo, hi] from both nodes and ships
+// each side's winners to the other. Shipped entries keep their original
+// versions, so the receiving engine's merge resolves exactly like any
+// forwarded copy; equal versions name the same write and move nothing.
+func (c *Client) reconcileLeaf(a, b hashring.NodeID, lo, hi int64, rep *RepairReport) error {
+	ea, err := c.streamAll(a, lo, hi)
+	if err != nil {
+		return err
+	}
+	eb, err := c.streamAll(b, lo, hi)
+	if err != nil {
+		return err
+	}
+	index := func(entries []row.Entry) map[cellAddr]row.Entry {
+		m := make(map[cellAddr]row.Entry, len(entries))
+		for _, e := range entries {
+			m[cellAddr{pk: e.PK, ck: string(e.CK)}] = e
+		}
+		return m
+	}
+	ma, mb := index(ea), index(eb)
+	var toA, toB []row.Entry
+	pick := func(have row.Entry, other map[cellAddr]row.Entry, out *[]row.Entry, addr cellAddr) {
+		theirs, ok := other[addr]
+		if ok && !theirs.Ver.Less(have.Ver) {
+			return // theirs is newer or the same write; nothing to ship
+		}
+		if have.Ver.IsZero() {
+			// A pre-versioning cell cannot claim to win, and re-stamping
+			// it would fabricate a fresh write from possibly-stale data.
+			rep.SkippedLegacy++
+			return
+		}
+		*out = append(*out, have)
+	}
+	for addr, e := range ma {
+		pick(e, mb, &toB, addr)
+	}
+	for addr, e := range mb {
+		pick(e, ma, &toA, addr)
+	}
+	if err := c.shipRepair(b, toB); err != nil {
+		return err
+	}
+	if err := c.shipRepair(a, toA); err != nil {
+		return err
+	}
+	rep.CellsShipped += int64(len(toA) + len(toB))
+	return nil
+}
+
+// streamAll drains a node's cells — tombstones included — over an
+// inclusive token range via the paged epoch-0 stream.
+func (c *Client) streamAll(node hashring.NodeID, lo, hi int64) ([]row.Entry, error) {
+	var out []row.Entry
+	afterTok, afterPK := int64(math.MinInt64), ""
+	for {
+		resp, err := c.call(node, &wire.StreamRangeRequest{
+			Lo: lo, Hi: hi, AfterToken: afterTok, AfterPK: afterPK,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: repair stream node %d: %w", node, err)
+		}
+		page, ok := resp.(*wire.StreamRangeResponse)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unexpected repair stream response %T", resp)
+		}
+		if page.ErrMsg != "" {
+			return nil, errors.New(page.ErrMsg)
+		}
+		out = append(out, page.Entries...)
+		if !page.More {
+			return out, nil
+		}
+		afterTok, afterPK = page.NextToken, page.NextPK
+	}
+}
+
+// shipRepair writes repair entries to a node at epoch 0, chunked.
+func (c *Client) shipRepair(node hashring.NodeID, entries []row.Entry) error {
+	const chunk = streamPageCells
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > chunk {
+			n = chunk
+		}
+		resp, err := c.call(node, &wire.BatchPutRequest{Entries: entries[:n]}) // epoch 0
+		if err != nil {
+			return fmt.Errorf("cluster: repair ship to node %d: %w", node, err)
+		}
+		bp, ok := resp.(*wire.BatchPutResponse)
+		if !ok {
+			return fmt.Errorf("cluster: unexpected repair ship response %T", resp)
+		}
+		if bp.ErrMsg != "" {
+			return fmt.Errorf("cluster: repair ship to node %d: %s", node, bp.ErrMsg)
+		}
+		entries = entries[n:]
+	}
+	return nil
+}

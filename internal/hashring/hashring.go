@@ -23,6 +23,7 @@ package hashring
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"scalekv/internal/murmur"
@@ -366,6 +367,35 @@ func mergeMoves(moves []RangeMove) []RangeMove {
 		merged = append(merged, m)
 	}
 	return merged
+}
+
+// OwnedRange is one maximal token range whose replica set is constant:
+// every key hashing into [Lo, Hi] lives on exactly Owners (primary
+// first). The anti-entropy repair pass walks these ranges, comparing
+// digests between the owners of each.
+type OwnedRange struct {
+	Lo, Hi int64
+	Owners []NodeID
+}
+
+// OwnedRanges enumerates the whole token space as ranges with their
+// rf-replica owner sets, in token order, adjacent ranges with identical
+// owners merged. The ranges partition [MinInt64, MaxInt64] exactly —
+// the wrap-around arc is split at the int64 boundary, like RangeMove.
+func (t *Topology) OwnedRanges(rf int) []OwnedRange {
+	if len(t.tokens) == 0 {
+		return nil
+	}
+	var out []OwnedRange
+	for _, a := range elementaryArcs(t, t) {
+		owners := ownersOfArc(t, a, rf)
+		if n := len(out); n > 0 && out[n-1].Hi+1 == a.lo && slices.Equal(out[n-1].Owners, owners) {
+			out[n-1].Hi = a.hi
+			continue
+		}
+		out = append(out, OwnedRange{Lo: a.lo, Hi: a.hi, Owners: owners})
+	}
+	return out
 }
 
 // --- Load measurement (the paper's imbalance study) ------------------------

@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scalekv/internal/row"
+)
+
+// TestDigestRangesGeometry: the leaf buckets of any (lo, hi, depth)
+// partition the range exactly — contiguous, in order, first at lo, last
+// at hi — and every token's bucket index (the one RangeDigest uses)
+// points at the bucket whose range holds it.
+func TestDigestRangesGeometry(t *testing.T) {
+	cases := []struct {
+		lo, hi int64
+		depth  int
+	}{
+		{math.MinInt64, math.MaxInt64, 4},
+		{math.MinInt64, math.MaxInt64, 0},
+		{math.MinInt64, math.MaxInt64, MaxDigestDepth},
+		{-1000, 1000, 4},
+		{-5, 3, 4},  // span 8: rounding covers in 3 buckets, not 16
+		{0, 0, 4},   // single token
+		{7, 10, 10}, // far fewer tokens than 2^depth
+		{math.MaxInt64 - 3, math.MaxInt64, 3},
+	}
+	for _, tc := range cases {
+		ranges := DigestRanges(tc.lo, tc.hi, tc.depth)
+		if len(ranges) == 0 {
+			t.Fatalf("(%d,%d,%d): no buckets", tc.lo, tc.hi, tc.depth)
+		}
+		if ranges[0][0] != tc.lo || ranges[len(ranges)-1][1] != tc.hi {
+			t.Fatalf("(%d,%d,%d): buckets span [%d,%d]", tc.lo, tc.hi, tc.depth, ranges[0][0], ranges[len(ranges)-1][1])
+		}
+		if d := tc.depth; d >= 0 && d <= MaxDigestDepth && len(ranges) > 1<<uint(d) {
+			t.Fatalf("(%d,%d,%d): %d buckets exceeds 2^depth", tc.lo, tc.hi, tc.depth, len(ranges))
+		}
+		for i := 1; i < len(ranges); i++ {
+			if uint64(ranges[i][0]) != uint64(ranges[i-1][1])+1 {
+				t.Fatalf("(%d,%d,%d): gap between bucket %d and %d", tc.lo, tc.hi, tc.depth, i-1, i)
+			}
+		}
+		size, count := digestGeom(tc.lo, tc.hi, tc.depth)
+		if count != uint64(len(ranges)) {
+			t.Fatalf("(%d,%d,%d): geom count %d, %d ranges", tc.lo, tc.hi, tc.depth, count, len(ranges))
+		}
+		// Probe bucket indexing at every boundary token.
+		for i, r := range ranges {
+			for _, tok := range []int64{r[0], r[1]} {
+				if got := digestBucket(tc.lo, size, count, tok); got != uint64(i) {
+					t.Fatalf("(%d,%d,%d): token %d indexes bucket %d, lies in %d", tc.lo, tc.hi, tc.depth, tok, got, i)
+				}
+			}
+		}
+	}
+}
+
+// seedEntries builds a deterministic pre-stamped workload: values,
+// overwrites and tombstones across many partitions.
+func seedEntries(n int) []row.Entry {
+	out := make([]row.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e := row.Entry{
+			PK:    fmt.Sprintf("part-%04d", i%97),
+			CK:    []byte(fmt.Sprintf("ck-%03d", i%13)),
+			Value: []byte(fmt.Sprintf("v-%d", i)),
+			Ver:   row.Version{Seq: uint64(i + 1), Node: uint16(i % 3)},
+		}
+		if i%11 == 0 {
+			e.Tombstone, e.Value = true, nil
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestRangeDigestContentAddressed: two engines holding the same logical
+// cells digest identically even when everything physical differs —
+// shard count, insertion order, flush/compaction state — and any
+// logical difference (a version, a tombstone, a missing cell) flips a
+// leaf.
+func TestRangeDigestContentAddressed(t *testing.T) {
+	entries := seedEntries(500)
+
+	a, err := Open(Options{Dir: t.TempDir(), Shards: 8, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(Options{Dir: t.TempDir(), Shards: 2, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.PutBatch(append([]row.Entry(nil), entries...)); err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]row.Entry(nil), entries...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if err := b.PutBatch(shuffled); err != nil {
+		t.Fatal(err)
+	}
+	// One engine flushed and compacted, the other all in memtables.
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	digestsEqual := func(stage string, want bool) {
+		t.Helper()
+		da, err := a.RangeDigest(math.MinInt64, math.MaxInt64, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.RangeDigest(math.MinInt64, math.MaxInt64, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(da) != len(db) {
+			t.Fatalf("%s: leaf counts %d vs %d", stage, len(da), len(db))
+		}
+		equal := true
+		var cellsA, cellsB uint64
+		for i := range da {
+			if da[i] != db[i] {
+				equal = false
+			}
+			cellsA += da[i].Cells
+			cellsB += db[i].Cells
+		}
+		if equal != want {
+			t.Fatalf("%s: digests equal=%v want %v (cells %d vs %d)", stage, equal, want, cellsA, cellsB)
+		}
+		if want && cellsA == 0 {
+			t.Fatalf("%s: digest saw no cells", stage)
+		}
+	}
+	digestsEqual("same content", true)
+
+	// A single overwritten version flips the digest...
+	if err := b.PutBatch([]row.Entry{{
+		PK: entries[0].PK, CK: entries[0].CK, Value: []byte("newer"),
+		Ver: row.Version{Seq: 1 << 30, Node: 9},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	digestsEqual("after divergent overwrite", false)
+
+	// ...and shipping the same write to the other engine re-converges.
+	if err := a.PutBatch([]row.Entry{{
+		PK: entries[0].PK, CK: entries[0].CK, Value: []byte("newer"),
+		Ver: row.Version{Seq: 1 << 30, Node: 9},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	digestsEqual("after convergence", true)
+
+	// A tombstone is digest-visible: deleting on one side diverges even
+	// though reads would just report not-found.
+	if err := a.PutBatch([]row.Entry{{
+		PK: entries[1].PK, CK: entries[1].CK, Tombstone: true,
+		Ver: row.Version{Seq: 1 << 31, Node: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	digestsEqual("after one-sided delete", false)
+}
+
+// TestRangeDigestSubranges: the digest of a sub-range matches between
+// engines exactly when the sub-range content matches, independent of
+// differences elsewhere — the property the repair descent depends on.
+func TestRangeDigestSubranges(t *testing.T) {
+	entries := seedEntries(300)
+	a, err := Open(Options{Dir: t.TempDir(), DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(Options{Dir: t.TempDir(), DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.PutBatch(append([]row.Entry(nil), entries...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutBatch(append([]row.Entry(nil), entries...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Diverge exactly one partition; only leaves covering its token may
+	// differ, at every digest granularity.
+	divergent := entries[7]
+	tok := PartitionToken(divergent.PK)
+	if err := b.PutBatch([]row.Entry{{
+		PK: divergent.PK, CK: []byte("extra"), Value: []byte("x"),
+		Ver: row.Version{Seq: 1 << 40, Node: 5},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{0, 1, 4, 8} {
+		ranges := DigestRanges(math.MinInt64, math.MaxInt64, depth)
+		da, err := a.RangeDigest(math.MinInt64, math.MaxInt64, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.RangeDigest(math.MinInt64, math.MaxInt64, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range ranges {
+			holds := r[0] <= tok && tok <= r[1]
+			if mismatch := da[i] != db[i]; mismatch != holds {
+				t.Fatalf("depth %d leaf %d [%d,%d]: mismatch=%v, divergent token inside=%v",
+					depth, i, r[0], r[1], mismatch, holds)
+			}
+		}
+	}
+}

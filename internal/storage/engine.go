@@ -165,6 +165,16 @@ type Engine struct {
 	scanMu  sync.Mutex
 	scanIdx map[scanKey]*scanIndex
 
+	// fences are the active anti-GC migration fences (see fence.go):
+	// token ranges whose tombstones compaction must keep because stale
+	// copies may still stream in behind them. fenceGen counts fence
+	// openings so an in-flight merge that predates a fence is detected
+	// and redone.
+	fenceMu  sync.Mutex
+	fences   map[uint64]fenceRange
+	fenceSeq uint64
+	fenceGen atomic.Uint64
+
 	// Test hooks, nil in production. Set them before any engine
 	// activity: the first mutex handoff to the workers publishes them.
 	testFlushGate chan struct{}           // flusher blocks here before touching disk

@@ -1,0 +1,90 @@
+package storage
+
+// This file is the migration fence: a guard that keeps compaction from
+// garbage-collecting tombstones in a token range while copies of that
+// range are still in flight toward this engine.
+//
+// The GC watermark (see shard.gcWatermarkLocked) proves that nothing
+// OLDER than a tombstone is still waiting to flush locally — but an
+// in-flight range migration or anti-entropy repair can deliver a
+// sub-watermark stale copy from another node AFTER the tombstone was
+// collected, resurrecting the deleted cell (the Cassandra gc_grace
+// hazard). A fence closes that window: while any fence covers a
+// partition's token, its tombstones are kept regardless of the
+// watermark. The cluster layer opens a fence on every migration target
+// for the ranges it is receiving (Node.BeginMigration) and on every
+// repair participant for the pass's duration, and releases it when the
+// transfer is done.
+
+// fenceRange is one active fence over an inclusive token range.
+type fenceRange struct{ lo, hi int64 }
+
+// FenceRange registers an anti-GC fence over the inclusive token range
+// [lo, hi] and returns its release function (idempotent). While the
+// fence is active, no compaction or range purge collects tombstones of
+// partitions whose token falls in the range — stale copies streamed in
+// behind the fence still find the tombstone masking them. A compaction
+// already running when the fence opens is discarded and redone (see the
+// generation re-check in shard.worker), so the guarantee holds from the
+// moment FenceRange returns.
+func (e *Engine) FenceRange(lo, hi int64) (release func()) {
+	e.fenceMu.Lock()
+	if e.fences == nil {
+		e.fences = make(map[uint64]fenceRange)
+	}
+	e.fenceSeq++
+	id := e.fenceSeq
+	e.fences[id] = fenceRange{lo: lo, hi: hi}
+	// Bumped under the same lock that publishes the fence: a worker
+	// snapshot observing the old generation provably ran before this
+	// fence existed, and its result will be discarded at swap-in.
+	e.fenceGen.Add(1)
+	e.fenceMu.Unlock()
+	released := false
+	return func() {
+		e.fenceMu.Lock()
+		if !released {
+			released = true
+			delete(e.fences, id)
+		}
+		e.fenceMu.Unlock()
+	}
+}
+
+// fenceSnapshot returns the active fences and the fence generation the
+// snapshot was taken at. Workers take it before a merge and re-check
+// the generation before installing the result: a generation moved by a
+// new fence means tombstones the fence now protects may have been
+// collected, so the merge is discarded and redone with the fresh set.
+// (Releases do not bump the generation — a merge that honoured a since-
+// released fence is merely conservative.)
+func (e *Engine) fenceSnapshot() ([]fenceRange, uint64) {
+	e.fenceMu.Lock()
+	defer e.fenceMu.Unlock()
+	if len(e.fences) == 0 {
+		return nil, e.fenceGen.Load()
+	}
+	out := make([]fenceRange, 0, len(e.fences))
+	for _, f := range e.fences {
+		out = append(out, f)
+	}
+	return out, e.fenceGen.Load()
+}
+
+// fencedFn turns a fence snapshot into the per-partition predicate the
+// compactor consults; nil when no fence is active (the common case pays
+// nothing).
+func fencedFn(fences []fenceRange) func(pk string) bool {
+	if len(fences) == 0 {
+		return nil
+	}
+	return func(pk string) bool {
+		tok := PartitionToken(pk)
+		for _, f := range fences {
+			if f.lo <= tok && tok <= f.hi {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"testing"
+
+	"scalekv/internal/row"
+)
+
+// openFenceEngine opens a small engine for the fence tests.
+func openFenceEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := Open(Options{Dir: t.TempDir(), Shards: 1, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestTombstoneGCResurrectionWithoutFence demonstrates the gc_grace
+// hazard the migration fence exists for: once every memtable is flushed
+// the GC watermark no longer protects a tombstone, compaction collects
+// it, and a sub-watermark stale copy arriving afterwards (a late
+// migration stream page) resurrects the deleted cell.
+func TestTombstoneGCResurrectionWithoutFence(t *testing.T) {
+	e := openFenceEngine(t)
+	if err := e.Put("k", []byte("ck"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Flush between the put and the delete so the delete lands in a
+	// second table and Compact has a real merge to run.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("k", []byte("ck")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Metrics.TombstonesGCed.Load(); n == 0 {
+		t.Fatal("compaction kept the tombstone; the hazard precondition is gone")
+	}
+	// The late stale copy: pre-stamped below the collected tombstone's
+	// version, exactly what ScanRange would have paged out of a source
+	// snapshot taken before the delete.
+	if err := e.PutBatch([]row.Entry{{
+		PK: "k", CK: []byte("ck"), Value: []byte("v1"), Ver: row.Version{Seq: 1, Node: 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := e.Get("k", []byte("ck")); !found {
+		t.Fatal("stale copy did not resurrect — the regression below is not testing anything")
+	}
+}
+
+// TestMigrationFenceKeepsDeleteEffective is the regression for the
+// ROADMAP stale-copy-resurrection window: with a fence over the range
+// (as BeginMigration installs on a migration target), compaction keeps
+// the tombstone even though the watermark would allow collecting it, so
+// a stale streamed copy delivered afterwards stays masked — the delete
+// sticks.
+func TestMigrationFenceKeepsDeleteEffective(t *testing.T) {
+	e := openFenceEngine(t)
+	release := e.FenceRange(PartitionToken("k"), PartitionToken("k"))
+
+	if err := e.Put("k", []byte("ck"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Flush between the put and the delete so the delete lands in a
+	// second table and Compact has a real merge to run.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("k", []byte("ck")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Metrics.TombstonesGCed.Load(); n != 0 {
+		t.Fatalf("compaction collected %d tombstones through the fence", n)
+	}
+
+	// The stale streamed copy arrives after the compaction that would
+	// have collected the tombstone.
+	if err := e.PutBatch([]row.Entry{{
+		PK: "k", CK: []byte("ck"), Value: []byte("v1"), Ver: row.Version{Seq: 1, Node: 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, _ := e.Get("k", []byte("ck")); found {
+		t.Fatalf("delete did not stick: stale copy %q resurrected behind the fence", v)
+	}
+
+	// Migration over: the fence lifts. The stale copy now sits in the
+	// active memtable BELOW the tombstone's version, so the watermark
+	// itself keeps the tombstone until the copy flushes and merges away;
+	// a full settle then collects everything with the delete intact.
+	release()
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := e.Get("k", []byte("ck")); found {
+		t.Fatal("delete lost after fence release and settle")
+	}
+	if n := e.Metrics.TombstonesGCed.Load(); n == 0 {
+		t.Fatal("post-release compaction never reclaimed the tombstone")
+	}
+}
+
+// TestFenceOnlyCoversItsRange: tombstones outside every fenced range
+// are still collected — the fence must not globally disable GC.
+func TestFenceOnlyCoversItsRange(t *testing.T) {
+	e := openFenceEngine(t)
+	tok := PartitionToken("k")
+	// Fence some other, disjoint single-token range.
+	other := tok + 1
+	if tok == int64(^uint64(0)>>1) { // MaxInt64: step down instead
+		other = tok - 1
+	}
+	release := e.FenceRange(other, other)
+	defer release()
+
+	if err := e.Put("k", []byte("ck"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Flush between the put and the delete so the delete lands in a
+	// second table and Compact has a real merge to run.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("k", []byte("ck")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Metrics.TombstonesGCed.Load(); n == 0 {
+		t.Fatal("an unrelated fence blocked tombstone GC")
+	}
+}
+
+// TestFenceReleaseIdempotent: releasing twice (EndMigration racing a
+// replacement BeginMigration) must not drop someone else's fence.
+func TestFenceReleaseIdempotent(t *testing.T) {
+	e := openFenceEngine(t)
+	tok := PartitionToken("k")
+	r1 := e.FenceRange(tok, tok)
+	r1()
+	r2 := e.FenceRange(tok, tok)
+	r1() // double release of the first fence: must not touch the second
+	fences, _ := e.fenceSnapshot()
+	if len(fences) != 1 {
+		t.Fatalf("%d fences active, want the second one", len(fences))
+	}
+	r2()
+	fences, _ = e.fenceSnapshot()
+	if len(fences) != 0 {
+		t.Fatalf("%d fences active after full release", len(fences))
+	}
+}

@@ -403,13 +403,14 @@ func (s *shard) worker() {
 			inputs := append([]*tableHandle(nil), s.tables...)
 			seq := s.sstSeq
 			gcBelow := s.gcWatermarkLocked()
+			fences, fenceGen := s.eng.fenceSnapshot()
 			s.busy = true
 			s.mu.Unlock()
 			drop := func(pk string) bool {
 				tok := PartitionToken(pk)
 				return req.lo <= tok && tok <= req.hi
 			}
-			r, dropped, err := s.compactTables(inputs, seq, drop, gcBelow)
+			r, dropped, gced, err := s.compactTables(inputs, seq, drop, gcBelow, fencedFn(fences))
 			s.mu.Lock()
 			s.busy = false
 			if s.abandoned {
@@ -420,6 +421,17 @@ func (s *shard) worker() {
 				s.cond.Broadcast()
 				s.mu.Unlock()
 				return
+			}
+			if err == nil && s.eng.fenceGen.Load() != fenceGen {
+				// A migration fence opened while this merge ran: it may
+				// have collected tombstones the fence now protects.
+				// Discard the result and redo with the fresh fence set
+				// (the purge request is still at the head of the queue).
+				if r != nil {
+					r.Close()
+					os.Remove(r.Path())
+				}
+				continue
 			}
 			if err != nil {
 				s.flushErr = err // purge request stays pending for the retry
@@ -445,6 +457,7 @@ func (s *shard) worker() {
 			s.purges = s.purges[1:]
 			s.flushErr = nil
 			s.eng.Metrics.RangePurges.Add(1)
+			s.eng.Metrics.TombstonesGCed.Add(gced)
 			s.busy = true
 			s.cond.Broadcast()
 			s.mu.Unlock()
@@ -465,9 +478,10 @@ func (s *shard) worker() {
 			inputs := append([]*tableHandle(nil), s.tables...)
 			seq := s.sstSeq
 			gcBelow := s.gcWatermarkLocked()
+			fences, fenceGen := s.eng.fenceSnapshot()
 			s.busy = true
 			s.mu.Unlock()
-			r, _, err := s.compactTables(inputs, seq, nil, gcBelow)
+			r, _, gced, err := s.compactTables(inputs, seq, nil, gcBelow, fencedFn(fences))
 			s.mu.Lock()
 			s.busy = false
 			if s.abandoned {
@@ -478,6 +492,18 @@ func (s *shard) worker() {
 				s.cond.Broadcast()
 				s.mu.Unlock()
 				return
+			}
+			if err == nil && gced > 0 && s.eng.fenceGen.Load() != fenceGen {
+				// Same fence re-check as the purge path, but only when the
+				// merge actually collected tombstones: a merge with zero
+				// collections is byte-equivalent to a fence-honoring one,
+				// so installing it is safe and the (whole-shard) redo is
+				// saved. (The purge path stays unconditional — tombstones
+				// inside dropped partitions are not counted in gced.)
+				r.Close()
+				os.Remove(r.Path())
+				s.compactReq = true
+				continue
 			}
 			if err != nil {
 				s.flushErr = err
@@ -497,6 +523,7 @@ func (s *shard) worker() {
 			s.tables = append([]*tableHandle{newTableHandle(r)}, s.tables[len(inputs):]...)
 			s.sstSeq = seq + 1
 			s.eng.Metrics.Compactions.Add(1)
+			s.eng.Metrics.TombstonesGCed.Add(gced)
 			// Stay busy while the superseded tables are retired so
 			// Compact callers observe the final on-disk state (barring
 			// in-flight readers, which unlink the files as they finish).
@@ -617,14 +644,16 @@ func (s *shard) gcWatermarkLocked() uint64 {
 
 // compactTables merges the input tables into one, dropping shadowed
 // cell versions, collecting tombstones whose version sequence is below
-// gcBelow (the shard's GC watermark) — and, when drop is non-nil, whole
-// partitions (the DeleteRange purge), returning how many live cells
-// that removed. When every partition is dropped no table is written and
-// the reader is nil. Same .tmp-then-rename discipline as writeTable.
-// Called without the lock; the inputs stay readable throughout (sstable
-// readers are concurrency-safe, and the worker's list reference keeps
-// them open).
-func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk string) bool, gcBelow uint64) (*sstable.Reader, int64, error) {
+// gcBelow (the shard's GC watermark) — except in partitions the fenced
+// predicate covers, whose tombstones are kept because a migration or
+// repair may still stream older copies in behind them — and, when drop
+// is non-nil, whole partitions (the DeleteRange purge), returning how
+// many live cells that removed and how many tombstones were collected.
+// When every partition is dropped no table is written and the reader is
+// nil. Same .tmp-then-rename discipline as writeTable. Called without
+// the lock; the inputs stay readable throughout (sstable readers are
+// concurrency-safe, and the worker's list reference keeps them open).
+func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk string) bool, gcBelow uint64, fenced func(pk string) bool) (*sstable.Reader, int64, int64, error) {
 	seen := map[string]bool{}
 	for _, t := range inputs {
 		for _, pk := range t.Partitions() {
@@ -662,14 +691,14 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 	for _, pk := range dropPKs {
 		cells, err := readMerged(pk)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		dropped += int64(len(row.DropTombstones(cells)))
 	}
 	if len(pks) == 0 && drop != nil {
 		// Nothing survives: the caller drops every input table and keeps
 		// no replacement.
-		return nil, dropped, nil
+		return nil, dropped, 0, nil
 	}
 
 	path := s.sstPath(seq)
@@ -679,7 +708,7 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 		ExpectedPartitions: len(pks),
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	var tombstonesGCed int64
 	for _, pk := range pks {
@@ -687,12 +716,15 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 		if err != nil {
 			w.Close()
 			os.Remove(tmp)
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		// Collect tombstones under the GC watermark: the merge already
 		// dropped everything they shadowed within the inputs, and the
-		// watermark guarantees nothing older is still waiting to flush.
-		if gcBelow > 0 {
+		// watermark guarantees nothing older is still waiting to flush
+		// locally. A partition under a migration fence keeps them all —
+		// an in-flight stream may still deliver a sub-watermark copy
+		// from another node that only the tombstone can mask.
+		if gcBelow > 0 && (fenced == nil || !fenced(pk)) {
 			kept := cells[:0]
 			for _, c := range cells {
 				if c.Tombstone && c.Ver.Seq < gcBelow {
@@ -709,24 +741,23 @@ func (s *shard) compactTables(inputs []*tableHandle, seq int, drop func(pk strin
 		if err := w.AddPartition(pk, cells); err != nil {
 			w.Close()
 			os.Remove(tmp)
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 	}
 	if err := w.Close(); err != nil {
 		os.Remove(tmp)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	r, err := sstable.Open(path)
 	if err != nil {
 		os.Remove(path)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	s.eng.Metrics.TombstonesGCed.Add(tombstonesGCed)
-	return r, dropped, nil
+	return r, dropped, tombstonesGCed, nil
 }
 
 func (s *shard) isAbandoned() bool {

@@ -64,6 +64,7 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 		out = enc.AppendUvarint(out, v.VerSeq)
 		out = enc.AppendUvarint(out, uint64(v.VerNode))
+		out = appendBool(out, v.Tombstone)
 	case *DeleteRequest:
 		out = enc.AppendBytes(out, []byte(v.PK))
 		out = enc.AppendBytes(out, v.CK)
@@ -141,6 +142,17 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendUvarint(out, uint64(v.Hi))
 	case *DeleteRangeResponse:
 		out = enc.AppendUvarint(out, v.Removed)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *DigestRequest:
+		out = enc.AppendUvarint(out, uint64(v.Lo))
+		out = enc.AppendUvarint(out, uint64(v.Hi))
+		out = enc.AppendUvarint(out, uint64(v.Depth))
+	case *DigestResponse:
+		out = enc.AppendUvarint(out, uint64(len(v.Leaves)))
+		for _, l := range v.Leaves {
+			out = enc.AppendUvarint(out, l.Hash)
+			out = enc.AppendUvarint(out, l.Cells)
+		}
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	case *NodeStatsRequest:
 		// No fields.
@@ -244,6 +256,7 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.ErrMsg = string(d.bytes())
 		v.VerSeq = d.uvarint()
 		v.VerNode = uint16(d.uvarint())
+		v.Tombstone = d.byte() == 1
 	case *DeleteRequest:
 		v.PK = string(d.bytes())
 		v.CK = d.copyBytes()
@@ -332,6 +345,19 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.Hi = int64(d.uvarint())
 	case *DeleteRangeResponse:
 		v.Removed = d.uvarint()
+		v.ErrMsg = string(d.bytes())
+	case *DigestRequest:
+		v.Lo = int64(d.uvarint())
+		v.Hi = int64(d.uvarint())
+		v.Depth = uint32(d.uvarint())
+	case *DigestResponse:
+		cnt := d.uvarint()
+		if cnt > 0 {
+			v.Leaves = make([]DigestLeaf, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Leaves = append(v.Leaves, DigestLeaf{Hash: d.uvarint(), Cells: d.uvarint()})
+			}
+		}
 		v.ErrMsg = string(d.bytes())
 	case *NodeStatsRequest:
 		// No fields.

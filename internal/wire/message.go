@@ -52,6 +52,8 @@ const (
 	TypeNodeStatsResponse
 	TypeDeleteRequest
 	TypeDeleteResponse
+	TypeDigestRequest
+	TypeDigestResponse
 )
 
 // --- Topology epochs --------------------------------------------------------
@@ -178,9 +180,16 @@ type GetResponse struct {
 	Found  bool
 	ErrMsg string
 	// VerSeq/VerNode are the winning cell's version (zero when the cell
-	// was written before versioning, or when Found is false).
+	// was written before versioning, or when the address holds nothing
+	// at all).
 	VerSeq  uint64
 	VerNode uint16
+	// Tombstone reports that the address is deleted: the winning cell is
+	// a versioned tombstone (Found stays false — the value is gone). The
+	// client's read-repair forwards the tombstone to lagging replicas so
+	// a failover read of a deleted cell heals the divergence instead of
+	// leaving the old value live elsewhere.
+	Tombstone bool
 }
 
 // TypeID implements Message.
@@ -348,6 +357,39 @@ type DeleteRangeResponse struct {
 // TypeID implements Message.
 func (*DeleteRangeResponse) TypeID() uint16 { return TypeDeleteRangeResponse }
 
+// DigestRequest asks a node for the Merkle-style digest of the
+// inclusive token range [Lo, Hi] at the given tree depth — the probe of
+// the anti-entropy repair pass. Digests are admin-class traffic like
+// range streaming: no epoch field, valid at any topology. Both sides
+// derive the leaf bucket boundaries deterministically from (Lo, Hi,
+// Depth), so only hashes travel; a repair descends into a mismatched
+// leaf by issuing another DigestRequest over that leaf's sub-range.
+type DigestRequest struct {
+	Lo, Hi int64
+	Depth  uint32
+}
+
+// TypeID implements Message.
+func (*DigestRequest) TypeID() uint16 { return TypeDigestRequest }
+
+// DigestLeaf is one digest bucket on the wire: the hash of the bucket's
+// (pk, ck, version, flags) tuples — tombstones included — and the tuple
+// count (the repair pass's descend-or-stream signal).
+type DigestLeaf struct {
+	Hash  uint64
+	Cells uint64
+}
+
+// DigestResponse returns the digest leaves of the requested range, leaf
+// i covering the i-th bucket of the (Lo, Hi, Depth) layout.
+type DigestResponse struct {
+	Leaves []DigestLeaf
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*DigestResponse) TypeID() uint16 { return TypeDigestResponse }
+
 // NodeStatsRequest asks a node for its storage-engine load summary.
 type NodeStatsRequest struct{}
 
@@ -431,6 +473,10 @@ func newMessage(id uint16) (Message, error) {
 		return &DeleteRequest{}, nil
 	case TypeDeleteResponse:
 		return &DeleteResponse{}, nil
+	case TypeDigestRequest:
+		return &DigestRequest{}, nil
+	case TypeDigestResponse:
+		return &DigestResponse{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", id)
 	}

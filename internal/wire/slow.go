@@ -39,6 +39,7 @@ func init() {
 		&DeleteRangeRequest{}, &DeleteRangeResponse{},
 		&NodeStatsRequest{}, &NodeStatsResponse{},
 		&DeleteRequest{}, &DeleteResponse{},
+		&DigestRequest{}, &DigestResponse{},
 	} {
 		t := reflect.TypeOf(m).Elem()
 		slowRegistry[t.String()] = t

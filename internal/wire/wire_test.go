@@ -93,6 +93,16 @@ func sampleMessages() []Message {
 			{PK: "cube-0008", CK: []byte{1}, Value: []byte("a"), Ver: row.Version{Seq: 77, Node: 2}},
 			{PK: "cube-0008", CK: []byte{2}, Ver: row.Version{Seq: 78, Node: 2}, Tombstone: true},
 		}, NextToken: -42, NextPK: "cube-0008", More: true},
+		// Anti-entropy: digest probes and the tombstone-bearing get
+		// response the read-repair of deletes rides on.
+		&DigestRequest{Lo: -1 << 63, Hi: 1<<63 - 1, Depth: 4},
+		&DigestRequest{Lo: -9000, Hi: 42, Depth: 10},
+		&DigestResponse{Leaves: []DigestLeaf{
+			{Hash: 14695981039346656037, Cells: 0},
+			{Hash: 1, Cells: 1 << 40},
+		}},
+		&DigestResponse{ErrMsg: "engine closed"},
+		&GetResponse{Tombstone: true, VerSeq: 1 << 50, VerNode: 65535},
 	}
 }
 
@@ -158,6 +168,12 @@ func normalize(m Message) Message {
 		out := *v
 		if len(out.Value) == 0 {
 			out.Value = nil
+		}
+		return &out
+	case *DigestResponse:
+		out := *v
+		if len(out.Leaves) == 0 {
+			out.Leaves = nil
 		}
 		return &out
 	case *ScanRequest:
@@ -351,6 +367,8 @@ func TestBatchMessageTypeIDsAreStable(t *testing.T) {
 		20: &NodeStatsResponse{},
 		21: &DeleteRequest{},
 		22: &DeleteResponse{},
+		23: &DigestRequest{},
+		24: &DigestResponse{},
 	}
 	for id, m := range want {
 		if got := m.TypeID(); got != id {

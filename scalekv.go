@@ -56,7 +56,9 @@ func MaxKeysPerNode(keys, nodes int) float64 { return core.MaxKeysPerNode(keys, 
 // server per node, connected by the in-process transport). It is
 // elastic: AddNode and RemoveNode grow and shrink the ring under live
 // traffic, streaming token ranges between nodes and flipping the
-// topology epoch when the data is in place.
+// topology epoch when the data is in place. Cluster.Repair runs an
+// anti-entropy pass that converges every replica of every range to the
+// per-cell last-write-wins winner, tombstones included.
 type Cluster = cluster.Cluster
 
 // Topology is the epoch-versioned token ring: an immutable membership
@@ -74,6 +76,12 @@ type RangeMove = hashring.RangeMove
 // RebalanceReport summarizes one AddNode/RemoveNode: moves, cells
 // streamed and retired, stream and flip durations.
 type RebalanceReport = cluster.RebalanceReport
+
+// RepairReport summarizes one anti-entropy pass (Cluster.Repair /
+// Client.RepairRange): ranges and replica pairs walked, digest probes,
+// mismatched leaves and cells shipped to lagging replicas. A converged
+// cluster reports zero cells shipped — the pass cost only digests.
+type RepairReport = cluster.RepairReport
 
 // Client routes operations by token ring and runs the master-style
 // fan-out (CountAll).
