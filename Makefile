@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair lint
+.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload lint
 
 build:
 	go build ./...
@@ -42,6 +42,19 @@ bench-delete:
 bench-repair:
 	go test -run=NONE -bench=Repair -benchtime=3x .
 	go test -run 'TestRepairConverges' -count=1 ./internal/cluster/
+
+# Workload lab, quick mode (≤60s): the read-heavy and hotspot mixes of
+# cmd/kvload against a 4-node in-process cluster, each persisted as
+# BENCH_<mix>.json and schema-validated — the perf-trajectory record
+# every PR's latency/throughput claim is judged against. CI uploads
+# the JSON as a build artifact. Full-length local runs: drop -quick
+# (the files are gitignored; commit intentionally to extend the
+# committed trajectory).
+GITREV := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+bench-workload:
+	go run ./cmd/kvload -mix read-heavy -quick -gitrev $(GITREV)
+	go run ./cmd/kvload -mix hotspot -quick -gitrev $(GITREV)
+	go run ./cmd/kvload -validate BENCH_read-heavy.json BENCH_hotspot.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,4 +1,7 @@
-// Command kvbench regenerates every figure of the paper's evaluation.
+// Command kvbench regenerates every figure of the paper's evaluation
+// — the reproduction record, and only that. For benchmarks of the
+// system itself (YCSB-style mixes, saturation sweeps, latency
+// percentiles, the persisted BENCH_*.json trajectory) use cmd/kvload.
 //
 // Usage:
 //

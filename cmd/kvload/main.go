@@ -1,0 +1,245 @@
+// Command kvload is the standing workload lab: it drives a YCSB-style
+// named mix against a cluster through a client-count saturation sweep,
+// collects per-op latency into fixed-bucket histograms, and persists
+// the run as BENCH_<mix>.json — the repo's perf trajectory. (The paper
+// figures live in cmd/kvbench; this command measures the system.)
+//
+// Against an in-process cluster (default) or a self-hosted loopback
+// TCP cluster:
+//
+//	kvload -mix hotspot -quick
+//	kvload -mix read-heavy -nodes 4 -rf 2 -transport tcp
+//
+// Against a running deployment (node list defines the ring, as for
+// cmd/kvstore):
+//
+//	kvload -mix update-heavy -addr host0:7070,host1:7070 -rf 2
+//
+// Validate persisted results (the CI artifact gate):
+//
+//	kvload -validate BENCH_read-heavy.json BENCH_hotspot.json
+//
+// Mixes: read-heavy (95/5), update-heavy (50/50), scan-heavy,
+// hotspot (Zipfian, -theta), delete-churn. Each run preloads the
+// keyspace through the batched write path, then runs the mix once per
+// entry of -clients, each step for -duration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"scalekv/internal/cluster"
+	"scalekv/internal/hashring"
+	"scalekv/internal/transport"
+	"scalekv/internal/wire"
+	"scalekv/internal/workload"
+)
+
+func main() {
+	var (
+		mixName   = flag.String("mix", "", "workload mix: "+workload.MixNames())
+		nodes     = flag.Int("nodes", 4, "cluster size for self-hosted modes")
+		rf        = flag.Int("rf", 1, "replication factor")
+		transp    = flag.String("transport", "inproc", "self-hosted cluster transport: inproc | tcp")
+		addrs     = flag.String("addr", "", "comma-separated node addresses of a running cluster (overrides self-hosting)")
+		clients   = flag.String("clients", "1,2,4,8", "comma-separated client-goroutine counts, one sweep step each")
+		duration  = flag.Duration("duration", 5*time.Second, "measured duration per sweep step")
+		keys      = flag.Int64("keys", 50_000, "partition-key count")
+		cells     = flag.Int("cells", 4, "cells (clustering keys) per partition")
+		valueSize = flag.Int("value", 128, "value bytes per cell")
+		theta     = flag.Float64("theta", 0, "Zipfian skew override for skewed mixes (0 = mix default)")
+		seed      = flag.Int64("seed", 42, "deterministic traffic seed")
+		outDir    = flag.String("out", ".", "directory for BENCH_<mix>.json")
+		gitRev    = flag.String("gitrev", "unknown", "git revision recorded in the result")
+		date      = flag.String("date", "", "ISO date recorded in the result (default: today, UTC)")
+		quick     = flag.Bool("quick", false, "CI-sized run: small keyspace, short steps (1,4 clients)")
+		validate  = flag.Bool("validate", false, "validate BENCH files given as arguments and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kvload -mix <name> [flags]\n")
+		fmt.Fprintf(os.Stderr, "       kvload -validate BENCH_*.json...\n")
+		fmt.Fprintf(os.Stderr, "mixes: %s\n", workload.MixNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *validate {
+		validateFiles(flag.Args())
+		return
+	}
+	if *mixName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mix, err := workload.MixByName(*mixName, *theta)
+	if err != nil {
+		die(err)
+	}
+	if *quick {
+		*keys = 4000
+		*valueSize = 64
+		*duration = 1500 * time.Millisecond
+		*clients = "1,4"
+	}
+	steps, err := parseClients(*clients)
+	if err != nil {
+		die(err)
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	cli, info, cleanup, err := connect(*addrs, *transp, *nodes, *rf)
+	if err != nil {
+		die(err)
+	}
+	defer cleanup()
+
+	result := &workload.Result{
+		Schema:  workload.SchemaVersion,
+		Mix:     mix.Name,
+		GitRev:  *gitRev,
+		Date:    *date,
+		Quick:   *quick,
+		Cluster: info,
+		Work: workload.WorkloadInfo{
+			Keys: *keys, CellsPerKey: *cells, ValueSize: *valueSize,
+			ReadPct: mix.Read, UpdatePct: mix.Update, ScanPct: mix.Scan, DeletePct: mix.Delete,
+			Zipfian: mix.Zipfian, Theta: mix.Theta, Seed: *seed,
+		},
+	}
+
+	// Preload every cell through the batched write path, so the
+	// measured steps run against a populated store (reads hit data,
+	// updates are overwrites) and the load rate itself lands in the
+	// trajectory.
+	ks := workload.NewKeyspace(*keys, *cells, *valueSize, *seed)
+	fmt.Printf("kvload: %s on %d nodes (rf=%d, %s): loading %d cells...\n",
+		mix.Name, info.Nodes, info.ReplicationFactor, info.Transport, ks.Cells())
+	loadStart := time.Now()
+	loaded, err := workload.LoadKeyspace(cli, ks, 256)
+	if err != nil {
+		die(fmt.Errorf("load: %w", err))
+	}
+	loadSec := time.Since(loadStart).Seconds()
+	result.Load = &workload.LoadPhase{
+		Cells: loaded, Seconds: loadSec, CellsPerSec: float64(loaded) / loadSec,
+	}
+	fmt.Printf("kvload: loaded %d cells in %.2fs (%.0f cells/sec)\n", loaded, loadSec, result.Load.CellsPerSec)
+
+	for _, n := range steps {
+		before := cli.Failovers.Load()
+		res := workload.RunStep(cli, mix, ks, workload.StepConfig{
+			Clients: n, Duration: *duration, Seed: *seed + int64(n),
+		})
+		step := res.ToStep(cli.Failovers.Load() - before)
+		result.Steps = append(result.Steps, step)
+		fmt.Printf("kvload: %3d clients: %8.0f ops/sec  p50 %6.0fµs  p95 %6.0fµs  p99 %6.0fµs  p99.9 %6.0fµs  max %.0fµs  (%d ops, %d errors, %d failovers)\n",
+			n, step.OpsPerSec, step.Latency.P50, step.Latency.P95, step.Latency.P99,
+			step.Latency.P999, step.Latency.Max, step.Ops, step.Errors, step.Failovers)
+	}
+
+	path := filepath.Join(*outDir, workload.BenchFileName(mix.Name))
+	if err := result.WriteFile(path); err != nil {
+		die(err)
+	}
+	fmt.Printf("kvload: wrote %s\n", path)
+}
+
+// connect builds the client for the selected mode: dial a running
+// deployment (-addr), or self-host an in-process or loopback-TCP
+// cluster via the StartLocal/StartTCP machinery.
+func connect(addrList, transp string, nodes, rf int) (*cluster.Client, workload.ClusterInfo, func(), error) {
+	if addrList != "" {
+		addrs := strings.Split(addrList, ",")
+		ring := hashring.New(len(addrs), 64)
+		conns := make(map[hashring.NodeID]*transport.Client, len(addrs))
+		book := make(map[hashring.NodeID]string, len(addrs))
+		for i, addr := range addrs {
+			addr = strings.TrimSpace(addr)
+			conn, err := transport.DialTCP(addr, 0)
+			if err != nil {
+				return nil, workload.ClusterInfo{}, nil, fmt.Errorf("dial node %d: %w", i, err)
+			}
+			conns[hashring.NodeID(i)] = transport.NewClient(conn)
+			book[hashring.NodeID(i)] = addr
+		}
+		cli := cluster.NewClient(ring, conns, cluster.ClientOptions{
+			Codec: wire.FastCodec{}, ReplicationFactor: rf,
+			Dialer: func(addr string) (*transport.Client, error) {
+				conn, err := transport.DialTCP(addr, 0)
+				if err != nil {
+					return nil, err
+				}
+				return transport.NewClient(conn), nil
+			},
+			Addrs: book,
+		})
+		info := workload.ClusterInfo{Nodes: len(addrs), ReplicationFactor: rf, Transport: "remote"}
+		return cli, info, func() { cli.Close() }, nil
+	}
+
+	opts := cluster.LocalOptions{Nodes: nodes, ReplicationFactor: rf}
+	var (
+		cl  *cluster.Cluster
+		err error
+	)
+	switch transp {
+	case "inproc":
+		cl, err = cluster.StartLocal(opts)
+	case "tcp":
+		cl, err = cluster.StartTCP(opts)
+	default:
+		return nil, workload.ClusterInfo{}, nil, fmt.Errorf("unknown -transport %q (inproc | tcp)", transp)
+	}
+	if err != nil {
+		return nil, workload.ClusterInfo{}, nil, err
+	}
+	info := workload.ClusterInfo{Nodes: nodes, ReplicationFactor: rf, Transport: transp}
+	return cl.Client(), info, func() { cl.Close() }, nil
+}
+
+// validateFiles is the CI artifact gate: every file must parse and
+// pass the schema invariants, or the process exits non-zero.
+func validateFiles(paths []string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "kvload -validate: no files given")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range paths {
+		r, err := workload.ReadResultFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvload: INVALID %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("kvload: ok %s (%s, %d steps, rev %s, %s)\n", path, r.Mix, len(r.Steps), r.GitRev, r.Date)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "kvload:", err)
+	os.Exit(1)
+}

@@ -35,7 +35,12 @@
 //     and the denormalized D8-tree index over the store:
 //     internal/alya, internal/d8tree;
 //   - one driver per paper figure: internal/figures, exposed by
-//     cmd/kvbench.
+//     cmd/kvbench (paper figures only — system benchmarks live in the
+//     workload lab, cmd/kvload);
+//   - the standing workload lab: YCSB-style mixes, deterministic
+//     Zipfian traffic, fixed-bucket latency histograms and the
+//     BENCH_*.json perf-trajectory schema: internal/workload, exposed
+//     by cmd/kvload.
 //
 // This package is the facade: it re-exports the model, the simulated
 // prototype, the real cluster and the index so applications depend on a
@@ -178,6 +183,29 @@
 // (default; fsync only at segment close), SyncOnSeal (fsync when a
 // memtable freezes) or SyncAlways (fsync every write call; batches
 // amortize it to one fsync per batch).
+//
+// # The workload lab
+//
+// Perf claims about this system are made with cmd/kvload, not ad-hoc
+// timings: it drives a named YCSB-style mix — read-heavy (95/5),
+// update-heavy (50/50), scan-heavy, hotspot (Zipfian-skewed keys,
+// configurable theta) or delete-churn — against an in-process,
+// loopback-TCP or deployed cluster, stepping through a client-count
+// saturation sweep. Per-op latency lands in fixed-bucket histograms
+// (no hot-path allocation; each worker owns its histogram and they
+// merge afterwards), and the run is persisted as BENCH_<mix>.json:
+// schema version, git revision, date, load-phase rate, and per-step
+// throughput plus a p50/p95/p99/p99.9/max table in microseconds —
+// latency percentiles, not just means, because saturation tails are
+// where scaling regressions show first. Key choice is deterministic
+// under a fixed seed (the Zipfian generator is Gray et al.'s
+// incremental algorithm, as in YCSB), so two runs of the same rev are
+// comparable draw for draw. CI runs the quick mode every push (`make
+// bench-workload`), validates the schema and uploads the JSON; the
+// committed BENCH_* files form the cross-PR performance trajectory.
+// internal/workload is the library behind the binary; anything
+// satisfying its Store interface — cluster.Client does — can be
+// driven, so tests reuse the same mixes and histograms.
 //
 // Model-driven design, as in the paper's Section VII:
 //

@@ -73,6 +73,12 @@ type Client struct {
 	// RepairedReads counts best-effort read-repair writes issued after
 	// failover reads (observability; see ClientOptions.ReadRepair).
 	RepairedReads atomic.Int64
+	// Failovers counts routed reads (Get, Scan, Count) a non-primary
+	// replica served because an earlier replica was unreachable. The
+	// workload lab (cmd/kvload) records the per-step delta into
+	// BENCH_*.json: a non-zero count means the sweep ran against a
+	// degraded cluster and its numbers are not trajectory-comparable.
+	Failovers atomic.Int64
 	// repairsInFlight bounds concurrent repair goroutines (see
 	// repairAsync).
 	repairsInFlight atomic.Int64
@@ -559,6 +565,9 @@ func routedRead[R wire.Message](c *Client, pk string, build func(epoch uint64) w
 					break // stale ring: refresh, then re-route
 				}
 				return zero, readServed{}, errors.New(msg)
+			}
+			if i > 0 {
+				c.Failovers.Add(1)
 			}
 			return tr, readServed{node: node, idx: i, replicas: replicas}, nil
 		}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistogramPercentilesAgainstOracle records a few distributions
+// and checks every reported percentile against the exact sorted-slice
+// answer: the bucketed value must sit within one bucket width
+// (≈1.6% relative) of the oracle.
+func TestHistogramPercentilesAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	cases := map[string]func() int64{
+		// Cluster-like latencies: microseconds with a heavy tail.
+		"lognormal-us": func() int64 {
+			return int64(20_000 * (0.5 + r.ExpFloat64()))
+		},
+		"uniform-wide": func() int64 { return 1 + r.Int63n(5_000_000_000) },
+		"tiny-ns":      func() int64 { return r.Int63n(200) },
+	}
+	for name, gen := range cases {
+		h := NewHistogram()
+		samples := make([]int64, 50_000)
+		for i := range samples {
+			v := gen()
+			samples[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		if h.Count() != uint64(len(samples)) {
+			t.Fatalf("%s: count %d, want %d", name, h.Count(), len(samples))
+		}
+		if h.Max() != time.Duration(samples[len(samples)-1]) {
+			t.Fatalf("%s: max %d, want %d (max must be exact)", name, h.Max(), samples[len(samples)-1])
+		}
+		for _, q := range []float64{50, 90, 95, 99, 99.9} {
+			rank := int(q / 100 * float64(len(samples)))
+			if rank < 1 {
+				rank = 1
+			}
+			oracle := samples[rank-1]
+			got := int64(h.Percentile(q))
+			// One bucket of slack: 2^-histSubBits relative plus a
+			// couple ns absolute for the exact low range.
+			slack := oracle>>histSubBits + 2
+			if got < oracle-slack || got > oracle+slack {
+				t.Fatalf("%s: p%v = %d, oracle %d (slack %d)", name, q, got, oracle, slack)
+			}
+		}
+	}
+}
+
+// TestHistogramEdges pins empty and single-sample behaviour, merge
+// correctness, and the negative-duration clamp.
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+
+	h.Record(1500 * time.Nanosecond)
+	p := h.Percentile(50)
+	if p < 1480 || p > 1520 {
+		t.Fatalf("single sample 1500ns reported as %v", p)
+	}
+	if h.Percentile(99.9) != p {
+		t.Fatal("all percentiles of a single sample must agree")
+	}
+
+	h.Record(-time.Second) // clamps to zero, never panics
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count %d, want 2000", a.Count())
+	}
+	if a.Max() != time.Second {
+		t.Fatalf("merged max %v, want 1s", a.Max())
+	}
+	// Median of the merged set sits at the boundary between the two
+	// source distributions.
+	if p := a.Percentile(50); p < 900*time.Microsecond || p > 1100*time.Microsecond {
+		t.Fatalf("merged p50 %v, want ≈1ms", p)
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SchemaVersion is the BENCH_*.json format generation. Bump it on any
+// breaking change to the Result shape; the CI validator rejects files
+// from a different generation so the trajectory stays comparable.
+const SchemaVersion = 1
+
+// Result is one persisted benchmark run — the unit of the repo's perf
+// trajectory. Every kvload run writes one as BENCH_<mix>.json; CI
+// uploads them as build artifacts and validates the schema so a future
+// PR comparing numbers knows it compares like with like.
+type Result struct {
+	Schema  int          `json:"schema"`
+	Mix     string       `json:"mix"`
+	GitRev  string       `json:"git_rev"`
+	Date    string       `json:"date"`
+	Quick   bool         `json:"quick,omitempty"`
+	Cluster ClusterInfo  `json:"cluster"`
+	Work    WorkloadInfo `json:"workload"`
+	Load    *LoadPhase   `json:"load,omitempty"`
+	Steps   []Step       `json:"steps"`
+}
+
+// ClusterInfo records the system under test.
+type ClusterInfo struct {
+	Nodes             int    `json:"nodes"`
+	ReplicationFactor int    `json:"replication_factor"`
+	Transport         string `json:"transport"` // inproc | tcp | remote
+}
+
+// WorkloadInfo records the traffic shape.
+type WorkloadInfo struct {
+	Keys        int64   `json:"keys"`
+	CellsPerKey int     `json:"cells_per_key"`
+	ValueSize   int     `json:"value_size"`
+	ReadPct     int     `json:"read_pct"`
+	UpdatePct   int     `json:"update_pct"`
+	ScanPct     int     `json:"scan_pct"`
+	DeletePct   int     `json:"delete_pct"`
+	Zipfian     bool    `json:"zipfian"`
+	Theta       float64 `json:"theta,omitempty"`
+	Seed        int64   `json:"seed"`
+}
+
+// LoadPhase is the preload breakdown (batched bulk ingest before the
+// measured steps).
+type LoadPhase struct {
+	Cells       int64   `json:"cells"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// Step is one point of the saturation sweep: a fixed client-goroutine
+// count driven for a fixed duration.
+type Step struct {
+	Clients     int     `json:"clients"`
+	Seconds     float64 `json:"seconds"`
+	Ops         uint64  `json:"ops"`
+	Errors      uint64  `json:"errors"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	Latency     Latency `json:"latency_us"`
+	// Failovers counts reads the client served from a non-primary
+	// replica during the step (Client.Failovers delta) — non-zero means
+	// the sweep ran against a degraded cluster and its numbers are not
+	// trajectory-comparable.
+	Failovers int64 `json:"failovers,omitempty"`
+}
+
+// Latency is a step's percentile table, in microseconds.
+type Latency struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// LatencyFromHistogram converts a histogram into the persisted
+// microsecond percentile table.
+func LatencyFromHistogram(h *Histogram) Latency {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return Latency{
+		P50:  us(h.Percentile(50)),
+		P95:  us(h.Percentile(95)),
+		P99:  us(h.Percentile(99)),
+		P999: us(h.Percentile(99.9)),
+		Max:  us(h.Max()),
+		Mean: us(h.Mean()),
+	}
+}
+
+// BenchFileName returns the canonical trajectory file name for a mix.
+func BenchFileName(mix string) string { return "BENCH_" + mix + ".json" }
+
+// Validate checks the invariants the CI gate enforces on every
+// emitted file: current schema, a named mix, a sane cluster, and for
+// every step that did work, internally consistent throughput and a
+// monotone non-zero percentile table.
+func (r *Result) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("workload: schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Mix == "" {
+		return fmt.Errorf("workload: result has no mix name")
+	}
+	if r.Cluster.Nodes < 1 {
+		return fmt.Errorf("workload: cluster has %d nodes", r.Cluster.Nodes)
+	}
+	if len(r.Steps) == 0 {
+		return fmt.Errorf("workload: result has no steps")
+	}
+	for i, s := range r.Steps {
+		if s.Clients < 1 {
+			return fmt.Errorf("workload: step %d: %d clients", i, s.Clients)
+		}
+		if s.Ops == 0 {
+			continue // an idle step is suspicious but not malformed
+		}
+		if s.OpsPerSec <= 0 || s.Seconds <= 0 {
+			return fmt.Errorf("workload: step %d: %d ops but %.3g ops/sec over %.3gs", i, s.Ops, s.OpsPerSec, s.Seconds)
+		}
+		l := s.Latency
+		if l.P50 <= 0 {
+			return fmt.Errorf("workload: step %d: zero p50 with %d ops", i, s.Ops)
+		}
+		if l.P95 < l.P50 || l.P99 < l.P95 || l.P999 < l.P99 || l.Max < l.P999 {
+			return fmt.Errorf("workload: step %d: non-monotone percentiles %+v", i, l)
+		}
+	}
+	return nil
+}
+
+// WriteFile validates and persists the result as indented JSON.
+func (r *Result) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadResultFile parses and validates a persisted result — the CI
+// artifact gate and cross-PR comparisons both come through here.
+func ReadResultFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Schema: SchemaVersion,
+		Mix:    "hotspot",
+		GitRev: "abc1234",
+		Date:   "2026-08-08",
+		Quick:  true,
+		Cluster: ClusterInfo{
+			Nodes: 4, ReplicationFactor: 2, Transport: "inproc",
+		},
+		Work: WorkloadInfo{
+			Keys: 4000, CellsPerKey: 4, ValueSize: 64,
+			ReadPct: 95, UpdatePct: 5, Zipfian: true, Theta: 0.99, Seed: 42,
+		},
+		Load: &LoadPhase{Cells: 16000, Seconds: 0.5, CellsPerSec: 32000},
+		Steps: []Step{
+			{
+				Clients: 4, Seconds: 2.0, Ops: 100000, OpsPerSec: 50000,
+				CellsPerSec: 51000,
+				Latency:     Latency{P50: 60, P95: 110, P99: 240, P999: 800, Max: 4200, Mean: 72},
+			},
+		},
+	}
+}
+
+// TestResultRoundTrip pins the BENCH_*.json schema: encode → decode →
+// deep-equal, and the exact serialized field names. A field rename or
+// type change must fail here (and must bump SchemaVersion).
+func TestResultRoundTrip(t *testing.T) {
+	r := sampleResult()
+	if BenchFileName(r.Mix) != "BENCH_hotspot.json" {
+		t.Fatalf("bench file name changed: %s", BenchFileName(r.Mix))
+	}
+	path := filepath.Join(t.TempDir(), BenchFileName(r.Mix))
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatalf("round trip changed the result:\nwrote %+v\nread  %+v", r, back)
+	}
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serialized names are the cross-PR contract: a rename breaks
+	// every comparison script without failing compilation.
+	for _, key := range []string{
+		`"schema":1`, `"mix":"hotspot"`, `"git_rev"`, `"date"`, `"quick"`,
+		`"cluster"`, `"nodes":4`, `"replication_factor":2`, `"transport":"inproc"`,
+		`"workload"`, `"keys":4000`, `"cells_per_key":4`, `"value_size":64`,
+		`"read_pct":95`, `"update_pct":5`, `"scan_pct":0`, `"delete_pct":0`,
+		`"zipfian":true`, `"theta":0.99`, `"seed":42`,
+		`"load"`, `"cells":16000`, `"cells_per_sec"`,
+		`"steps"`, `"clients":4`, `"ops":100000`, `"errors":0`, `"ops_per_sec":50000`,
+		`"latency_us"`, `"p50":60`, `"p95":110`, `"p99":240`, `"p999":800`, `"max":4200`, `"mean":72`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("serialized result lost %s:\n%s", key, data)
+		}
+	}
+}
+
+// TestResultValidate walks the malformed shapes the CI gate must
+// reject.
+func TestResultValidate(t *testing.T) {
+	break_ := func(f func(*Result)) *Result {
+		r := sampleResult()
+		f(r)
+		return r
+	}
+	bad := map[string]*Result{
+		"wrong schema":   break_(func(r *Result) { r.Schema = SchemaVersion + 1 }),
+		"no mix":         break_(func(r *Result) { r.Mix = "" }),
+		"no nodes":       break_(func(r *Result) { r.Cluster.Nodes = 0 }),
+		"no steps":       break_(func(r *Result) { r.Steps = nil }),
+		"zero clients":   break_(func(r *Result) { r.Steps[0].Clients = 0 }),
+		"ops no rate":    break_(func(r *Result) { r.Steps[0].OpsPerSec = 0 }),
+		"ops zero p50":   break_(func(r *Result) { r.Steps[0].Latency.P50 = 0 }),
+		"non-monotone":   break_(func(r *Result) { r.Steps[0].Latency.P99 = r.Steps[0].Latency.P50 / 2 }),
+		"max below p999": break_(func(r *Result) { r.Steps[0].Latency.Max = 1 }),
+	}
+	for name, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed result", name)
+		}
+	}
+	if err := sampleResult().Validate(); err != nil {
+		t.Fatalf("valid sample rejected: %v", err)
+	}
+	// An idle step (zero ops) is allowed — its percentiles are
+	// legitimately zero.
+	idle := sampleResult()
+	idle.Steps = append(idle.Steps, Step{Clients: 8})
+	if err := idle.Validate(); err != nil {
+		t.Fatalf("idle step rejected: %v", err)
+	}
+}

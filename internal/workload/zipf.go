@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KeyChooser draws key indexes in [0, n) from some distribution. Each
+// worker goroutine owns its chooser (they are not safe for concurrent
+// use); a fixed seed makes the draw sequence fully deterministic.
+type KeyChooser interface {
+	Next() int64
+}
+
+// NewChooser builds the chooser a mix calls for: scrambled Zipfian
+// with the mix's theta, or uniform.
+func NewChooser(m Mix, n int64, seed int64) KeyChooser {
+	if m.Zipfian {
+		return NewScrambledZipf(n, m.Theta, seed)
+	}
+	return NewUniform(n, seed)
+}
+
+// uniform draws every key with equal probability.
+type uniform struct {
+	n int64
+	r *rand.Rand
+}
+
+// NewUniform returns a uniform chooser over [0, n).
+func NewUniform(n int64, seed int64) KeyChooser {
+	return &uniform{n: n, r: rand.New(rand.NewSource(seed))}
+}
+
+func (u *uniform) Next() int64 { return u.r.Int63n(u.n) }
+
+// Zipf draws ranks in [0, n) Zipf-distributed with parameter theta:
+// rank 0 is the most popular, P(rank=i) ∝ 1/(i+1)^theta. It is the
+// incremental algorithm of Gray et al. ("Quickly generating
+// billion-record synthetic databases", SIGMOD '94) that YCSB's
+// ZipfianGenerator uses: constant-time draws after an O(n) zeta
+// precomputation, exact for 0 < theta < 1.
+type Zipf struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta, hoisted out of Next
+	r     *rand.Rand
+}
+
+// NewZipf returns a Zipfian rank chooser over [0, n) with skew theta
+// (0 < theta < 1; YCSB's default 0.99 puts roughly half the draws on
+// the top 1% of a 10k keyspace). Panics on an out-of-range theta —
+// MixByName validates user input before it gets here.
+func NewZipf(n int64, theta float64, seed int64) *Zipf {
+	if n < 1 || theta <= 0 || theta >= 1 {
+		panic("workload: NewZipf needs n >= 1 and 0 < theta < 1")
+	}
+	zetan := zeta(n, theta)
+	return &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		half:  math.Pow(0.5, theta),
+		r:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next draws the next rank. Rank 0 is the hottest key.
+func (z *Zipf) Next() int64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	rank := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n { // float round-up at the tail
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// zeta is the truncated zeta sum Σ_{i=1..n} 1/i^theta.
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// scrambledZipf hashes Zipf ranks over the keyspace so the hot set is
+// spread across it instead of clustered at the low indexes — YCSB's
+// ScrambledZipfianGenerator. Which keys are hot changes; how hot the
+// hot set is does not.
+type scrambledZipf struct {
+	z *Zipf
+	n int64
+}
+
+// NewScrambledZipf returns a Zipfian chooser whose hot keys are
+// FNV-scattered over [0, n).
+func NewScrambledZipf(n int64, theta float64, seed int64) KeyChooser {
+	return &scrambledZipf{z: NewZipf(n, theta, seed), n: n}
+}
+
+func (s *scrambledZipf) Next() int64 {
+	return int64(fnv64(uint64(s.z.Next())) % uint64(s.n))
+}
+
+// fnv64 is FNV-1a over the 8 little-endian bytes of v — a cheap,
+// allocation-free scatter function.
+func fnv64(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
