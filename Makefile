@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload lint
+.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload bench-compare lint
 
 build:
 	go build ./...
@@ -55,6 +55,19 @@ bench-workload:
 	go run ./cmd/kvload -mix read-heavy -quick -gitrev $(GITREV)
 	go run ./cmd/kvload -mix hotspot -quick -gitrev $(GITREV)
 	go run ./cmd/kvload -validate BENCH_read-heavy.json BENCH_hotspot.json
+
+# Regression gate against the committed trajectory: re-run the quick
+# mixes into a scratch directory and diff each against its committed
+# BENCH_<mix>.json (exit 3 on >10% throughput loss or p99 growth at
+# any matched client count). CI runs this as a non-blocking report —
+# shared runners are too noisy for a hard gate — but locally it is the
+# before/after check for any hot-path change.
+bench-compare:
+	@mkdir -p .bench-fresh
+	go run ./cmd/kvload -mix read-heavy -quick -gitrev $(GITREV) -out .bench-fresh
+	go run ./cmd/kvload -mix hotspot -quick -gitrev $(GITREV) -out .bench-fresh
+	go run ./cmd/kvload -compare BENCH_read-heavy.json .bench-fresh/BENCH_read-heavy.json
+	go run ./cmd/kvload -compare BENCH_hotspot.json .bench-fresh/BENCH_hotspot.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -54,16 +54,20 @@ func main() {
 		cells     = flag.Int("cells", 4, "cells (clustering keys) per partition")
 		valueSize = flag.Int("value", 128, "value bytes per cell")
 		theta     = flag.Float64("theta", 0, "Zipfian skew override for skewed mixes (0 = mix default)")
+		rate      = flag.Float64("rate", 0, "open-loop aggregate arrival rate in ops/sec; latency is measured from each op's scheduled arrival (0 = closed loop)")
 		seed      = flag.Int64("seed", 42, "deterministic traffic seed")
 		outDir    = flag.String("out", ".", "directory for BENCH_<mix>.json")
 		gitRev    = flag.String("gitrev", "unknown", "git revision recorded in the result")
 		date      = flag.String("date", "", "ISO date recorded in the result (default: today, UTC)")
 		quick     = flag.Bool("quick", false, "CI-sized run: small keyspace, short steps (1,4 clients)")
 		validate  = flag.Bool("validate", false, "validate BENCH files given as arguments and exit")
+		compare   = flag.Bool("compare", false, "compare two BENCH files (baseline fresh) and exit 3 on regression")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional throughput/p99 regression for -compare")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: kvload -mix <name> [flags]\n")
 		fmt.Fprintf(os.Stderr, "       kvload -validate BENCH_*.json...\n")
+		fmt.Fprintf(os.Stderr, "       kvload -compare baseline.json fresh.json\n")
 		fmt.Fprintf(os.Stderr, "mixes: %s\n", workload.MixNames())
 		flag.PrintDefaults()
 	}
@@ -71,6 +75,10 @@ func main() {
 
 	if *validate {
 		validateFiles(flag.Args())
+		return
+	}
+	if *compare {
+		compareFiles(flag.Args(), *tolerance)
 		return
 	}
 	if *mixName == "" {
@@ -111,7 +119,7 @@ func main() {
 		Work: workload.WorkloadInfo{
 			Keys: *keys, CellsPerKey: *cells, ValueSize: *valueSize,
 			ReadPct: mix.Read, UpdatePct: mix.Update, ScanPct: mix.Scan, DeletePct: mix.Delete,
-			Zipfian: mix.Zipfian, Theta: mix.Theta, Seed: *seed,
+			Zipfian: mix.Zipfian, Theta: mix.Theta, Seed: *seed, Rate: *rate,
 		},
 	}
 
@@ -136,7 +144,7 @@ func main() {
 	for _, n := range steps {
 		before := cli.Failovers.Load()
 		res := workload.RunStep(cli, mix, ks, workload.StepConfig{
-			Clients: n, Duration: *duration, Seed: *seed + int64(n),
+			Clients: n, Duration: *duration, Seed: *seed + int64(n), Rate: *rate,
 		})
 		step := res.ToStep(cli.Failovers.Load() - before)
 		result.Steps = append(result.Steps, step)
@@ -225,6 +233,49 @@ func validateFiles(paths []string) {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// compareFiles diffs a fresh run against a committed baseline. Exit
+// codes: 0 clean, 1 unreadable/incomparable files, 3 regression over
+// tolerance — distinct from 1 so CI can report (not fail) on noise-
+// prone hardware while still failing on broken inputs.
+func compareFiles(paths []string, tolerance float64) {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "kvload -compare: want exactly 2 files (baseline fresh)")
+		os.Exit(2)
+	}
+	base, err := workload.ReadResultFile(paths[0])
+	if err != nil {
+		die(err)
+	}
+	fresh, err := workload.ReadResultFile(paths[1])
+	if err != nil {
+		die(err)
+	}
+	regs, err := workload.CompareResults(base, fresh, tolerance)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("kvload: compare %s (rev %s) -> %s (rev %s), tolerance %.0f%%\n",
+		paths[0], base.GitRev, paths[1], fresh.GitRev, tolerance*100)
+	for _, f := range fresh.Steps {
+		for _, b := range base.Steps {
+			if b.Clients != f.Clients || b.Ops == 0 || f.Ops == 0 {
+				continue
+			}
+			fmt.Printf("kvload: %3d clients: %8.0f -> %8.0f ops/sec (%+.1f%%)  p99 %6.0f -> %6.0f µs (%+.1f%%)\n",
+				f.Clients, b.OpsPerSec, f.OpsPerSec, (f.OpsPerSec-b.OpsPerSec)/b.OpsPerSec*100,
+				b.Latency.P99, f.Latency.P99, (f.Latency.P99-b.Latency.P99)/b.Latency.P99*100)
+		}
+	}
+	if len(regs) == 0 {
+		fmt.Println("kvload: no regressions over tolerance")
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "kvload: REGRESSION %s\n", r)
+	}
+	os.Exit(3)
 }
 
 func parseClients(s string) ([]int, error) {

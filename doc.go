@@ -21,7 +21,11 @@
 //     write appends to the shard WAL and memtable and returns, the
 //     frozen memtable is turned into an SSTable off the write path, and
 //     compaction likewise runs per shard in the background, so neither
-//     flush nor compaction ever stalls the node's request loop;
+//     flush nor compaction ever stalls the node's request loop. Reads
+//     are lock- and allocation-free: each shard publishes an immutable
+//     refcounted view of its memtables and tables through one atomic
+//     pointer, and point reads search it via a stack-built key (see the
+//     internal/storage package doc for the full concurrency model);
 //   - the two serialization codecs of the Section V-B experiment
 //     (reflective self-describing vs registered binary): internal/wire;
 //   - a deterministic discrete-event simulator and the paper's

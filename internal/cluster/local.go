@@ -32,6 +32,9 @@ type LocalOptions struct {
 	// ReadRepair enables the client's failover read-repair (see
 	// ClientOptions.ReadRepair).
 	ReadRepair bool
+	// RepairConcurrency is the anti-entropy worker-pool width (see
+	// ClientOptions.RepairConcurrency). 0 means the default.
+	RepairConcurrency int
 }
 
 // Cluster is a set of in-process nodes plus a connected client —
@@ -187,6 +190,7 @@ func start(opts LocalOptions, listen func(hashring.NodeID) (transport.Listener, 
 		Dialer:            dial,
 		Addrs:             addrs,
 		ReadRepair:        opts.ReadRepair,
+		RepairConcurrency: opts.RepairConcurrency,
 	})
 	return c, nil
 }

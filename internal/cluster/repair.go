@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"scalekv/internal/hashring"
 	"scalekv/internal/row"
@@ -62,6 +63,17 @@ type RepairReport struct {
 	SkippedLegacy int64
 }
 
+// merge folds another report's counters in; each repair worker
+// accumulates into its own report and merges under the pool's mutex.
+func (r *RepairReport) merge(o *RepairReport) {
+	r.Ranges += o.Ranges
+	r.Pairs += o.Pairs
+	r.DigestRPCs += o.DigestRPCs
+	r.LeafMismatches += o.LeafMismatches
+	r.CellsShipped += o.CellsShipped
+	r.SkippedLegacy += o.SkippedLegacy
+}
+
 // Repair runs one anti-entropy pass over the cluster at replication
 // factor rf (<= 0 means the cluster's configured factor): every
 // replicated range converges to the per-cell last-write-wins winner on
@@ -75,11 +87,26 @@ func (c *Cluster) Repair(rf int) (*RepairReport, error) {
 	if rf <= 0 {
 		rf = c.opts.ReplicationFactor
 	}
+	// Fence per range, not globally: each worker of the parallel pass
+	// fences only the token span it is digesting, for only as long as it
+	// repairs it, so tombstone GC elsewhere proceeds and a failed range
+	// cannot leave the whole keyspace fenced.
+	engines := make([]*storage.Engine, 0, len(c.Nodes))
 	for _, n := range c.Nodes {
-		release := n.Engine().FenceRange(math.MinInt64, math.MaxInt64)
-		defer release()
+		engines = append(engines, n.Engine())
 	}
-	return c.client.RepairRange(math.MinInt64, math.MaxInt64, rf)
+	fence := func(lo, hi int64) func() {
+		releases := make([]func(), 0, len(engines))
+		for _, e := range engines {
+			releases = append(releases, e.FenceRange(lo, hi))
+		}
+		return func() {
+			for _, rel := range releases {
+				rel()
+			}
+		}
+	}
+	return c.client.repairRanges(math.MinInt64, math.MaxInt64, rf, fence)
 }
 
 // RepairAll repairs every replicated range of the client's current
@@ -102,13 +129,35 @@ func (c *Client) RepairAll(rf int) (*RepairReport, error) {
 // syncs the primary bidirectionally with every other owner — after
 // which the primary holds the range's global LWW state — and then
 // re-syncs the earlier owners so all of them end on that state; a
-// second call over converged replicas ships nothing.
+// second call over converged replicas ships nothing. Independent
+// ranges are repaired concurrently through a bounded worker pool
+// (ClientOptions.RepairConcurrency wide), so a converged pass's wall
+// clock is dominated by the slowest range, not the sum of all digests.
 func (c *Client) RepairRange(lo, hi int64, rf int) (*RepairReport, error) {
+	return c.repairRanges(lo, hi, rf, nil)
+}
+
+// repairJob is one owner-constant token range queued for a repair
+// worker.
+type repairJob struct {
+	lo, hi int64
+	owners []hashring.NodeID
+}
+
+// repairRanges is the pool behind RepairRange and Cluster.Repair. The
+// ranges of OwnedRanges are disjoint, so workers never race on a cell:
+// each job's pair syncs touch only its own token span. fence, when
+// non-nil, is invoked per range before its first digest and released
+// after its last ship — Cluster.Repair uses it to fence tombstone GC
+// exactly where and while repair is looking. On error the first
+// failure is reported and no further ranges are started; in-flight
+// ranges finish (their shipped cells are valid repairs on their own).
+func (c *Client) repairRanges(lo, hi int64, rf int, fence func(lo, hi int64) func()) (*RepairReport, error) {
 	if rf <= 0 {
 		rf = c.rf
 	}
-	rep := &RepairReport{}
 	t := c.topo()
+	var jobs []repairJob
 	for _, or := range t.OwnedRanges(rf) {
 		rlo, rhi := or.Lo, or.Hi
 		if rlo < lo {
@@ -120,31 +169,84 @@ func (c *Client) RepairRange(lo, hi int64, rf int) (*RepairReport, error) {
 		if rlo > rhi || len(or.Owners) < 2 {
 			continue
 		}
-		rep.Ranges++
-		ref := or.Owners[0]
-		others := or.Owners[1:]
-		// Sweep 1: pull everything into the reference (bidirectionally,
-		// so each partner also receives what the reference has gathered
-		// so far). After the last pair, ref and the last partner hold
-		// the range's global LWW state.
-		for _, other := range others {
-			rep.Pairs++
-			if err := c.syncPair(ref, other, rlo, rhi, repairMaxDescent, rep); err != nil {
-				return rep, err
+		jobs = append(jobs, repairJob{lo: rlo, hi: rhi, owners: or.Owners})
+	}
+	conc := c.repairConc
+	if conc > len(jobs) {
+		conc = len(jobs)
+	}
+	if conc < 1 {
+		conc = 1
+	}
+
+	rep := &RepairReport{}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobCh := make(chan repairJob)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				local := &RepairReport{}
+				err := c.repairOneRange(job, fence, local)
+				mu.Lock()
+				rep.merge(local)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
 			}
+		}()
+	}
+	for _, job := range jobs {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
 		}
-		// Sweep 2 (rf > 2 only): earlier partners have not seen what
-		// later ones contributed; one more sync against the now-complete
-		// reference finishes them. Converged pairs cost one digest
-		// round trip each.
-		for i := 0; i+1 < len(others); i++ {
-			rep.Pairs++
-			if err := c.syncPair(ref, others[i], rlo, rhi, repairMaxDescent, rep); err != nil {
-				return rep, err
-			}
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+	return rep, firstErr
+}
+
+// repairOneRange converges all owners of one token range.
+func (c *Client) repairOneRange(job repairJob, fence func(lo, hi int64) func(), rep *RepairReport) error {
+	if fence != nil {
+		release := fence(job.lo, job.hi)
+		defer release()
+	}
+	rep.Ranges++
+	ref := job.owners[0]
+	others := job.owners[1:]
+	// Sweep 1: pull everything into the reference (bidirectionally, so
+	// each partner also receives what the reference has gathered so
+	// far). After the last pair, ref and the last partner hold the
+	// range's global LWW state. Pairs of one range stay sequential —
+	// the accumulate-into-reference logic depends on their order.
+	for _, other := range others {
+		rep.Pairs++
+		if err := c.syncPair(ref, other, job.lo, job.hi, repairMaxDescent, rep); err != nil {
+			return err
 		}
 	}
-	return rep, nil
+	// Sweep 2 (rf > 2 only): earlier partners have not seen what later
+	// ones contributed; one more sync against the now-complete
+	// reference finishes them. Converged pairs cost one digest round
+	// trip each.
+	for i := 0; i+1 < len(others); i++ {
+		rep.Pairs++
+		if err := c.syncPair(ref, others[i], job.lo, job.hi, repairMaxDescent, rep); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // syncPair converges nodes a and b on [lo, hi]: digest both sides,

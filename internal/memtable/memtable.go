@@ -1,9 +1,18 @@
 // Package memtable implements the in-memory, mutable head of the storage
-// engine: a skip list of internal keys guarded by an RWMutex. Writes land
-// here first; when the payload size crosses the engine's flush threshold
-// the memtable is frozen (Freeze marks it immutable) and handed to a
-// background flusher that writes it out as an SSTable while readers keep
-// merging it.
+// engine: a skip list of internal keys. Writes land here first; when the
+// payload size crosses the engine's flush threshold the memtable is
+// frozen (Freeze marks it immutable) and handed to a background flusher
+// that writes it out as an SSTable while readers keep merging it.
+//
+// Concurrency follows the skip list's single-writer discipline: Put and
+// Freeze must be externally serialized (the storage engine holds the
+// shard write lock around them), but Get, ScanPartition, Each and
+// Partitions are lock-free — they ride the skip list's atomically
+// published links, so the engine's point-read fast path acquires no
+// locks at all. MinVersion must be called under the same serialization
+// as Put; MaxVersion is safe once the memtable is frozen and published
+// (the engine reads it only on frozen memtables reached through an
+// atomically published snapshot).
 //
 // Cells are versioned: Put resolves a clustering-key collision by
 // last-write-wins on the cell version, not by arrival order, so a stale
@@ -16,6 +25,7 @@ package memtable
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sync"
 
 	"scalekv/internal/enc"
@@ -23,41 +33,51 @@ import (
 	"scalekv/internal/skiplist"
 )
 
-// Stored value layout: uvarint seq | uvarint node | flags | payload.
-const flagTombstone = byte(1)
+// Stored value layout: fixed-width header (8-byte seq | 2-byte node |
+// flags), then the payload. The layout is private to this package and
+// never persisted (WAL and SSTables have their own formats), so it is
+// chosen purely for decode speed: the header is read back on every
+// point-read hit and every overwrite, and two fixed loads beat two
+// varint loops there for ~6 bytes per cell of memory.
+const (
+	flagTombstone = byte(1)
+	headerLen     = 11
+)
 
 func encodeValue(ver row.Version, tombstone bool, value []byte) []byte {
-	out := make([]byte, 0, len(value)+12)
-	out = enc.AppendUvarint(out, ver.Seq)
-	out = enc.AppendUvarint(out, uint64(ver.Node))
-	flags := byte(0)
+	out := make([]byte, headerLen, headerLen+len(value))
+	binary.LittleEndian.PutUint64(out, ver.Seq)
+	binary.LittleEndian.PutUint16(out[8:], ver.Node)
 	if tombstone {
-		flags = flagTombstone
+		out[10] = flagTombstone
 	}
-	out = append(out, flags)
 	return append(out, value...)
 }
 
-// decodeValue splits a stored value. The encoding is private to this
-// package and written only by Put, so corruption is impossible; the
-// zero-length checks guard programmer error loudly.
+// decodeValue splits a stored value. The encoding is written only by
+// Put, so corruption is impossible; the length check guards programmer
+// error loudly.
 func decodeValue(stored []byte) (ver row.Version, tombstone bool, value []byte) {
-	seq, n := enc.Uvarint(stored)
-	stored = stored[n:]
-	node, n2 := enc.Uvarint(stored)
-	stored = stored[n2:]
-	if n <= 0 || n2 <= 0 || len(stored) == 0 {
+	if len(stored) < headerLen {
 		panic("memtable: corrupt stored value")
 	}
-	ver = row.Version{Seq: seq, Node: uint16(node)}
-	return ver, stored[0]&flagTombstone != 0, stored[1:]
+	ver = row.Version{
+		Seq:  binary.LittleEndian.Uint64(stored),
+		Node: binary.LittleEndian.Uint16(stored[8:]),
+	}
+	return ver, stored[10]&flagTombstone != 0, stored[headerLen:]
 }
 
-// Memtable is a sorted, concurrent map from (partition key, clustering
-// key) to a versioned cell.
+// Memtable is a sorted map from (partition key, clustering key) to a
+// versioned cell: single writer, lock-free readers.
 type Memtable struct {
-	mu     sync.RWMutex
-	list   *skiplist.List
+	list *skiplist.List
+
+	// mu guards the writer-side bookkeeping below. Writers are already
+	// externally serialized; the mutex exists for direct users of the
+	// package (tests) and to keep Freeze/Frozen well-defined on their
+	// own. It is never taken on the read path.
+	mu     sync.Mutex
 	frozen bool
 	// minVer/maxVer bound the versions stored (over every Put accepted,
 	// including ones later overwritten — a conservative envelope). The
@@ -80,7 +100,10 @@ func New(seed int64) *Memtable {
 // ck and value slices are copied. Put panics on a frozen memtable: a
 // write landing after the freeze would be silently dropped when the
 // frozen table is retired, so the invariant violation must be loud.
-func (m *Memtable) Put(pk string, ck, value []byte, ver row.Version, tombstone bool) {
+// It reports whether a new cell address was created (false for an
+// overwrite or a rejected stale copy) — the engine's partition index
+// invalidation rides on it.
+func (m *Memtable) Put(pk string, ck, value []byte, ver row.Version, tombstone bool) bool {
 	ik := enc.EncodeInternalKey(pk, ck)
 	v := encodeValue(ver, tombstone, value)
 	m.mu.Lock()
@@ -98,7 +121,7 @@ func (m *Memtable) Put(pk string, ck, value []byte, ver row.Version, tombstone b
 			m.maxVer = ver
 		}
 	}
-	m.list.Update(ik, func(old []byte, exists bool) ([]byte, bool) {
+	inserted := m.list.Update(ik, func(old []byte, exists bool) ([]byte, bool) {
 		if exists {
 			if oldVer, _, _ := decodeValue(old); ver.Less(oldVer) {
 				return nil, false // stale copy: the stored cell is newer
@@ -107,17 +130,20 @@ func (m *Memtable) Put(pk string, ck, value []byte, ver row.Version, tombstone b
 		return v, true
 	})
 	m.mu.Unlock()
+	return inserted
 }
 
 // Get returns the cell stored for (pk, ck) — value, version and
 // tombstone flag. A tombstone is returned like any other cell (ok=true);
 // masking it from reads is the engine's merge's job, which needs the
-// version to decide whether the tombstone wins.
+// version to decide whether the tombstone wins. Lock-free and
+// allocation-free: the composite key is built once in a stack buffer
+// (keys longer than it fall back to the heap) so every skiplist probe
+// is one vectorized byte comparison.
 func (m *Memtable) Get(pk string, ck []byte) (value []byte, ver row.Version, tombstone, ok bool) {
-	ik := enc.EncodeInternalKey(pk, ck)
-	m.mu.RLock()
+	var buf [128]byte
+	ik := enc.AppendInternalKey(buf[:0], pk, ck)
 	stored, ok := m.list.Get(ik)
-	m.mu.RUnlock()
 	if !ok {
 		return nil, row.Version{}, false, false
 	}
@@ -136,30 +162,31 @@ func (m *Memtable) Freeze() {
 
 // Frozen reports whether Freeze has been called.
 func (m *Memtable) Frozen() bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.frozen
 }
 
 // MaxVersion returns the highest version any accepted Put carried (zero
-// if none).
+// if none). Lock-free: call it either under the writer's serialization
+// or on a frozen memtable reached through a published snapshot — the
+// engine's read path does the latter.
 func (m *Memtable) MaxVersion() row.Version {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.maxVer
 }
 
 // MinVersion returns the lowest version any accepted Put carried and
-// whether one exists — the shard's tombstone GC watermark reads it.
+// whether one exists — the shard's tombstone GC watermark reads it,
+// under the same shard lock that serializes Put.
 func (m *Memtable) MinVersion() (row.Version, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.minVer, m.hasVer
 }
 
 // ScanPartition returns every cell of the partition with from <= CK < to,
 // in clustering order — tombstones included (the engine's merge masks
-// them against older sources before serving).
+// them against older sources before serving). Lock-free; a scan racing
+// the writer sees each concurrently inserted cell either fully or not
+// at all.
 func (m *Memtable) ScanPartition(pk string, from, to []byte) []row.Cell {
 	start := enc.PartitionPrefix(pk)
 	if from != nil {
@@ -170,8 +197,6 @@ func (m *Memtable) ScanPartition(pk string, from, to []byte) []row.Cell {
 		end = enc.EncodeInternalKey(pk, to)
 	}
 	var cells []row.Cell
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	for it := m.list.Seek(start); it.Valid(); it.Next() {
 		if bytes.Compare(it.Key(), end) >= 0 {
 			break
@@ -188,15 +213,11 @@ func (m *Memtable) ScanPartition(pk string, from, to []byte) []row.Cell {
 
 // Len returns the number of cells stored (tombstones included).
 func (m *Memtable) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.list.Len()
 }
 
 // Bytes returns the approximate payload size.
 func (m *Memtable) Bytes() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.list.Bytes()
 }
 
@@ -210,11 +231,8 @@ type Entry struct {
 }
 
 // Each calls fn for every cell in internal-key order. It is used by the
-// flush path, which owns the frozen memtable, so it holds only a read
-// lock.
+// flush path, which owns the frozen memtable.
 func (m *Memtable) Each(fn func(Entry) error) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	for it := m.list.First(); it.Valid(); it.Next() {
 		pk, ck, err := enc.DecodeInternalKey(it.Key())
 		if err != nil {
@@ -233,8 +251,6 @@ func (m *Memtable) Partitions() []string {
 	var out []string
 	last := ""
 	first := true
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	for it := m.list.First(); it.Valid(); it.Next() {
 		pk, _, err := enc.DecodeInternalKey(it.Key())
 		if err != nil {

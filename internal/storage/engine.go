@@ -13,8 +13,20 @@
 // memtable — together with its sealed WAL segments — is handed to the
 // worker, which writes the SSTable and retires the segments off the
 // write path. Compaction runs on the same worker, holding the shard
-// lock only for the table-list swap. Reads merge active + frozen
-// memtables + SSTables from a snapshot taken under the shard's RLock.
+// lock only for the table-list swap.
+//
+// Reads never take a lock. Every mutation of a shard's read sources —
+// memtable swap, flush accept, compaction or purge table swap —
+// publishes a fresh immutable snapshot (active memtable + frozen queue
+// + refcounted SSTable list) through an atomic pointer; a point read
+// pins it with a single compare-and-swap, merges active + frozen
+// memtables + SSTables, and releases it. The memtables themselves are
+// single-writer lock-free skip lists, so the common case — the newest
+// version of a hot key sits in the active memtable — costs zero lock
+// acquisitions and zero heap allocations. Token-range operations
+// (ScanRange, RangeDigest, CountRange, DeleteRange) share one cached
+// token-sorted partition index, invalidated by per-shard generation
+// counters instead of rebuilt per request.
 //
 // The engine is the "in-cassandra" stage of the paper's four-phase
 // decomposition: the Figure 6/7 harness measures it directly to fit the
@@ -33,6 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scalekv/internal/memtable"
 	"scalekv/internal/murmur"
 	"scalekv/internal/row"
 	"scalekv/internal/sstable"
@@ -159,11 +172,11 @@ type Engine struct {
 	// just removed.
 	purgeGen atomic.Int64
 
-	// scanMu/scanIdx cache the token-sorted partition index of an
-	// in-progress ScanRange so each page resumes by binary search
-	// instead of re-enumerating every partition (see ScanRange).
-	scanMu  sync.Mutex
-	scanIdx map[scanKey]*scanIndex
+	// idxMu/partIdx are the engine-wide cached partition index shared by
+	// every token-range operation; per-shard partGen counters invalidate
+	// it (see partitionIndex in range.go).
+	idxMu   sync.Mutex
+	partIdx atomic.Pointer[partIndex]
 
 	// fences are the active anti-GC migration fences (see fence.go):
 	// token ranges whose tombstones compaction must keep because stale
@@ -231,6 +244,9 @@ func Open(opts Options) (*Engine, error) {
 // abortOpen releases the shards opened so far when Open fails midway.
 func (e *Engine) abortOpen() {
 	for _, s := range e.shards {
+		if v := s.view.Load(); v != nil {
+			v.close() // drop the publisher's reference and its table pins
+		}
 		for _, t := range s.tables {
 			t.release()
 		}
@@ -382,7 +398,9 @@ func (e *Engine) write(pk string, ck, value []byte, ver row.Version, tombstone b
 			}
 		}
 	}
-	s.mem.Put(pk, ck, value, ver, tombstone)
+	if s.mem.Put(pk, ck, value, ver, tombstone) {
+		s.partGen.Add(1) // new cell address: the partition set may have grown
+	}
 	if s.mem.Bytes() >= e.opts.FlushThreshold {
 		s.freezeLocked()
 	}
@@ -776,12 +794,18 @@ func (e *Engine) Close() error {
 		if s.flushErr != nil && firstErr == nil {
 			firstErr = s.flushErr
 		}
-		for _, t := range s.tables {
+		// Publish an empty view first so late readers pin nothing: a read
+		// racing Close sees a clean miss instead of a released table.
+		s.mem = memtable.New(shardSeed(e.opts.Seed, s.id, s.memGen+1))
+		s.frozen = nil
+		saved := s.tables
+		s.tables = nil
+		s.publishLocked()
+		for _, t := range saved {
 			if err := t.release(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
-		s.tables = nil
 		if s.wal != nil {
 			if err := s.wal.sync(); err != nil && firstErr == nil {
 				firstErr = err

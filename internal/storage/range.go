@@ -43,91 +43,113 @@ type rangePK struct {
 	pk    string
 }
 
-// partitionsInRange collects the engine's partitions whose token falls
-// in the inclusive [lo, hi], ordered by (token, pk). Wrap-around ranges
-// are the caller's concern: ownership diffs split them at the int64
-// boundary, so lo <= hi always holds here.
-func (e *Engine) partitionsInRange(lo, hi int64) []rangePK {
-	var out []rangePK
-	for _, pk := range e.Partitions() {
-		tok := PartitionToken(pk)
-		if tok < lo || tok > hi {
-			continue
-		}
-		out = append(out, rangePK{token: tok, pk: pk})
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].token != out[b].token {
-			return out[a].token < out[b].token
-		}
-		return out[a].pk < out[b].pk
-	})
-	return out
-}
-
-// scanKey identifies one in-progress range scan in the index cache.
-type scanKey struct{ lo, hi int64 }
-
-// scanIndex is the token-sorted partition list of one range scan,
-// built on the scan's first page and reused — resumed by binary search
-// — by every following page. gen pins the purge generation the index
-// was built under: a DeleteRange invalidates it.
-type scanIndex struct {
-	gen   int64
+// partIndex is the engine's cached token-sorted partition index: every
+// partition across every shard, ordered by (token, pk), tagged with the
+// per-shard partition generations it was built from. It is immutable
+// once published; gens is the invalidation check — if any shard's
+// partGen has moved (a write created a new cell address, a purge or
+// compaction removed partitions), the index is rebuilt on next use.
+// ScanRange, RangeDigest, CountRange and DeleteRange all share it, so
+// a repair pass digesting many sub-ranges pays one enumeration total
+// instead of one per request.
+type partIndex struct {
+	gens  []uint64 // shard partGen values loaded before enumeration
 	parts []rangePK
 }
 
-// maxScanIndexes bounds the cache; scans drop their entry when the last
-// page is served, so the bound only matters for abandoned scans.
-const maxScanIndexes = 4
-
-// scanPartitions returns the partitions of [lo, hi] strictly after the
-// (afterToken, afterPK) cursor. The first page of a scan enumerates and
-// token-sorts the engine's partitions once and caches the index; later
-// pages binary-search the cursor in the cached index instead of paying
-// the full enumeration per page. Partitions created after the index was
-// built are not picked up mid-scan — for the rebalance streamer (the
-// only paged caller) those are exactly the writes the dual-write window
-// already forwards.
-func (e *Engine) scanPartitions(lo, hi, afterToken int64, afterPK string) []rangePK {
-	key := scanKey{lo: lo, hi: hi}
-	first := afterToken == math.MinInt64 && afterPK == ""
-	gen := e.purgeGen.Load()
-
-	e.scanMu.Lock()
-	idx := e.scanIdx[key]
-	e.scanMu.Unlock()
-	if first || idx == nil || idx.gen != gen {
-		idx = &scanIndex{gen: gen, parts: e.partitionsInRange(lo, hi)}
-		e.scanMu.Lock()
-		if e.scanIdx == nil {
-			e.scanIdx = make(map[scanKey]*scanIndex)
+// fresh reports whether no shard's partition set has changed since the
+// index was built.
+func (idx *partIndex) fresh(shards []*shard) bool {
+	for i, s := range shards {
+		if s.partGen.Load() != idx.gens[i] {
+			return false
 		}
-		for k := range e.scanIdx {
-			if len(e.scanIdx) < maxScanIndexes {
-				break
-			}
-			delete(e.scanIdx, k)
-		}
-		e.scanIdx[key] = idx
-		e.scanMu.Unlock()
 	}
-	if first {
-		return idx.parts
-	}
-	// Resume strictly after the cursor.
-	at := sort.Search(len(idx.parts), func(i int) bool {
-		p := idx.parts[i]
-		return p.token > afterToken || (p.token == afterToken && p.pk > afterPK)
-	})
-	return idx.parts[at:]
+	return true
 }
 
-// dropScanIndex retires a finished scan's cached partition index.
-func (e *Engine) dropScanIndex(lo, hi int64) {
-	e.scanMu.Lock()
-	delete(e.scanIdx, scanKey{lo: lo, hi: hi})
-	e.scanMu.Unlock()
+// partitionIndex returns the current partition index, rebuilding it if
+// any shard invalidated it. Rebuilds are serialized by idxMu; readers
+// that lose the freshness race at worst rebuild once more. The
+// generations are loaded BEFORE the shards are enumerated and writers
+// bump theirs AFTER publishing the change, so a partition that slips in
+// mid-build is either included or flips a generation the stored tags
+// no longer match — a stale index never survives its next use.
+func (e *Engine) partitionIndex() *partIndex {
+	if idx := e.partIdx.Load(); idx != nil && idx.fresh(e.shards) {
+		return idx
+	}
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if idx := e.partIdx.Load(); idx != nil && idx.fresh(e.shards) {
+		return idx
+	}
+	gens := make([]uint64, len(e.shards))
+	for i, s := range e.shards {
+		gens[i] = s.partGen.Load()
+	}
+	seen := map[string]bool{}
+	for _, s := range e.shards {
+		view := s.snapshot()
+		for _, pk := range view.mem.Partitions() {
+			seen[pk] = true
+		}
+		for _, fm := range view.frozen {
+			for _, pk := range fm.mem.Partitions() {
+				seen[pk] = true
+			}
+		}
+		for _, t := range view.tables {
+			for _, pk := range t.Partitions() {
+				seen[pk] = true
+			}
+		}
+		view.close()
+	}
+	parts := make([]rangePK, 0, len(seen))
+	for pk := range seen {
+		parts = append(parts, rangePK{token: PartitionToken(pk), pk: pk})
+	}
+	sort.Slice(parts, func(a, b int) bool {
+		if parts[a].token != parts[b].token {
+			return parts[a].token < parts[b].token
+		}
+		return parts[a].pk < parts[b].pk
+	})
+	idx := &partIndex{gens: gens, parts: parts}
+	e.partIdx.Store(idx)
+	return idx
+}
+
+// partitionsInRange returns the partitions whose token falls in the
+// inclusive [lo, hi], ordered by (token, pk) — a binary-searched
+// subslice of the cached index; callers must not mutate it. Wrap-around
+// ranges are the caller's concern: ownership diffs split them at the
+// int64 boundary, so lo <= hi always holds here.
+func (e *Engine) partitionsInRange(lo, hi int64) []rangePK {
+	parts := e.partitionIndex().parts
+	i := sort.Search(len(parts), func(k int) bool { return parts[k].token >= lo })
+	j := sort.Search(len(parts), func(k int) bool { return parts[k].token > hi })
+	return parts[i:j]
+}
+
+// scanPartitions returns the partitions of [lo, hi] strictly after the
+// (afterToken, afterPK) cursor, resuming by binary search in the cached
+// index. Unlike the per-scan index this replaced, the shared index may
+// refresh between pages, so a partition created mid-scan is picked up
+// by a later page — harmless for the rebalance streamer (the only paged
+// caller): those are exactly the writes the dual-write window already
+// forwards, and LWW makes shipping a copy twice idempotent.
+func (e *Engine) scanPartitions(lo, hi, afterToken int64, afterPK string) []rangePK {
+	parts := e.partitionsInRange(lo, hi)
+	if afterToken == math.MinInt64 && afterPK == "" {
+		return parts
+	}
+	at := sort.Search(len(parts), func(i int) bool {
+		p := parts[i]
+		return p.token > afterToken || (p.token == afterToken && p.pk > afterPK)
+	})
+	return parts[at:]
 }
 
 // ScanRange returns one page of the cells whose partition token falls
@@ -137,10 +159,10 @@ func (e *Engine) dropScanIndex(lo, hi int64) {
 // More is set, resume with the returned cursor. Pass (math.MinInt64, "")
 // to start. The scan merges memtables and SSTables exactly like a
 // partition read — tombstones included, so a delete propagates to the
-// range's new owner and keeps masking older copies there. The partition
-// set is indexed once on the first page (see scanPartitions); writes
-// landing mid-scan are the dual-write window's concern, not the
-// streamer's.
+// range's new owner and keeps masking older copies there. Pages resume
+// by binary search in the engine's cached partition index (see
+// scanPartitions); writes landing mid-scan are the dual-write window's
+// concern, not the streamer's.
 func (e *Engine) ScanRange(lo, hi, afterToken int64, afterPK string, maxCells int) (*RangePage, error) {
 	if maxCells <= 0 {
 		maxCells = DefaultRangePageCells
@@ -163,9 +185,6 @@ func (e *Engine) ScanRange(lo, hi, afterToken int64, afterPK string, maxCells in
 			break
 		}
 	}
-	if !page.More {
-		e.dropScanIndex(lo, hi)
-	}
 	return page, nil
 }
 
@@ -174,12 +193,8 @@ func (e *Engine) ScanRange(lo, hi, afterToken int64, afterPK string, maxCells in
 // target counts must line up before the source range is retired).
 func (e *Engine) CountRange(lo, hi int64) (int64, error) {
 	var n int64
-	for _, pk := range e.Partitions() {
-		tok := PartitionToken(pk)
-		if tok < lo || tok > hi {
-			continue
-		}
-		c, err := e.CountPartition(pk)
+	for _, p := range e.partitionsInRange(lo, hi) {
+		c, err := e.CountPartition(p.pk)
 		if err != nil {
 			return 0, err
 		}

@@ -57,15 +57,23 @@ func (h *tableHandle) release() error {
 }
 
 // shardView is a consistent read snapshot of one shard: the active
-// memtable, the frozen queue and the pinned table list. Callers must
-// close it when done so superseded tables can be retired.
+// memtable, the frozen queue and the pinned table list. Views are
+// immutable and atomically published (see publishLocked); readers
+// acquire one with snapshot() and must close it when done so superseded
+// tables can be retired. refs counts the publisher's reference (the
+// view is current) plus one per in-flight reader; the last close
+// releases the pinned tables.
 type shardView struct {
 	mem    *memtable.Memtable
 	frozen []*frozenMem
 	tables []*tableHandle
+	refs   atomic.Int64
 }
 
-func (v shardView) close() {
+func (v *shardView) close() {
+	if v.refs.Add(-1) > 0 {
+		return
+	}
 	for _, t := range v.tables {
 		t.release()
 	}
@@ -74,14 +82,26 @@ func (v shardView) close() {
 // shard is one lock stripe of the engine: a full miniature LSM tree
 // with its own write path, WAL segments, SSTable list and background
 // worker. Writes and freezes hold mu exclusively but never wait on
-// SSTable I/O; reads snapshot the state under RLock; the worker holds
-// mu only to take work and to swap results in.
+// SSTable I/O; the worker holds mu only to take work and to swap
+// results in. Reads never touch mu at all: every mutation that changes
+// the read sources (memtable swap, flush accept, compaction or purge
+// table swap) republishes an immutable shardView through the atomic
+// view pointer, and readers pin it with one CAS.
 type shard struct {
 	id  int
 	eng *Engine
 
 	mu   sync.RWMutex
 	cond *sync.Cond // paired with &mu; broadcast on every state change
+
+	// view is the current read snapshot; see publishLocked/snapshot.
+	view atomic.Pointer[shardView]
+	// partGen counts mutations to this shard's partition set: a write
+	// creating a new (pk, ck) address, a purge removing partitions, a
+	// compaction collapsing tombstone-only ones. The engine's merged
+	// partition index records the generations it was built from and is
+	// rebuilt when any shard's moved — write invalidation for free.
+	partGen atomic.Uint64
 
 	mem    *memtable.Memtable
 	frozen []*frozenMem // oldest first
@@ -189,6 +209,9 @@ func (e *Engine) openShard(id int) (*shard, error) {
 		s.memGen++
 		s.mem = memtable.New(shardSeed(e.opts.Seed, id, s.memGen))
 	}
+	// No concurrency yet — the worker starts after Open returns — but the
+	// view must exist before the first read.
+	s.publishLocked()
 	return s, nil
 }
 
@@ -198,18 +221,37 @@ func shardSeed(base int64, id int, gen int64) int64 {
 	return base + int64(id)*1_000_003 + gen
 }
 
-// snapshot captures the shard's read sources under RLock, pinning every
-// table against concurrent retirement. The frozen and tables slices are
-// never mutated in place and frozen memtables are immutable, so the
-// caller reads the view lock-free — and must close it.
-func (s *shard) snapshot() shardView {
-	s.mu.RLock()
-	v := shardView{mem: s.mem, frozen: s.frozen, tables: s.tables}
-	for _, t := range v.tables {
+// publishLocked installs a fresh immutable view of the shard's read
+// sources and retires the previous one. Called under mu at every point
+// the sources change: memtable freeze, flush accept, compaction swap,
+// purge swap, open and close. The frozen and tables slices are never
+// mutated in place after publication, so readers traverse them without
+// any synchronization beyond the pointer load.
+func (s *shard) publishLocked() {
+	nv := &shardView{mem: s.mem, frozen: s.frozen, tables: s.tables}
+	nv.refs.Store(1) // the publisher's reference: the view is current
+	for _, t := range nv.tables {
 		t.acquire()
 	}
-	s.mu.RUnlock()
-	return v
+	if old := s.view.Swap(nv); old != nil {
+		old.close()
+	}
+}
+
+// snapshot pins the shard's current read view: one atomic load and one
+// CAS, no locks, no allocation. The CAS increments refs only when the
+// observed count is positive — a view at zero is being retired by a
+// concurrent publish, and bumping it back would resurrect tables whose
+// release already began; retry on the freshly published pointer
+// instead. The publisher's own reference makes the first attempt
+// succeed in all but the publication instant.
+func (s *shard) snapshot() *shardView {
+	for {
+		v := s.view.Load()
+		if r := v.refs.Load(); r > 0 && v.refs.CompareAndSwap(r, r+1) {
+			return v
+		}
+	}
 }
 
 // ensureWALLocked opens the active WAL segment on first use. Lazy
@@ -253,8 +295,14 @@ func (s *shard) putBatch(entries []row.Entry) error {
 			}
 		}
 	}
+	inserted := false
 	for _, ent := range entries {
-		s.mem.Put(ent.PK, ent.CK, ent.Value, ent.Ver, ent.Tombstone)
+		if s.mem.Put(ent.PK, ent.CK, ent.Value, ent.Ver, ent.Tombstone) {
+			inserted = true
+		}
+	}
+	if inserted {
+		s.partGen.Add(1)
 	}
 	if s.mem.Bytes() >= s.eng.opts.FlushThreshold {
 		s.freezeLocked()
@@ -294,6 +342,7 @@ func (s *shard) freezeLocked() {
 	s.memGen++
 	s.mem = memtable.New(shardSeed(s.eng.opts.Seed, s.id, s.memGen))
 	s.frozen = append(s.frozen, fm)
+	s.publishLocked()
 	s.cond.Broadcast()
 }
 
@@ -369,6 +418,7 @@ func (s *shard) worker() {
 			s.tables = append(s.tables, newTableHandle(r))
 			s.sstSeq = seq + 1
 			s.frozen = s.frozen[1:]
+			s.publishLocked()
 			s.flushErr = nil
 			s.eng.Metrics.Flushes.Add(1)
 			s.eng.Metrics.FlushedBytes.Add(fm.mem.Bytes())
@@ -453,6 +503,12 @@ func (s *shard) worker() {
 			} else {
 				s.tables = append([]*tableHandle(nil), tail...)
 			}
+			s.publishLocked()
+			// The purge removed partitions: invalidate the engine's merged
+			// partition index. Bumped after the swap is published so an
+			// index builder that loaded the old generation can never
+			// enumerate the new view under it unnoticed.
+			s.partGen.Add(1)
 			req.removed = dropped
 			s.purges = s.purges[1:]
 			s.flushErr = nil
@@ -522,6 +578,10 @@ func (s *shard) worker() {
 			// but the swap doesn't rely on that.)
 			s.tables = append([]*tableHandle{newTableHandle(r)}, s.tables[len(inputs):]...)
 			s.sstSeq = seq + 1
+			s.publishLocked()
+			// A compaction can collapse tombstone-only partitions out of
+			// existence, shrinking the partition set.
+			s.partGen.Add(1)
 			s.eng.Metrics.Compactions.Add(1)
 			s.eng.Metrics.TombstonesGCed.Add(gced)
 			// Stay busy while the superseded tables are retired so

@@ -247,6 +247,14 @@ func (p *pipeConn) Send(f Frame) error {
 		return ErrClosed
 	default:
 	}
+	// Fast path: a buffered send compiles to a plain channel op; the
+	// two-way select below costs several times more (selectgo), and
+	// under load the buffer almost always has room.
+	select {
+	case p.out <- f:
+		return nil
+	default:
+	}
 	select {
 	case p.out <- f:
 		return nil
@@ -256,6 +264,13 @@ func (p *pipeConn) Send(f Frame) error {
 }
 
 func (p *pipeConn) Recv() (Frame, error) {
+	// Fast path: under load a frame is already queued, and the plain
+	// non-blocking receive skips selectgo entirely.
+	select {
+	case f := <-p.in:
+		return f, nil
+	default:
+	}
 	select {
 	case f := <-p.in:
 		return f, nil

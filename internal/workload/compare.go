@@ -1,0 +1,66 @@
+package workload
+
+import "fmt"
+
+// Regression is one step-level perf delta that crossed the comparison
+// tolerance: throughput down or p99 up by more than the allowed
+// fraction versus the committed baseline.
+type Regression struct {
+	Mix     string
+	Clients int
+	Metric  string // "ops_per_sec" | "p99_us"
+	Base    float64
+	Fresh   float64
+	// Delta is the signed fractional change, oriented so positive is
+	// always worse (throughput loss, latency gain).
+	Delta float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s @%d clients: %s %.0f -> %.0f (%+.1f%%)",
+		r.Mix, r.Clients, r.Metric, r.Base, r.Fresh, r.Delta*100)
+}
+
+// CompareResults diffs a fresh run against a committed baseline of the
+// same mix and returns every step where throughput fell or p99 rose by
+// more than tolerance (a fraction: 0.10 = 10%). Steps are matched by
+// client count — a sweep-shape change (different -clients) yields no
+// match and no regression, since the numbers are not comparable.
+// Open- and closed-loop runs are likewise never compared: an open
+// loop's p99 includes queueing delay by design.
+func CompareResults(base, fresh *Result, tolerance float64) ([]Regression, error) {
+	if base.Mix != fresh.Mix {
+		return nil, fmt.Errorf("workload: comparing different mixes %q vs %q", base.Mix, fresh.Mix)
+	}
+	if (base.Work.Rate > 0) != (fresh.Work.Rate > 0) {
+		return nil, fmt.Errorf("workload: comparing open-loop and closed-loop runs (rate %g vs %g)", base.Work.Rate, fresh.Work.Rate)
+	}
+	byClients := make(map[int]Step, len(base.Steps))
+	for _, s := range base.Steps {
+		byClients[s.Clients] = s
+	}
+	var regs []Regression
+	for _, f := range fresh.Steps {
+		b, ok := byClients[f.Clients]
+		if !ok || b.Ops == 0 || f.Ops == 0 {
+			continue
+		}
+		if b.OpsPerSec > 0 {
+			if loss := (b.OpsPerSec - f.OpsPerSec) / b.OpsPerSec; loss > tolerance {
+				regs = append(regs, Regression{
+					Mix: fresh.Mix, Clients: f.Clients, Metric: "ops_per_sec",
+					Base: b.OpsPerSec, Fresh: f.OpsPerSec, Delta: loss,
+				})
+			}
+		}
+		if b.Latency.P99 > 0 {
+			if gain := (f.Latency.P99 - b.Latency.P99) / b.Latency.P99; gain > tolerance {
+				regs = append(regs, Regression{
+					Mix: fresh.Mix, Clients: f.Clients, Metric: "p99_us",
+					Base: b.Latency.P99, Fresh: f.Latency.P99, Delta: gain,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareResults(t *testing.T) {
+	base := sampleResult()
+	fresh := sampleResult()
+
+	regs, err := CompareResults(base, fresh, 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("identical runs flagged: %v %v", regs, err)
+	}
+
+	// 5% drop is inside a 10% tolerance; 20% is not.
+	fresh.Steps[0].OpsPerSec = base.Steps[0].OpsPerSec * 0.95
+	if regs, _ = CompareResults(base, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("5%% throughput drop flagged at 10%% tolerance: %v", regs)
+	}
+	fresh.Steps[0].OpsPerSec = base.Steps[0].OpsPerSec * 0.80
+	regs, _ = CompareResults(base, fresh, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "ops_per_sec" {
+		t.Fatalf("20%% throughput drop not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "ops_per_sec") {
+		t.Fatalf("regression string lost its metric: %s", regs[0])
+	}
+
+	// p99 regression is oriented the other way (growth is bad), and an
+	// improvement is never a regression.
+	fresh = sampleResult()
+	fresh.Steps[0].Latency.P99 = base.Steps[0].Latency.P99 * 1.5
+	regs, _ = CompareResults(base, fresh, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "p99_us" {
+		t.Fatalf("p99 regression not flagged: %v", regs)
+	}
+	fresh.Steps[0].Latency.P99 = base.Steps[0].Latency.P99 * 0.5
+	fresh.Steps[0].OpsPerSec = base.Steps[0].OpsPerSec * 2
+	if regs, _ = CompareResults(base, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+
+	// Unmatched client counts are skipped, not compared.
+	fresh = sampleResult()
+	fresh.Steps[0].Clients = 99
+	fresh.Steps[0].OpsPerSec = 1
+	if regs, _ = CompareResults(base, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("unmatched step compared: %v", regs)
+	}
+
+	// Different mixes and mixed loop disciplines are hard errors.
+	fresh = sampleResult()
+	fresh.Mix = "read-heavy"
+	if _, err = CompareResults(base, fresh, 0.10); err == nil {
+		t.Fatal("cross-mix comparison accepted")
+	}
+	fresh = sampleResult()
+	fresh.Work.Rate = 0
+	base.Work.Rate = 25000
+	if _, err = CompareResults(base, fresh, 0.10); err == nil {
+		t.Fatal("open-vs-closed-loop comparison accepted")
+	}
+}

@@ -9,8 +9,18 @@ import (
 
 // SchemaVersion is the BENCH_*.json format generation. Bump it on any
 // breaking change to the Result shape; the CI validator rejects files
-// from a different generation so the trajectory stays comparable.
-const SchemaVersion = 1
+// from a newer generation so the trajectory stays comparable, but keeps
+// reading every generation listed in oldestReadableSchema on.
+//
+// v2 added the per-op-kind latency split (latency_by_kind_us) and the
+// open-loop target rate (workload.rate); v1 files simply lack both, so
+// they stay readable.
+const SchemaVersion = 2
+
+// oldestReadableSchema is the earliest generation ReadResultFile still
+// accepts — cross-PR comparisons need to read the committed trajectory,
+// which may predate the current schema.
+const oldestReadableSchema = 1
 
 // Result is one persisted benchmark run — the unit of the repo's perf
 // trajectory. Every kvload run writes one as BENCH_<mix>.json; CI
@@ -47,6 +57,11 @@ type WorkloadInfo struct {
 	Zipfian     bool    `json:"zipfian"`
 	Theta       float64 `json:"theta,omitempty"`
 	Seed        int64   `json:"seed"`
+	// Rate is the open-loop aggregate arrival rate in ops/sec; 0 means
+	// the sweep ran closed-loop (see StepConfig.Rate). Open- and
+	// closed-loop runs are not latency-comparable — the validator only
+	// checks shape, comparisons must check this field.
+	Rate float64 `json:"rate,omitempty"`
 }
 
 // LoadPhase is the preload breakdown (batched bulk ingest before the
@@ -67,6 +82,11 @@ type Step struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	CellsPerSec float64 `json:"cells_per_sec"`
 	Latency     Latency `json:"latency_us"`
+	// LatencyByKind splits the percentiles per operation kind ("read",
+	// "update", "scan", "delete"; kinds the mix never drew are absent),
+	// so scan tails stop pooling with point reads. Schema v2; absent in
+	// v1 files.
+	LatencyByKind map[string]Latency `json:"latency_by_kind_us,omitempty"`
 	// Failovers counts reads the client served from a non-primary
 	// replica during the step (Client.Failovers delta) — non-zero means
 	// the sweep ran against a degraded cluster and its numbers are not
@@ -106,8 +126,8 @@ func BenchFileName(mix string) string { return "BENCH_" + mix + ".json" }
 // every step that did work, internally consistent throughput and a
 // monotone non-zero percentile table.
 func (r *Result) Validate() error {
-	if r.Schema != SchemaVersion {
-		return fmt.Errorf("workload: schema %d, want %d", r.Schema, SchemaVersion)
+	if r.Schema < oldestReadableSchema || r.Schema > SchemaVersion {
+		return fmt.Errorf("workload: schema %d, want %d..%d", r.Schema, oldestReadableSchema, SchemaVersion)
 	}
 	if r.Mix == "" {
 		return fmt.Errorf("workload: result has no mix name")
@@ -134,6 +154,11 @@ func (r *Result) Validate() error {
 		}
 		if l.P95 < l.P50 || l.P99 < l.P95 || l.P999 < l.P99 || l.Max < l.P999 {
 			return fmt.Errorf("workload: step %d: non-monotone percentiles %+v", i, l)
+		}
+		for kind, kl := range s.LatencyByKind {
+			if kl.P95 < kl.P50 || kl.P99 < kl.P95 || kl.P999 < kl.P99 || kl.Max < kl.P999 {
+				return fmt.Errorf("workload: step %d: non-monotone %s percentiles %+v", i, kind, kl)
+			}
 		}
 	}
 	return nil

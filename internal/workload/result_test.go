@@ -21,6 +21,7 @@ func sampleResult() *Result {
 		Work: WorkloadInfo{
 			Keys: 4000, CellsPerKey: 4, ValueSize: 64,
 			ReadPct: 95, UpdatePct: 5, Zipfian: true, Theta: 0.99, Seed: 42,
+			Rate: 25000,
 		},
 		Load: &LoadPhase{Cells: 16000, Seconds: 0.5, CellsPerSec: 32000},
 		Steps: []Step{
@@ -28,6 +29,10 @@ func sampleResult() *Result {
 				Clients: 4, Seconds: 2.0, Ops: 100000, OpsPerSec: 50000,
 				CellsPerSec: 51000,
 				Latency:     Latency{P50: 60, P95: 110, P99: 240, P999: 800, Max: 4200, Mean: 72},
+				LatencyByKind: map[string]Latency{
+					"read":   {P50: 55, P95: 100, P99: 220, P999: 750, Max: 4200, Mean: 66},
+					"update": {P50: 90, P95: 160, P99: 300, P999: 800, Max: 2100, Mean: 104},
+				},
 			},
 		},
 	}
@@ -60,7 +65,7 @@ func TestResultRoundTrip(t *testing.T) {
 	// The serialized names are the cross-PR contract: a rename breaks
 	// every comparison script without failing compilation.
 	for _, key := range []string{
-		`"schema":1`, `"mix":"hotspot"`, `"git_rev"`, `"date"`, `"quick"`,
+		`"schema":2`, `"mix":"hotspot"`, `"git_rev"`, `"date"`, `"quick"`,
 		`"cluster"`, `"nodes":4`, `"replication_factor":2`, `"transport":"inproc"`,
 		`"workload"`, `"keys":4000`, `"cells_per_key":4`, `"value_size":64`,
 		`"read_pct":95`, `"update_pct":5`, `"scan_pct":0`, `"delete_pct":0`,
@@ -68,6 +73,7 @@ func TestResultRoundTrip(t *testing.T) {
 		`"load"`, `"cells":16000`, `"cells_per_sec"`,
 		`"steps"`, `"clients":4`, `"ops":100000`, `"errors":0`, `"ops_per_sec":50000`,
 		`"latency_us"`, `"p50":60`, `"p95":110`, `"p99":240`, `"p999":800`, `"max":4200`, `"mean":72`,
+		`"rate":25000`, `"latency_by_kind_us"`, `"read":{"p50":55`, `"update":{"p50":90`,
 	} {
 		if !strings.Contains(string(data), key) {
 			t.Fatalf("serialized result lost %s:\n%s", key, data)
@@ -93,6 +99,9 @@ func TestResultValidate(t *testing.T) {
 		"ops zero p50":   break_(func(r *Result) { r.Steps[0].Latency.P50 = 0 }),
 		"non-monotone":   break_(func(r *Result) { r.Steps[0].Latency.P99 = r.Steps[0].Latency.P50 / 2 }),
 		"max below p999": break_(func(r *Result) { r.Steps[0].Latency.Max = 1 }),
+		"non-monotone kind": break_(func(r *Result) {
+			r.Steps[0].LatencyByKind["read"] = Latency{P50: 60, P95: 30, P99: 240, P999: 800, Max: 4200}
+		}),
 	}
 	for name, r := range bad {
 		if err := r.Validate(); err == nil {
@@ -108,5 +117,27 @@ func TestResultValidate(t *testing.T) {
 	idle.Steps = append(idle.Steps, Step{Clients: 8})
 	if err := idle.Validate(); err != nil {
 		t.Fatalf("idle step rejected: %v", err)
+	}
+}
+
+// TestResultReadsOlderSchemas pins backward readability: the committed
+// trajectory holds v1 files (no per-kind latencies, no rate), and
+// cross-PR comparisons must keep reading every generation back to
+// oldestReadableSchema.
+func TestResultReadsOlderSchemas(t *testing.T) {
+	v1 := sampleResult()
+	v1.Schema = 1
+	v1.Work.Rate = 0
+	v1.Steps[0].LatencyByKind = nil
+	path := filepath.Join(t.TempDir(), BenchFileName(v1.Mix))
+	if err := v1.WriteFile(path); err != nil {
+		t.Fatalf("v1 result rejected on write: %v", err)
+	}
+	back, err := ReadResultFile(path)
+	if err != nil {
+		t.Fatalf("v1 result rejected on read: %v", err)
+	}
+	if back.Schema != 1 || back.Steps[0].LatencyByKind != nil {
+		t.Fatalf("v1 round trip mutated the result: %+v", back)
 	}
 }

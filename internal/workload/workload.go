@@ -40,7 +40,24 @@ const (
 	OpUpdate
 	OpScan
 	OpDelete
+	// NumOpKinds sizes per-kind accumulators.
+	NumOpKinds = int(OpDelete) + 1
 )
+
+// String names the kind as persisted in latency_by_kind_us.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpScan:
+		return "scan"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op%d", int(k))
+}
 
 // Mix is a named YCSB-style operation mix: per-100 weights for each
 // operation kind plus the key distribution the ops draw from. Weights
