@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload bench-compare lint
+.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload bench-compare bench-sstable fuzz-smoke lint
 
 build:
 	go build ./...
@@ -64,10 +64,27 @@ bench-workload:
 # before/after check for any hot-path change.
 bench-compare:
 	@mkdir -p .bench-fresh
-	go run ./cmd/kvload -mix read-heavy -quick -gitrev $(GITREV) -out .bench-fresh
-	go run ./cmd/kvload -mix hotspot -quick -gitrev $(GITREV) -out .bench-fresh
-	go run ./cmd/kvload -compare BENCH_read-heavy.json .bench-fresh/BENCH_read-heavy.json
-	go run ./cmd/kvload -compare BENCH_hotspot.json .bench-fresh/BENCH_hotspot.json
+	@status=0; \
+	go run ./cmd/kvload -mix read-heavy -quick -gitrev $(GITREV) -out .bench-fresh && \
+	go run ./cmd/kvload -mix hotspot -quick -gitrev $(GITREV) -out .bench-fresh && \
+	go run ./cmd/kvload -compare BENCH_read-heavy.json .bench-fresh/BENCH_read-heavy.json && \
+	go run ./cmd/kvload -compare BENCH_hotspot.json .bench-fresh/BENCH_hotspot.json || status=$$?; \
+	rm -rf .bench-fresh; \
+	exit $$status
+
+# SSTable canaries: cold point-read cost (must stay index + one block),
+# full-scan throughput through the block iterator, and the delete-churn
+# write-amp / table-count bound the leveled compactor enforces. Run on
+# any change to internal/sstable or the compaction policy.
+bench-sstable:
+	go test -run=NONE -bench='V3ColdPointRead|V3FullScan' -benchtime=0.5s ./internal/sstable/
+	go test -run=NONE -bench='DeleteChurn|GrowingIngest' -benchtime=100000x ./internal/storage/
+
+# Short fuzz pass over the v3 block codec: decode must never panic on
+# arbitrary bytes and encode→decode must round-trip. CI runs this as a
+# smoke; local soak: raise -fuzztime.
+fuzz-smoke:
+	go test -run=NONE -fuzz=FuzzBlockCodec -fuzztime=10s ./internal/sstable/
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

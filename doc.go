@@ -13,15 +13,20 @@
 // This module implements the full stack the paper runs on:
 //
 //   - a Cassandra-like wide-column store (murmur3 token ring,
-//     memtables, SSTables with bloom filters and a 64KB column index —
-//     the mechanism behind the paper's Formula 6 discontinuity at 1425
-//     rows): internal/storage, internal/cluster. The storage engine is
+//     memtables, block-based SSTables with per-table bloom filters,
+//     prefix-compressed ~4KB data blocks and a lazily-loaded block
+//     index, so a cold point read costs the index plus one block):
+//     internal/storage, internal/cluster. The storage engine is
 //     lock-striped into shards (StorageOptions.Shards, default 8), each
 //     with its own memtable, WAL segments and background flusher: a
 //     write appends to the shard WAL and memtable and returns, the
 //     frozen memtable is turned into an SSTable off the write path, and
-//     compaction likewise runs per shard in the background, so neither
-//     flush nor compaction ever stalls the node's request loop. Reads
+//     leveled compaction (L0 flush zone, budgeted disjoint-range levels
+//     below, per-shard crash-atomic manifest — see
+//     docs/sstable-format.md) likewise runs per shard in the
+//     background, so neither flush nor compaction ever stalls the
+//     node's request loop and write amplification stays bounded as the
+//     store grows. Reads
 //     are lock- and allocation-free: each shard publishes an immutable
 //     refcounted view of its memtables and tables through one atomic
 //     pointer, and point reads search it via a stack-built key (see the
@@ -178,10 +183,13 @@
 // versioning are left alone — their zero versions cannot be ordered —
 // and are counted in the report.
 //
-// On disk, versioning is SSTable format v2; tables written before the
-// change (v1) stay readable — their cells carry the zero version and
-// lose to any stamped write — and the SHARDS manifest records the
-// format generation.
+// On disk, tables are SSTable format v3 (sorted data blocks with
+// restart-point prefix compression, per-block CRCs, a block index and
+// partition directory fetched on first use — docs/sstable-format.md is
+// the full layout). Tables written by earlier revisions stay readable
+// — v1 cells carry the zero version and lose to any stamped write —
+// and compaction rewrites them to v3 as they participate in merges;
+// the SHARDS manifest records the format generation.
 //
 // Durability is tunable per node via StorageOptions.Sync: SyncNever
 // (default; fsync only at segment close), SyncOnSeal (fsync when a

@@ -499,9 +499,15 @@ func (n *Node) handleDigest(req *wire.DigestRequest) *wire.DigestResponse {
 func (n *Node) statsResponse() *wire.NodeStatsResponse {
 	st := n.engine.Stats()
 	resp := &wire.NodeStatsResponse{
-		FlushedBytes:    uint64(st.FlushedBytes),
-		FlushCount:      uint64(st.Flushes),
-		CompactionCount: uint64(st.Compactions),
+		FlushedBytes:       uint64(st.FlushedBytes),
+		FlushCount:         uint64(st.Flushes),
+		CompactionCount:    uint64(st.Compactions),
+		CompactionBytesIn:  uint64(st.CompactionBytesIn),
+		CompactionBytesOut: uint64(st.CompactionBytesOut),
+	}
+	for _, ls := range st.Levels {
+		resp.LevelTables = append(resp.LevelTables, uint32(ls.Tables))
+		resp.LevelBytes = append(resp.LevelBytes, uint64(ls.Bytes))
 	}
 	if rs := n.ring.Load(); rs != nil {
 		resp.Epoch = rs.topo.Epoch()

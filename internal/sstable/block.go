@@ -1,0 +1,169 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"scalekv/internal/enc"
+	"scalekv/internal/row"
+)
+
+// This file is the v3 data-block codec: restart-point prefix-compressed
+// cell entries with a per-block CRC, in the LevelDB/KevoDB tradition.
+//
+// Entries are keyed by the enc internal key (escaped partition key,
+// separator, clustering key), so byte order within and across blocks is
+// (pk, ck) order. Each entry stores only the suffix of its key that
+// differs from the previous entry's; every restartInterval-th entry is a
+// restart point carrying its full key, so decoding can always begin at
+// the block start without external state.
+//
+// Block layout:
+//
+//	entry*  restart-offset[u32 LE]*  numRestarts[u32 LE]  crc32[u32 LE]
+//
+// Entry layout:
+//
+//	shared uvarint | unshared uvarint | valueLen uvarint |
+//	key suffix | value | seq uvarint | node uvarint | flags byte
+
+const (
+	// DefaultBlockSize is the target size of a v3 data block: small
+	// enough that a cold point read transfers little more than it needs,
+	// large enough to amortize the per-block CRC and index entry.
+	DefaultBlockSize = 4 << 10
+
+	blockRestartInterval = 16
+	blockTrailerMin      = 4 + 4 // numRestarts + crc
+)
+
+// blockBuilder accumulates prefix-compressed entries for one data block.
+type blockBuilder struct {
+	buf      []byte
+	restarts []uint32
+	count    int
+	prevKey  []byte
+}
+
+func (b *blockBuilder) empty() bool { return b.count == 0 }
+func (b *blockBuilder) size() int   { return len(b.buf) }
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:0]
+	b.count = 0
+	b.prevKey = b.prevKey[:0]
+}
+
+// add appends one cell. Keys must arrive in ascending byte order; the
+// writer's partition/cell ordering checks guarantee it.
+func (b *blockBuilder) add(ik, value []byte, ver row.Version, tomb bool) {
+	shared := 0
+	if b.count%blockRestartInterval == 0 {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+	} else {
+		max := len(b.prevKey)
+		if len(ik) < max {
+			max = len(ik)
+		}
+		for shared < max && b.prevKey[shared] == ik[shared] {
+			shared++
+		}
+	}
+	b.buf = enc.AppendUvarint(b.buf, uint64(shared))
+	b.buf = enc.AppendUvarint(b.buf, uint64(len(ik)-shared))
+	b.buf = enc.AppendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, ik[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.buf = enc.AppendUvarint(b.buf, ver.Seq)
+	b.buf = enc.AppendUvarint(b.buf, uint64(ver.Node))
+	flags := byte(0)
+	if tomb {
+		flags = flagTombstone
+	}
+	b.buf = append(b.buf, flags)
+	b.prevKey = append(b.prevKey[:0], ik...)
+	b.count++
+}
+
+// finish appends the restart array, count and CRC, returning the
+// completed block. The builder must be reset before reuse.
+func (b *blockBuilder) finish() []byte {
+	for _, r := range b.restarts {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, r)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(b.restarts)))
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, crc32.ChecksumIEEE(b.buf))
+	return b.buf
+}
+
+// decodeBlock verifies a block's CRC and streams its entries through fn
+// in order. The ik and value slices are only valid during the call (ik
+// is a reused buffer, value aliases the block); fn copies what it keeps.
+// Returning false from fn stops the walk without error. Any structural
+// violation — bad CRC, truncated varint, impossible lengths — yields
+// ErrCorrupt; arbitrary input bytes never panic (the fuzz target pins
+// this).
+func decodeBlock(block []byte, fn func(ik, value []byte, ver row.Version, tomb bool) bool) error {
+	if len(block) < blockTrailerMin {
+		return ErrCorrupt
+	}
+	crcOff := len(block) - 4
+	if crc32.ChecksumIEEE(block[:crcOff]) != binary.LittleEndian.Uint32(block[crcOff:]) {
+		return ErrCorrupt
+	}
+	numRestarts := binary.LittleEndian.Uint32(block[crcOff-4 : crcOff])
+	if uint64(numRestarts)*4 > uint64(crcOff-4) {
+		return ErrCorrupt
+	}
+	data := block[:crcOff-4-int(numRestarts)*4]
+	var key []byte
+	pos := 0
+	for pos < len(data) {
+		shared, n1 := binary.Uvarint(data[pos:])
+		if n1 <= 0 {
+			return ErrCorrupt
+		}
+		pos += n1
+		unshared, n2 := binary.Uvarint(data[pos:])
+		if n2 <= 0 {
+			return ErrCorrupt
+		}
+		pos += n2
+		vlen, n3 := binary.Uvarint(data[pos:])
+		if n3 <= 0 {
+			return ErrCorrupt
+		}
+		pos += n3
+		if shared > uint64(len(key)) ||
+			unshared > uint64(len(data)-pos) ||
+			vlen > uint64(len(data)-pos)-unshared {
+			return ErrCorrupt
+		}
+		key = append(key[:shared], data[pos:pos+int(unshared)]...)
+		pos += int(unshared)
+		value := data[pos : pos+int(vlen)]
+		pos += int(vlen)
+		seq, n4 := binary.Uvarint(data[pos:])
+		if n4 <= 0 {
+			return ErrCorrupt
+		}
+		pos += n4
+		node, n5 := binary.Uvarint(data[pos:])
+		if n5 <= 0 || node > math.MaxUint16 {
+			return ErrCorrupt
+		}
+		pos += n5
+		if pos >= len(data) {
+			return ErrCorrupt
+		}
+		flags := data[pos]
+		pos++
+		ver := row.Version{Seq: seq, Node: uint16(node)}
+		if !fn(key, value, ver, flags&flagTombstone != 0) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -2,33 +2,40 @@
 // storage engine, modelled on Cassandra's SSTable as the paper depends on
 // it.
 //
-// The detail that matters for the paper's Formula 6 is the **column
-// index**: like Cassandra's column_index_size_in_kb (default 64KB), a
-// partition whose serialized cells exceed ColumnIndexSize gets a sparse
-// per-chunk index (first clustering key + offset every ColumnIndexSize
-// bytes), while smaller partitions get none. Reading an indexed partition
-// pays the extra index parse; reading a slice of one can seek instead of
-// scanning. That asymmetry is exactly the discontinuity at ~1425
-// rows/64KB that the paper measured in Figure 6 and folded into its
-// piecewise database model.
+// Three format revisions coexist; the reader serves all of them, the
+// writer defaults to the newest.
 //
-// File layout:
+// v3 (current) is block-based:
 //
-//	"SKVT" | data section | partition index | bloom filter | footer
+//	"SKVT" | data blocks | block index | partition directory | bloom | footer
 //
-// where the footer stores section offsets, the entry count and a CRC of
-// the two index sections.
+// Data blocks hold restart-point prefix-compressed cells keyed by the
+// enc internal key (see block.go), each with its own CRC. The block
+// index records every block's first key, offset and length; the
+// partition directory records every partition key and its cell count.
+// Both are covered by a meta CRC and loaded lazily on first use — Open
+// reads only the footer and the bloom filter, and a cold point read
+// costs one meta ReadAt plus one data-block ReadAt instead of a
+// whole-partition transfer. The footer carries the section offsets, the
+// entry and partition counts, and the table's maximum version sequence.
 //
-// Two format revisions coexist. The v1 cell encoding is (ck, value) and
-// its footer ends in "SKVT"; cells read back with the zero version. The
-// v2 encoding appends each cell's version and a flags byte (tombstones
-// survive flush and mask older copies until compaction collects them),
-// and its footer ends in "SKV2" and additionally records the maximum
-// version sequence in the table — the engine restores its write counter
-// from it on reopen, and skips tables that cannot beat an already-found
-// version on point reads. The writer always produces v2 (except under
-// WriterOptions.LegacyV1, kept for compatibility tests); the reader
-// serves both.
+// v1/v2 are the older flat layouts ("SKVT" | partition records |
+// partition index | bloom | footer): the whole partition index loads at
+// Open, and a point read fetches the partition record. v1 cells carry no
+// versions; v2 appends each cell's (seq, node) version and a flags byte
+// and records max-seq in its footer. The footer terminator tells the
+// revisions apart: "SKVT" (v1), "SKV2", "SKV3".
+//
+// The detail that matters for the paper's Formula 6 is the sparse
+// intra-partition index — Cassandra's column_index_size_in_kb. In v1/v2
+// a partition larger than ColumnIndexSize carries a per-chunk column
+// index; in v3 the block index plays that role (a partition spanning
+// several blocks can be sliced from the middle without scanning from its
+// start). That asymmetry is exactly the discontinuity at ~1425
+// rows/64KB the paper measured in Figure 6 and folded into its
+// piecewise database model. A negative ColumnIndexSize disables
+// intra-partition seeking in every revision (the ablation knob): v3 then
+// never splits a partition across blocks.
 package sstable
 
 import (
@@ -40,6 +47,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"scalekv/internal/bloom"
@@ -54,11 +62,15 @@ const DefaultColumnIndexSize = 64 << 10
 var (
 	magic   = []byte("SKVT") // header, and v1 footer terminator
 	magicV2 = []byte("SKV2") // v2 footer terminator
+	magicV3 = []byte("SKV3") // v3 footer terminator
 )
 
 const (
 	footerSizeV1 = 8 + 8 + 8 + 4 + 4     // indexOff, bloomOff, count, crc, magic
 	footerSizeV2 = 8 + 8 + 8 + 8 + 4 + 4 // + maxSeq before the crc
+	// v3: blockIdxOff, partDirOff, bloomOff, entryCount, partCount,
+	// maxSeq, metaCRC, bloomCRC, footerCRC, magic.
+	footerSizeV3 = 6*8 + 3*4 + 4
 )
 
 const flagTombstone = byte(1)
@@ -69,12 +81,25 @@ var ErrCorrupt = errors.New("sstable: corrupt file")
 // ErrNotFound reports a partition absent from the table.
 var ErrNotFound = errors.New("sstable: partition not found")
 
-// indexEntry locates one partition inside the data section.
+// indexEntry locates one partition inside a v1/v2 data section.
 type indexEntry struct {
 	pk     string
 	offset uint64
 	size   uint64 // total bytes of the partition record
 	cells  uint64
+}
+
+// blockIndexEntry locates one v3 data block.
+type blockIndexEntry struct {
+	firstKey []byte // internal key of the block's first cell
+	offset   uint64
+	length   uint64
+}
+
+// partDirEntry is one v3 partition-directory record.
+type partDirEntry struct {
+	pk    string
+	cells uint64
 }
 
 // Writer builds an SSTable. Partitions must be added in ascending
@@ -83,31 +108,49 @@ type indexEntry struct {
 type Writer struct {
 	f               *os.File
 	w               *countingWriter
-	index           []indexEntry
+	format          int
 	filter          *bloom.Filter
 	columnIndexSize int
 	lastPK          string
 	started         bool
-	legacy          bool
 	maxSeq          uint64
 	err             error
+
+	// v1/v2 flat layout.
+	index []indexEntry
+
+	// v3 block layout.
+	blockSize  int
+	noSplit    bool // negative ColumnIndexSize: never split a partition across blocks
+	block      blockBuilder
+	blockFirst []byte // internal key of the open block's first cell
+	blocks     []blockIndexEntry
+	parts      []partDirEntry
+	entryCount uint64
+	keyBuf     []byte
 }
 
 // WriterOptions configures SSTable construction.
 type WriterOptions struct {
-	// ColumnIndexSize is the chunk granularity of the column index;
-	// 0 means DefaultColumnIndexSize. Negative disables column indexes
-	// entirely (an ablation knob for the Figure 6 experiment).
+	// ColumnIndexSize is the chunk granularity of the v1/v2 column
+	// index; 0 means DefaultColumnIndexSize. Negative disables
+	// intra-partition indexes entirely (an ablation knob for the
+	// Figure 6 experiment) — in v3 that means a partition is never
+	// split across blocks, so slices always scan from its start.
 	ColumnIndexSize int
 	// ExpectedPartitions sizes the bloom filter; 0 means 1024.
 	ExpectedPartitions int
 	// BloomFPRate is the target false positive rate; 0 means 1%.
 	BloomFPRate float64
-	// LegacyV1 writes the pre-versioning cell format (no versions, no
-	// tombstones — AddPartition rejects tombstone cells). It exists so
-	// compatibility tests can produce the tables an older engine would
-	// have left on disk; production flushes always write v2.
-	LegacyV1 bool
+	// FormatVersion selects the table revision: 0 or 3 writes the
+	// current block-based v3; 1 and 2 write the older flat formats so
+	// compatibility tests can lay down exactly the tables earlier
+	// engines left on disk. v1 predates versioning, so AddPartition
+	// rejects tombstone cells under it.
+	FormatVersion int
+	// BlockSize is the v3 data-block target size in bytes; 0 means
+	// DefaultBlockSize. Ignored by v1/v2.
+	BlockSize int
 }
 
 // NewWriter creates an SSTable file at path, truncating any existing one.
@@ -121,6 +164,17 @@ func NewWriter(path string, opts WriterOptions) (*Writer, error) {
 	if opts.BloomFPRate <= 0 {
 		opts.BloomFPRate = 0.01
 	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	format := opts.FormatVersion
+	switch format {
+	case 0:
+		format = 3
+	case 1, 2, 3:
+	default:
+		return nil, fmt.Errorf("sstable: unknown format version %d", opts.FormatVersion)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("sstable: create: %w", err)
@@ -128,9 +182,11 @@ func NewWriter(path string, opts WriterOptions) (*Writer, error) {
 	w := &Writer{
 		f:               f,
 		w:               &countingWriter{w: f},
+		format:          format,
 		filter:          bloom.NewWithRate(opts.ExpectedPartitions, opts.BloomFPRate),
 		columnIndexSize: opts.ColumnIndexSize,
-		legacy:          opts.LegacyV1,
+		blockSize:       opts.BlockSize,
+		noSplit:         opts.ColumnIndexSize < 0,
 	}
 	if _, err := w.w.Write(magic); err != nil {
 		f.Close()
@@ -149,7 +205,20 @@ func (w *Writer) AddPartition(pk string, cells []row.Cell) error {
 		return fmt.Errorf("sstable: partition %q out of order (last %q)", pk, w.lastPK)
 	}
 	w.started, w.lastPK = true, pk
+	for i := range cells {
+		if i > 0 && bytes.Compare(cells[i-1].CK, cells[i].CK) >= 0 {
+			w.err = fmt.Errorf("sstable: cells out of order in partition %q", pk)
+			return w.err
+		}
+	}
+	if w.format == 3 {
+		return w.addPartitionV3(pk, cells)
+	}
+	return w.addPartitionV12(pk, cells)
+}
 
+// addPartitionV12 writes one flat v1/v2 partition record.
+func (w *Writer) addPartitionV12(pk string, cells []row.Cell) error {
 	// Serialize cells, recording a column-index entry at each chunk
 	// boundary when the partition is large enough to deserve one.
 	var data []byte
@@ -159,18 +228,14 @@ func (w *Writer) AddPartition(pk string, cells []row.Cell) error {
 	}
 	var colIndex []colEntry
 	chunkStart := 0
-	for i, c := range cells {
-		if i > 0 && bytes.Compare(cells[i-1].CK, c.CK) >= 0 {
-			w.err = fmt.Errorf("sstable: cells out of order in partition %q", pk)
-			return w.err
-		}
+	for _, c := range cells {
 		if len(data)-chunkStart >= w.columnIndexSize && w.columnIndexSize > 0 {
 			chunkStart = len(data)
 			colIndex = append(colIndex, colEntry{ck: c.CK, offset: uint64(len(data))})
 		}
 		data = enc.AppendBytes(data, c.CK)
 		data = enc.AppendBytes(data, c.Value)
-		if w.legacy {
+		if w.format == 1 {
 			if c.Tombstone {
 				w.err = fmt.Errorf("sstable: tombstone cell in legacy v1 table (partition %q)", pk)
 				return w.err
@@ -220,12 +285,15 @@ func (w *Writer) AddPartition(pk string, cells []row.Cell) error {
 	return nil
 }
 
-// Close writes the index, bloom filter and footer, then syncs and closes
-// the file. The Writer is unusable afterwards.
+// Close writes the index sections, bloom filter and footer, then syncs
+// and closes the file. The Writer is unusable afterwards.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		w.f.Close()
 		return w.err
+	}
+	if w.format == 3 {
+		return w.closeV3()
 	}
 	indexOff := w.w.count
 	var idx []byte
@@ -250,7 +318,7 @@ func (w *Writer) Close() error {
 	crc = crc32.Update(crc, crc32.IEEETable, bf)
 
 	var footer []byte
-	if w.legacy {
+	if w.format == 1 {
 		footer = make([]byte, footerSizeV1)
 		binary.LittleEndian.PutUint64(footer[0:], indexOff)
 		binary.LittleEndian.PutUint64(footer[8:], bloomOff)
@@ -289,30 +357,54 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 // ReadStats counts the physical work a Reader has done; the Figure 6
-// harness and the column-index tests use it to verify that slices of
-// indexed partitions really touch fewer bytes.
+// harness, the column-index tests and the O(1)-point-read pin use it to
+// verify that reads really touch only what they must.
 type ReadStats struct {
 	PartitionsRead atomic.Int64
 	BytesRead      atomic.Int64
-	IndexedReads   atomic.Int64 // reads that parsed a column index
-	SeeksSaved     atomic.Int64 // bytes skipped thanks to the column index
+	ReadAtCalls    atomic.Int64 // physical ReadAt issues since Open
+	IndexedReads   atomic.Int64 // reads that seeked via a column/block index
+	SeeksSaved     atomic.Int64 // bytes skipped thanks to that index
 }
 
 // Reader serves point and range reads from one SSTable file. It is safe
 // for concurrent use: all reads go through ReadAt.
 type Reader struct {
 	f      *os.File
-	index  []indexEntry
-	byPK   map[string]int
+	format int
+	size   int64
 	filter *bloom.Filter
-	legacy bool   // v1 cell encoding: no versions, no tombstones
-	maxSeq uint64 // highest version sequence in the table (0 for v1)
+	maxSeq uint64
 	Stats  ReadStats
+
+	// v1/v2: the whole partition index, loaded eagerly at Open.
+	index []indexEntry
+	byPK  map[string]int
+
+	// v3: footer fields; the block index and partition directory load
+	// lazily on first use (loadMeta), as one combined ReadAt.
+	blockIdxOff uint64
+	partDirOff  uint64
+	bloomOff    uint64
+	entryCount  uint64
+	partCount   uint64
+	metaCRC     uint32
+	metaMu      sync.Mutex
+	meta        atomic.Pointer[tableMeta]
 }
 
-// Open loads an SSTable's index and bloom filter into memory and returns
-// a reader for it. The format revision is detected from the footer
-// terminator: "SKVT" (v1) or "SKV2".
+// tableMeta is a v3 table's lazily-loaded index state.
+type tableMeta struct {
+	blocks []blockIndexEntry
+	parts  []partDirEntry
+	byPK   map[string]int
+}
+
+// Open prepares a reader for an SSTable file. The format revision is
+// detected from the footer terminator: "SKVT" (v1), "SKV2" or "SKV3".
+// For v1/v2 the whole partition index and bloom filter load here; for
+// v3 only the footer and bloom filter do — the block index and
+// partition directory load lazily on the first read that needs them.
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -332,12 +424,15 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	legacy := false
-	footerSize := footerSizeV2
+	format := 0
+	footerSize := 0
 	switch {
+	case bytes.Equal(term[:], magicV3):
+		format, footerSize = 3, footerSizeV3
 	case bytes.Equal(term[:], magicV2):
+		format, footerSize = 2, footerSizeV2
 	case bytes.Equal(term[:], magic):
-		legacy, footerSize = true, footerSizeV1
+		format, footerSize = 1, footerSizeV1
 	default:
 		f.Close()
 		return nil, ErrCorrupt
@@ -345,6 +440,9 @@ func Open(path string) (*Reader, error) {
 	if st.Size() < int64(len(magic)+footerSize) {
 		f.Close()
 		return nil, ErrCorrupt
+	}
+	if format == 3 {
+		return openV3(f, st.Size())
 	}
 	footer := make([]byte, footerSize)
 	if _, err := f.ReadAt(footer, st.Size()-int64(footerSize)); err != nil {
@@ -356,7 +454,7 @@ func Open(path string) (*Reader, error) {
 	count := binary.LittleEndian.Uint64(footer[16:])
 	var maxSeq uint64
 	var wantCRC uint32
-	if legacy {
+	if format == 1 {
 		wantCRC = binary.LittleEndian.Uint32(footer[24:])
 	} else {
 		maxSeq = binary.LittleEndian.Uint64(footer[24:])
@@ -384,7 +482,7 @@ func Open(path string) (*Reader, error) {
 		return nil, fmt.Errorf("%w: index crc mismatch", ErrCorrupt)
 	}
 
-	r := &Reader{f: f, byPK: make(map[string]int, count), legacy: legacy, maxSeq: maxSeq}
+	r := &Reader{f: f, format: format, size: st.Size(), byPK: make(map[string]int, count), maxSeq: maxSeq}
 	p := idxBuf
 	n, used := enc.Uvarint(p)
 	if used <= 0 || n != count {
@@ -419,6 +517,16 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
+// readAt is the single physical-read funnel: every post-Open disk
+// access goes through it so ReadStats counts I/O operations and bytes
+// exactly.
+func (r *Reader) readAt(p []byte, off int64) error {
+	r.Stats.ReadAtCalls.Add(1)
+	r.Stats.BytesRead.Add(int64(len(p)))
+	_, err := r.f.ReadAt(p, off)
+	return err
+}
+
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
 
@@ -429,22 +537,66 @@ func (r *Reader) Close() error { return r.f.Close() }
 func (r *Reader) MaxSeq() uint64 { return r.maxSeq }
 
 // Legacy reports whether the table uses the pre-versioning v1 format.
-func (r *Reader) Legacy() bool { return r.legacy }
+func (r *Reader) Legacy() bool { return r.format == 1 }
+
+// Format returns the table's format revision: 1, 2 or 3.
+func (r *Reader) Format() int { return r.format }
 
 // Path returns the file backing this table; the storage engine's
 // compactor uses it to retire exactly the inputs it merged.
 func (r *Reader) Path() string { return r.f.Name() }
 
-// NumPartitions returns how many partitions the table holds.
-func (r *Reader) NumPartitions() int { return len(r.index) }
+// Size returns the table's file size in bytes; the leveled compactor
+// uses it to budget levels and split outputs.
+func (r *Reader) Size() int64 { return r.size }
 
-// Partitions returns all partition keys in ascending order.
+// NumPartitions returns how many partitions the table holds.
+func (r *Reader) NumPartitions() int {
+	if r.format == 3 {
+		return int(r.partCount)
+	}
+	return len(r.index)
+}
+
+// Partitions returns all partition keys in ascending order. For v3
+// tables it forces the lazy index load; an I/O failure there returns
+// nil (the same failure then surfaces, with its error, on any read).
 func (r *Reader) Partitions() []string {
+	if r.format == 3 {
+		m, err := r.loadMeta()
+		if err != nil {
+			return nil
+		}
+		out := make([]string, len(m.parts))
+		for i, e := range m.parts {
+			out[i] = e.pk
+		}
+		return out
+	}
 	out := make([]string, len(r.index))
 	for i, e := range r.index {
 		out[i] = e.pk
 	}
 	return out
+}
+
+// Bounds returns the table's first and last partition keys, forcing the
+// lazy index load on v3. An empty table returns ("", "").
+func (r *Reader) Bounds() (first, last string, err error) {
+	if r.format == 3 {
+		m, err := r.loadMeta()
+		if err != nil {
+			return "", "", err
+		}
+		if len(m.parts) == 0 {
+			return "", "", nil
+		}
+		return m.parts[0].pk, m.parts[len(m.parts)-1].pk, nil
+	}
+	if len(r.index) == 0 {
+		return "", "", nil
+	}
+	return r.index[0].pk, r.index[len(r.index)-1].pk, nil
 }
 
 // MayContain consults the bloom filter; false means the partition is
@@ -454,6 +606,17 @@ func (r *Reader) MayContain(pk string) bool { return r.filter.MayContainString(p
 // CellCount returns the number of cells in a partition without reading
 // its data.
 func (r *Reader) CellCount(pk string) (int, bool) {
+	if r.format == 3 {
+		m, err := r.loadMeta()
+		if err != nil {
+			return 0, false
+		}
+		i, ok := m.byPK[pk]
+		if !ok {
+			return 0, false
+		}
+		return int(m.parts[i].cells), true
+	}
 	i, ok := r.byPK[pk]
 	if !ok {
 		return 0, false
@@ -461,7 +624,7 @@ func (r *Reader) CellCount(pk string) (int, bool) {
 	return int(r.index[i].cells), true
 }
 
-// parsedPartition is a partition record decoded from disk.
+// parsedPartition is a v1/v2 partition record decoded from disk.
 type parsedPartition struct {
 	colCKs     [][]byte
 	colOffsets []uint64
@@ -472,9 +635,9 @@ type parsedPartition struct {
 	dataFileOff int64
 }
 
-// loadHeader reads and parses a partition record. When wholeData is
-// false only the header and column index are read; data is fetched later
-// chunk by chunk.
+// loadHeader reads and parses a v1/v2 partition record. When wholeData
+// is false only the header and column index are read; data is fetched
+// later chunk by chunk.
 func (r *Reader) loadHeader(e indexEntry, wholeData bool) (*parsedPartition, error) {
 	// Header is small; read generously but never past the record.
 	headLen := e.size
@@ -482,10 +645,9 @@ func (r *Reader) loadHeader(e indexEntry, wholeData bool) (*parsedPartition, err
 		headLen = 4096
 	}
 	buf := make([]byte, headLen)
-	if _, err := r.f.ReadAt(buf, int64(e.offset)); err != nil {
+	if err := r.readAt(buf, int64(e.offset)); err != nil {
 		return nil, err
 	}
-	r.Stats.BytesRead.Add(int64(headLen))
 	p := buf
 	pkb, u := enc.Bytes(p)
 	if u == 0 {
@@ -562,6 +724,9 @@ func (r *Reader) loadHeader(e indexEntry, wholeData bool) (*parsedPartition, err
 
 // ReadPartition returns every cell of a partition.
 func (r *Reader) ReadPartition(pk string) ([]row.Cell, error) {
+	if r.format == 3 {
+		return r.readSliceV3(pk, nil, nil)
+	}
 	i, ok := r.byPK[pk]
 	if !ok {
 		return nil, ErrNotFound
@@ -572,14 +737,19 @@ func (r *Reader) ReadPartition(pk string) ([]row.Cell, error) {
 		return nil, err
 	}
 	r.Stats.PartitionsRead.Add(1)
-	return decodeCells(pp.data, int(pp.cellCount), r.legacy)
+	return decodeCells(pp.data, int(pp.cellCount), r.format == 1)
 }
 
 // ReadSlice returns the cells of a partition with from <= CK < to. For
-// partitions with a column index it seeks to the first relevant chunk
-// instead of scanning from the start — the read-path advantage whose cost
-// asymmetry Formula 6 models. Nil bounds mean unbounded.
+// partitions the format can seek into — a v1/v2 column index, or a v3
+// partition spanning several blocks — it starts at the first relevant
+// chunk or block instead of scanning from the partition start: the
+// read-path advantage whose cost asymmetry Formula 6 models. Nil bounds
+// mean unbounded.
 func (r *Reader) ReadSlice(pk string, from, to []byte) ([]row.Cell, error) {
+	if r.format == 3 {
+		return r.readSliceV3(pk, from, to)
+	}
 	i, ok := r.byPK[pk]
 	if !ok {
 		return nil, ErrNotFound
@@ -612,10 +782,9 @@ func (r *Reader) ReadSlice(pk string, from, to []byte) ([]row.Cell, error) {
 		// chunk start to the end of the record.
 		length := int64(e.offset) + int64(e.size) - (pp.dataFileOff + int64(start))
 		data = make([]byte, length)
-		if _, err := r.f.ReadAt(data, pp.dataFileOff+int64(start)); err != nil {
+		if err := r.readAt(data, pp.dataFileOff+int64(start)); err != nil {
 			return nil, err
 		}
-		r.Stats.BytesRead.Add(length)
 	}
 
 	var cells []row.Cell
@@ -632,7 +801,7 @@ func (r *Reader) ReadSlice(pk string, from, to []byte) ([]row.Cell, error) {
 		data = data[u2:]
 		var ver row.Version
 		var tomb bool
-		if !r.legacy {
+		if r.format != 1 {
 			var ok bool
 			if ver, tomb, data, ok = decodeCellMeta(data); !ok {
 				return nil, ErrCorrupt
@@ -670,9 +839,13 @@ func decodeCellMeta(data []byte) (ver row.Version, tomb bool, rest []byte, ok bo
 	return ver, data[0]&flagTombstone != 0, data[1:], true
 }
 
-// HasColumnIndex reports whether the partition carries a column index
-// (i.e. its serialized size crossed the writer's ColumnIndexSize).
+// HasColumnIndex reports whether a slice of the partition can seek past
+// its start: a v1/v2 column index, or (v3) at least one block boundary
+// strictly inside the partition's key range.
 func (r *Reader) HasColumnIndex(pk string) (bool, error) {
+	if r.format == 3 {
+		return r.hasBlockIndexV3(pk)
+	}
 	i, ok := r.byPK[pk]
 	if !ok {
 		return false, ErrNotFound

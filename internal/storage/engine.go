@@ -1,19 +1,24 @@
 // Package storage assembles the local database node the paper's slaves
 // run: a log-structured wide-column engine with a write-ahead log,
-// skip-list memtables, bloom-filtered SSTables with Cassandra-style
-// column indexes, size-triggered flushes, full compaction and an
-// optional row cache.
+// skip-list memtables, bloom-filtered block-based SSTables (v3 format,
+// see internal/sstable), size-triggered flushes, leveled compaction and
+// an optional row cache.
 //
 // The engine is lock-striped into shards keyed by partition-key hash.
 // Each shard owns its own active memtable, frozen-memtable queue, WAL
-// segments, SSTable list and one background worker goroutine. A write
-// appends to the shard's WAL segment and active memtable under the
-// shard lock only; when the active memtable crosses the flush
+// segments, leveled SSTable tree and one background worker goroutine. A
+// write appends to the shard's WAL segment and active memtable under
+// the shard lock only; when the active memtable crosses the flush
 // threshold it is atomically swapped for a fresh one and the frozen
 // memtable — together with its sealed WAL segments — is handed to the
-// worker, which writes the SSTable and retires the segments off the
-// write path. Compaction runs on the same worker, holding the shard
-// lock only for the table-list swap.
+// worker, which writes the SSTable into level 0 and retires the
+// segments off the write path. Compaction runs on the same worker:
+// when L0 grows past its table-count threshold or a deeper level past
+// its byte budget, the worker merges the overflow into the overlapping
+// slice of the next level — tables there are range-partitioned and
+// bounded by TargetTableBytes — holding the shard lock only for the
+// level-layout swap. A per-shard manifest records the layout across
+// restarts.
 //
 // Reads never take a lock. Every mutation of a shard's read sources —
 // memtable swap, flush accept, compaction or purge table swap —
@@ -105,9 +110,18 @@ type Options struct {
 	// DisableWAL turns off the commit log; used by bulk loads and
 	// benchmarks where durability is irrelevant.
 	DisableWAL bool
-	// CompactAfter triggers a compaction of a shard once more than this
-	// many SSTables exist in it. 0 means 8.
+	// CompactAfter triggers a leveled compaction of a shard once more
+	// than this many SSTables sit in its L0 (flush landing zone). 0
+	// means 8.
 	CompactAfter int
+	// TargetTableBytes is the size at which compaction output tables
+	// rotate (split at a partition boundary), keeping deep levels
+	// range-partitioned into bounded-size tables. 0 means 2MB.
+	TargetTableBytes int64
+	// LevelBaseBytes is the byte budget of level 1; each deeper level
+	// gets 10x the previous. A level over budget promotes tables into
+	// the next one. 0 means 8MB.
+	LevelBaseBytes int64
 	// Seed drives the memtable skip lists for reproducibility.
 	Seed int64
 }
@@ -126,24 +140,36 @@ func (o *Options) withDefaults() Options {
 	if out.CompactAfter == 0 {
 		out.CompactAfter = 8
 	}
+	if out.TargetTableBytes == 0 {
+		out.TargetTableBytes = 2 << 20
+	}
+	if out.LevelBaseBytes == 0 {
+		out.LevelBaseBytes = 8 << 20
+	}
 	return out
 }
 
 // Metrics counts the engine's physical work. All fields are cumulative.
 type Metrics struct {
-	Puts            atomic.Int64
-	Gets            atomic.Int64
-	Scans           atomic.Int64
-	Deletes         atomic.Int64
-	Flushes         atomic.Int64
-	FlushedBytes    atomic.Int64
-	Compactions     atomic.Int64
-	RangePurges     atomic.Int64
-	TombstonesGCed  atomic.Int64
-	BloomSkips      atomic.Int64
-	SSTablesTouched atomic.Int64
-	CacheHits       atomic.Int64
-	CacheMisses     atomic.Int64
+	Puts         atomic.Int64
+	Gets         atomic.Int64
+	Scans        atomic.Int64
+	Deletes      atomic.Int64
+	Flushes      atomic.Int64
+	FlushedBytes atomic.Int64
+	Compactions  atomic.Int64
+	// CompactionBytesIn/Out measure write amplification: bytes of table
+	// input consumed and table output produced by merges (leveled, major
+	// and purge alike). Out/FlushedBytes approximates the write-amp
+	// factor the leveled policy is bounding.
+	CompactionBytesIn  atomic.Int64
+	CompactionBytesOut atomic.Int64
+	RangePurges        atomic.Int64
+	TombstonesGCed     atomic.Int64
+	BloomSkips         atomic.Int64
+	SSTablesTouched    atomic.Int64
+	CacheHits          atomic.Int64
+	CacheMisses        atomic.Int64
 }
 
 var errClosed = errors.New("storage: engine closed")
@@ -247,7 +273,7 @@ func (e *Engine) abortOpen() {
 		if v := s.view.Load(); v != nil {
 			v.close() // drop the publisher's reference and its table pins
 		}
-		for _, t := range s.tables {
+		for _, t := range s.allTablesLocked() {
 			t.release()
 		}
 	}
@@ -271,12 +297,13 @@ func rejectLegacyLayout(dir string) error {
 }
 
 // manifestFormat is the on-disk format generation recorded in the
-// SHARDS manifest: "v2" marks a directory whose tables carry per-cell
-// versions and tombstones. A manifest without a format field (just the
-// shard count) was written before versioning; its v1 tables and legacy
-// WAL segments are still readable, and the manifest is upgraded in
-// place because every table written from here on is v2.
-const manifestFormat = "v2"
+// SHARDS manifest: "v3" marks a directory with per-shard level
+// manifests and block-based v3 tables. A "v2" manifest (versioned
+// cells, flat table lists) or a format-less one (pre-versioning) is
+// upgraded in place: their v1/v2 tables and legacy WAL segments stay
+// readable, every table written from here on is v3, and openShard
+// writes the level manifests on first contact.
+const manifestFormat = "v3"
 
 // loadOrInitShardCount reads the SHARDS manifest — "<count> <format>" —
 // writing it with want on first open. The persisted count wins on
@@ -304,8 +331,9 @@ func loadOrInitShardCount(dir string, want int) (int, error) {
 		return 0, fmt.Errorf("storage: corrupt shard manifest %s: %q", path, b)
 	}
 	switch {
-	case len(fields) == 1:
-		// Pre-versioning manifest: upgrade, the data files stay readable.
+	case len(fields) == 1 || fields[1] == "v2":
+		// Earlier-generation manifest: upgrade, the data files stay
+		// readable.
 		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d %s\n", n, manifestFormat)), 0o644); err != nil {
 			return 0, err
 		}
@@ -711,8 +739,11 @@ func (e *Engine) Flush() error {
 	return nil
 }
 
-// Compact asks every shard's worker to merge its SSTables into one,
-// dropping shadowed cell versions, and waits for completion.
+// Compact asks every shard's worker to merge its whole level tree into
+// a single sorted run (one table, or several range-partitioned ones
+// past TargetTableBytes) at the deepest level, dropping shadowed cell
+// versions and collectable tombstones, and waits for completion. It
+// also rewrites any remaining v1/v2 table to the v3 format.
 func (e *Engine) Compact() error {
 	for _, s := range e.shards {
 		s.mu.Lock()
@@ -720,7 +751,7 @@ func (e *Engine) Compact() error {
 			s.mu.Unlock()
 			return errClosed
 		}
-		s.compactReq = true
+		s.majorReq = true
 		s.flushErr = nil
 		s.cond.Broadcast()
 		err := s.waitDrainedLocked()
@@ -753,7 +784,7 @@ func (e *Engine) NumSSTables() int {
 	n := 0
 	for _, s := range e.shards {
 		s.mu.RLock()
-		n += len(s.tables)
+		n += s.totalTablesLocked()
 		s.mu.RUnlock()
 	}
 	return n
@@ -798,8 +829,8 @@ func (e *Engine) Close() error {
 		// racing Close sees a clean miss instead of a released table.
 		s.mem = memtable.New(shardSeed(e.opts.Seed, s.id, s.memGen+1))
 		s.frozen = nil
-		saved := s.tables
-		s.tables = nil
+		saved := s.allTablesLocked()
+		s.levels = nil
 		s.publishLocked()
 		for _, t := range saved {
 			if err := t.release(); err != nil && firstErr == nil {

@@ -248,6 +248,13 @@ func (e *Engine) DeleteRange(lo, hi int64) (int64, error) {
 	return removed, nil
 }
 
+// LevelStats is one compaction level's footprint within a shard or
+// across the engine.
+type LevelStats struct {
+	Tables int
+	Bytes  int64
+}
+
 // ShardStats is one shard's load snapshot.
 type ShardStats struct {
 	Shard           int
@@ -255,30 +262,41 @@ type ShardStats struct {
 	FrozenMemtables int
 	FrozenBytes     int64
 	SSTables        int
+	SSTableBytes    int64
+	Levels          []LevelStats // index = level; L0 is the flush zone
 }
 
 // EngineStats aggregates the engine's physical state: per-shard write
 // backlog plus cumulative background work. The cluster coordinator
 // reads it to pick streaming sources; tests read it to verify
-// retirement.
+// retirement. Levels and the CompactionBytes counters are the
+// write-amplification observability surface: Levels shows where the
+// compaction debt sits, CompactionBytesOut/FlushedBytes approximates
+// the amplification factor.
 type EngineStats struct {
-	Shards          []ShardStats
-	MemtableBytes   int64 // active + frozen payload across shards
-	FrozenMemtables int
-	SSTables        int
-	FlushedBytes    int64
-	Flushes         int64
-	Compactions     int64
-	RangePurges     int64
+	Shards             []ShardStats
+	MemtableBytes      int64 // active + frozen payload across shards
+	FrozenMemtables    int
+	SSTables           int
+	SSTableBytes       int64
+	Levels             []LevelStats // aggregated across shards, index = level
+	FlushedBytes       int64
+	Flushes            int64
+	Compactions        int64
+	CompactionBytesIn  int64
+	CompactionBytesOut int64
+	RangePurges        int64
 }
 
 // Stats snapshots the engine's per-shard state and cumulative counters.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		FlushedBytes: e.Metrics.FlushedBytes.Load(),
-		Flushes:      e.Metrics.Flushes.Load(),
-		Compactions:  e.Metrics.Compactions.Load(),
-		RangePurges:  e.Metrics.RangePurges.Load(),
+		FlushedBytes:       e.Metrics.FlushedBytes.Load(),
+		Flushes:            e.Metrics.Flushes.Load(),
+		Compactions:        e.Metrics.Compactions.Load(),
+		CompactionBytesIn:  e.Metrics.CompactionBytesIn.Load(),
+		CompactionBytesOut: e.Metrics.CompactionBytesOut.Load(),
+		RangePurges:        e.Metrics.RangePurges.Load(),
 	}
 	for _, s := range e.shards {
 		s.mu.RLock()
@@ -286,16 +304,29 @@ func (e *Engine) Stats() EngineStats {
 			Shard:           s.id,
 			MemtableBytes:   s.mem.Bytes(),
 			FrozenMemtables: len(s.frozen),
-			SSTables:        len(s.tables),
 		}
 		for _, fm := range s.frozen {
 			sh.FrozenBytes += fm.mem.Bytes()
+		}
+		for _, tables := range s.levels {
+			ls := LevelStats{Tables: len(tables), Bytes: levelBytes(tables)}
+			sh.Levels = append(sh.Levels, ls)
+			sh.SSTables += ls.Tables
+			sh.SSTableBytes += ls.Bytes
 		}
 		s.mu.RUnlock()
 		st.Shards = append(st.Shards, sh)
 		st.MemtableBytes += sh.MemtableBytes + sh.FrozenBytes
 		st.FrozenMemtables += sh.FrozenMemtables
 		st.SSTables += sh.SSTables
+		st.SSTableBytes += sh.SSTableBytes
+		for level, ls := range sh.Levels {
+			for len(st.Levels) <= level {
+				st.Levels = append(st.Levels, LevelStats{})
+			}
+			st.Levels[level].Tables += ls.Tables
+			st.Levels[level].Bytes += ls.Bytes
+		}
 	}
 	return st
 }

@@ -280,7 +280,7 @@ func writeLegacyDir(t *testing.T, parts map[string][]row.Cell) string {
 	if err := os.WriteFile(filepath.Join(dir, "SHARDS"), []byte("1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	w, err := sstable.NewWriter(filepath.Join(dir, "sst-s00-000000.db"), sstable.WriterOptions{LegacyV1: true})
+	w, err := sstable.NewWriter(filepath.Join(dir, "sst-s00-000000.db"), sstable.WriterOptions{FormatVersion: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestV1TablesReadableAndUpgradable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(b) != "1 v2\n" {
+	if string(b) != "1 v3\n" {
 		t.Fatalf("manifest not upgraded: %q", b)
 	}
 	e2, err := Open(Options{Dir: dir})

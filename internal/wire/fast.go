@@ -167,6 +167,16 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendUvarint(out, v.FlushedBytes)
 		out = enc.AppendUvarint(out, v.FlushCount)
 		out = enc.AppendUvarint(out, v.CompactionCount)
+		out = enc.AppendUvarint(out, v.CompactionBytesIn)
+		out = enc.AppendUvarint(out, v.CompactionBytesOut)
+		out = enc.AppendUvarint(out, uint64(len(v.LevelTables)))
+		for _, n := range v.LevelTables {
+			out = enc.AppendUvarint(out, uint64(n))
+		}
+		out = enc.AppendUvarint(out, uint64(len(v.LevelBytes)))
+		for _, n := range v.LevelBytes {
+			out = enc.AppendUvarint(out, n)
+		}
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	default:
 		return nil, fmt.Errorf("wire: fast codec cannot marshal %T", m)
@@ -377,6 +387,20 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.FlushedBytes = d.uvarint()
 		v.FlushCount = d.uvarint()
 		v.CompactionCount = d.uvarint()
+		v.CompactionBytesIn = d.uvarint()
+		v.CompactionBytesOut = d.uvarint()
+		if cnt := d.uvarint(); cnt > 0 {
+			v.LevelTables = make([]uint32, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.LevelTables = append(v.LevelTables, uint32(d.uvarint()))
+			}
+		}
+		if cnt := d.uvarint(); cnt > 0 {
+			v.LevelBytes = make([]uint64, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.LevelBytes = append(v.LevelBytes, d.uvarint())
+			}
+		}
 		v.ErrMsg = string(d.bytes())
 	}
 	if d.err != nil {

@@ -405,14 +405,25 @@ type ShardStat struct {
 
 // NodeStatsResponse summarizes a node's engine: per-shard backlog plus
 // cumulative flush/compaction work. The coordinator uses it to pick the
-// least-loaded streaming source among a range's replicas.
+// least-loaded streaming source among a range's replicas; deployments
+// read the level layout and compaction byte counters to watch
+// compaction debt and write amplification.
 type NodeStatsResponse struct {
 	Epoch           uint64
 	Shards          []ShardStat
 	FlushedBytes    uint64
 	FlushCount      uint64
 	CompactionCount uint64
-	ErrMsg          string
+	// CompactionBytesIn/Out are cumulative merge input/output volume —
+	// Out over FlushedBytes approximates the node's write-amplification
+	// factor.
+	CompactionBytesIn  uint64
+	CompactionBytesOut uint64
+	// LevelTables/LevelBytes describe the engine's level tree aggregated
+	// across shards; index = level, level 0 is the flush landing zone.
+	LevelTables []uint32
+	LevelBytes  []uint64
+	ErrMsg      string
 }
 
 // TypeID implements Message.
