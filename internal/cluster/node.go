@@ -504,6 +504,12 @@ func (n *Node) statsResponse() *wire.NodeStatsResponse {
 		CompactionCount:    uint64(st.Compactions),
 		CompactionBytesIn:  uint64(st.CompactionBytesIn),
 		CompactionBytesOut: uint64(st.CompactionBytesOut),
+		CacheHits:          uint64(st.BlockCacheHits),
+		CacheMisses:        uint64(st.BlockCacheMisses),
+		CacheEvictions:     uint64(st.BlockCacheEvictions),
+		CacheBytes:         uint64(st.BlockCacheBytes),
+		BlockBytesLogical:  uint64(st.BlockBytesLogical),
+		BlockBytesStored:   uint64(st.BlockBytesStored),
 	}
 	for _, ls := range st.Levels {
 		resp.LevelTables = append(resp.LevelTables, uint32(ls.Tables))

@@ -1,0 +1,238 @@
+package sstable
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BlockCache is a process-wide, capacity-bounded cache of *decompressed*
+// block payloads and lazily-loaded table metadata (block index +
+// partition directory), shared by every Reader the storage engine opens.
+// It is the RAM tier of the read-path memory hierarchy: compressed
+// blocks on flash behind decompressed blocks in memory, the FlashMap
+// arrangement.
+//
+// Entries are keyed by (table ID, block offset). Table IDs are unique
+// per Reader attachment — never reused, even for a reopened file — so
+// invalidation is by table identity: when compaction retires a table,
+// its entries simply stop being requested and age out through normal
+// eviction. No epoch bookkeeping, no explicit purge.
+//
+// The cache is sharded by key hash so a Get is one shard mutex, one map
+// probe and zero allocations — cheap enough to sit on the read path
+// without becoming the contention point "When More Cores Hurts" warns
+// about. Eviction is CLOCK (second chance): each shard sweeps a hand
+// over its entry ring, clearing reference bits until it finds a cold
+// entry, approximating LRU without any per-hit list manipulation.
+type BlockCache struct {
+	shards   [cacheShardCount]blockCacheShard
+	perShard int64
+	ids      atomic.Uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+}
+
+// cacheShardCount spreads lock traffic; a power of two so the hash mix
+// below distributes keys with a shift-xor and a mask.
+const cacheShardCount = 32
+
+// metaOffset is the sentinel block offset under which a table's decoded
+// metadata is cached; real blocks can never sit at the file's last byte.
+const metaOffset = ^uint64(0)
+
+// cacheEntryOverhead approximates the bookkeeping bytes an entry costs
+// beyond its payload (map bucket, ring slot, entry struct), so tiny
+// blocks cannot blow the budget through sheer count.
+const cacheEntryOverhead = 96
+
+type blockCacheKey struct {
+	table  uint64
+	offset uint64
+}
+
+type blockCacheEntry struct {
+	key  blockCacheKey
+	data []byte     // decompressed block payload, nil for meta entries
+	meta *tableMeta // decoded table meta, nil for block entries
+	size int64      // charged bytes, overhead included
+	ref  bool       // CLOCK reference bit, touched under the shard mutex
+}
+
+type blockCacheShard struct {
+	mu    sync.Mutex
+	items map[blockCacheKey]*blockCacheEntry
+	ring  []*blockCacheEntry // CLOCK ring, order irrelevant
+	hand  int
+	bytes int64
+}
+
+// CacheStats is a point-in-time snapshot of a BlockCache's counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Bytes     int64 // currently cached payload + overhead bytes
+}
+
+// NewBlockCache builds a cache bounded at roughly capacity bytes
+// (payloads plus per-entry overhead). A capacity too small to hold one
+// block still works: entries churn through constantly, which is exactly
+// what the eviction-stress tests want.
+func NewBlockCache(capacity int64) *BlockCache {
+	c := &BlockCache{perShard: capacity / cacheShardCount}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[blockCacheKey]*blockCacheEntry)
+	}
+	return c
+}
+
+// NewTableID issues a fresh, never-reused table identity. Readers take
+// one when a cache is attached; uniqueness is what makes retired tables'
+// entries unreachable garbage instead of aliasing hazards.
+func (c *BlockCache) NewTableID() uint64 { return c.ids.Add(1) }
+
+// Stats snapshots the cache counters.
+func (c *BlockCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+}
+
+func (c *BlockCache) shard(k blockCacheKey) *blockCacheShard {
+	// Mix table and offset so consecutive blocks of one table spread
+	// across shards (fibonacci hashing on the xor).
+	h := (k.table ^ k.offset*0x9E3779B97F4A7C15) * 0x9E3779B97F4A7C15
+	return &c.shards[h>>58&(cacheShardCount-1)]
+}
+
+// getBlock returns a cached decompressed block payload.
+func (c *BlockCache) getBlock(table, offset uint64) ([]byte, bool) {
+	e, ok := c.get(blockCacheKey{table: table, offset: offset})
+	if !ok {
+		return nil, false
+	}
+	return e.data, true
+}
+
+// getMeta returns a cached table meta.
+func (c *BlockCache) getMeta(table uint64) (*tableMeta, bool) {
+	e, ok := c.get(blockCacheKey{table: table, offset: metaOffset})
+	if !ok {
+		return nil, false
+	}
+	return e.meta, true
+}
+
+func (c *BlockCache) get(k blockCacheKey) (*blockCacheEntry, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if ok {
+		e.ref = true
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// putBlock caches a decompressed block payload.
+func (c *BlockCache) putBlock(table, offset uint64, payload []byte) {
+	c.put(&blockCacheEntry{
+		key:  blockCacheKey{table: table, offset: offset},
+		data: payload,
+		size: int64(len(payload)) + cacheEntryOverhead,
+	})
+}
+
+// putMeta caches a table's decoded metadata under its charged size, so
+// open-table index memory lives inside the same budget as data blocks.
+func (c *BlockCache) putMeta(table uint64, m *tableMeta) {
+	c.put(&blockCacheEntry{
+		key:  blockCacheKey{table: table, offset: metaOffset},
+		meta: m,
+		size: m.memSize() + cacheEntryOverhead,
+	})
+}
+
+func (c *BlockCache) put(e *blockCacheEntry) {
+	if e.size > c.perShard {
+		// Larger than a whole shard's budget: caching it would evict
+		// everything for one entry's benefit. Serve it uncached.
+		return
+	}
+	s := c.shard(e.key)
+	s.mu.Lock()
+	if _, exists := s.items[e.key]; exists {
+		// A concurrent miss on the same block raced us here; keep the
+		// incumbent, the payloads are identical.
+		s.mu.Unlock()
+		return
+	}
+	evicted, freed := 0, int64(0)
+	for s.bytes+e.size > c.perShard && len(s.ring) > 0 {
+		evicted++
+		freed += s.evictOneLocked()
+	}
+	s.items[e.key] = e
+	s.ring = append(s.ring, e)
+	s.bytes += e.size
+	s.mu.Unlock()
+	c.bytes.Add(e.size - freed)
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// evictOneLocked advances the CLOCK hand until it claims one entry,
+// clearing reference bits as it passes warm ones, and returns the freed
+// bytes. Caller holds the shard mutex and reconciles c.bytes.
+func (s *blockCacheShard) evictOneLocked() int64 {
+	for {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		e := s.ring[s.hand]
+		if e.ref {
+			e.ref = false
+			s.hand++
+			continue
+		}
+		// Swap-remove keeps the ring compact; CLOCK order is approximate
+		// anyway.
+		last := len(s.ring) - 1
+		s.ring[s.hand] = s.ring[last]
+		s.ring[last] = nil
+		s.ring = s.ring[:last]
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		return e.size
+	}
+}
+
+// memSize approximates the resident bytes of a decoded table meta: block
+// index keys and entries, partition directory strings and the by-key
+// map.
+func (m *tableMeta) memSize() int64 {
+	var n int64
+	for i := range m.blocks {
+		n += int64(len(m.blocks[i].firstKey)) + 24
+	}
+	for i := range m.parts {
+		// Directory entry plus its map slot.
+		n += 2*int64(len(m.parts[i].pk)) + 48
+	}
+	return n
+}

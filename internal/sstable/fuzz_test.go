@@ -9,20 +9,37 @@ import (
 	"scalekv/internal/row"
 )
 
-// FuzzBlockCodec pins two properties of the v3 block codec:
+// FuzzBlockCodec pins three properties of the v3 block codec,
+// compression included:
 //
 //  1. decodeBlock never panics on arbitrary input bytes — every
-//     structural violation yields ErrCorrupt (or a clean stop).
-//  2. A block built from entries derived from the fuzz input decodes
-//     back to exactly those entries.
+//     structural violation yields ErrCorrupt (or a clean stop). The
+//     input exercises the whole stored-block surface: CRC check, flag
+//     dispatch, LZ decompression, entry walk.
+//  2. lzDecompress never panics or overruns on arbitrary compressed
+//     bytes.
+//  3. A block built from entries derived from the fuzz input round-trips
+//     exactly, through both the compressed and the raw stored form.
 func FuzzBlockCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
-	// A small valid block as a seed so coverage reaches the happy path.
+	// Small valid stored blocks as seeds so coverage reaches the happy
+	// paths: one raw, one LZ-compressed (repetitive values compress).
 	var seed blockBuilder
 	seed.add(enc.EncodeInternalKey("p", []byte("a")), []byte("v"), row.Version{Seq: 1, Node: 2}, false)
 	seed.add(enc.EncodeInternalKey("p", []byte("b")), nil, row.Version{Seq: 3, Node: 4}, true)
-	f.Add(append([]byte(nil), seed.finish()...))
+	rawSeed, _ := sealBlock(seed.finishEntries(), NoCompression, nil)
+	f.Add(append([]byte(nil), rawSeed...))
+	var zseed blockBuilder
+	for i := 0; i < 32; i++ {
+		zseed.add(enc.EncodeInternalKey("p", []byte(fmt.Sprintf("k%04d", i))),
+			bytes.Repeat([]byte("abcd"), 16), row.Version{Seq: uint64(i)}, false)
+	}
+	lzSeed, compressed := sealBlock(zseed.finishEntries(), DefaultCompression, new([1 << lzTableBits]int32))
+	if !compressed {
+		f.Fatal("repetitive seed block did not compress")
+	}
+	f.Add(append([]byte(nil), lzSeed...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Property 1: arbitrary bytes must not panic.
@@ -30,7 +47,13 @@ func FuzzBlockCodec(f *testing.F) {
 			return true
 		})
 
-		// Property 2: round-trip entries derived from the input.
+		// Property 2: the LZ decoder alone must not panic or overrun on
+		// arbitrary input, whatever length the header claims.
+		if n, err := lzDecodedLen(data); err == nil && n <= 1<<16 {
+			_ = lzDecompress(make([]byte, n), data)
+		}
+
+		// Property 3: round-trip entries derived from the input.
 		type entry struct {
 			ik, value []byte
 			ver       row.Version
@@ -67,27 +90,31 @@ func FuzzBlockCodec(f *testing.F) {
 			b.add(ik, value, ver, tomb)
 			want = append(want, entry{ik, value, ver, tomb})
 		}
-		block := b.finish()
-		var got []entry
-		err := decodeBlock(block, func(ik, value []byte, ver row.Version, tomb bool) bool {
-			got = append(got, entry{
-				ik:    append([]byte(nil), ik...),
-				value: append([]byte(nil), value...),
-				ver:   ver,
-				tomb:  tomb,
+		payload := b.finishEntries()
+		lzTable := new([1 << lzTableBits]int32)
+		for _, mode := range []Compression{DefaultCompression, NoCompression} {
+			stored, _ := sealBlock(payload, mode, lzTable)
+			var got []entry
+			err := decodeBlock(stored, func(ik, value []byte, ver row.Version, tomb bool) bool {
+				got = append(got, entry{
+					ik:    append([]byte(nil), ik...),
+					value: append([]byte(nil), value...),
+					ver:   ver,
+					tomb:  tomb,
+				})
+				return true
 			})
-			return true
-		})
-		if err != nil {
-			t.Fatalf("decode of freshly built block: %v", err)
-		}
-		if len(got) != len(want) {
-			t.Fatalf("round trip: %d entries in, %d out", len(want), len(got))
-		}
-		for i := range want {
-			if !bytes.Equal(got[i].ik, want[i].ik) || !bytes.Equal(got[i].value, want[i].value) ||
-				got[i].ver != want[i].ver || got[i].tomb != want[i].tomb {
-				t.Fatalf("round trip: entry %d mismatch: %+v vs %+v", i, got[i], want[i])
+			if err != nil {
+				t.Fatalf("decode of freshly built block (mode %d): %v", mode, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round trip (mode %d): %d entries in, %d out", mode, len(want), len(got))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i].ik, want[i].ik) || !bytes.Equal(got[i].value, want[i].value) ||
+					got[i].ver != want[i].ver || got[i].tomb != want[i].tomb {
+					t.Fatalf("round trip (mode %d): entry %d mismatch: %+v vs %+v", mode, i, got[i], want[i])
+				}
 			}
 		}
 	})

@@ -120,14 +120,22 @@ type Writer struct {
 	index []indexEntry
 
 	// v3 block layout.
-	blockSize  int
-	noSplit    bool // negative ColumnIndexSize: never split a partition across blocks
-	block      blockBuilder
-	blockFirst []byte // internal key of the open block's first cell
-	blocks     []blockIndexEntry
-	parts      []partDirEntry
-	entryCount uint64
-	keyBuf     []byte
+	blockSize   int
+	noSplit     bool // negative ColumnIndexSize: never split a partition across blocks
+	compression Compression
+	lzTable     *[1 << lzTableBits]int32 // encoder scratch, shared across blocks
+	block       blockBuilder
+	blockFirst  []byte // internal key of the open block's first cell
+	blocks      []blockIndexEntry
+	parts       []partDirEntry
+	entryCount  uint64
+	keyBuf      []byte
+
+	// logicalBytes/storedBytes accumulate every data block's uncompressed
+	// payload size vs its on-disk size — the compression-ratio
+	// observability the engine aggregates. Readable after Close.
+	logicalBytes int64
+	storedBytes  int64
 }
 
 // WriterOptions configures SSTable construction.
@@ -151,6 +159,11 @@ type WriterOptions struct {
 	// BlockSize is the v3 data-block target size in bytes; 0 means
 	// DefaultBlockSize. Ignored by v1/v2.
 	BlockSize int
+	// Compression selects the v3 block codec. The zero value compresses
+	// (DefaultCompression = LZ, with a per-block compressibility probe
+	// that stores incompressible blocks raw); NoCompression is the
+	// escape hatch. Ignored by v1/v2.
+	Compression Compression
 }
 
 // NewWriter creates an SSTable file at path, truncating any existing one.
@@ -187,6 +200,10 @@ func NewWriter(path string, opts WriterOptions) (*Writer, error) {
 		columnIndexSize: opts.ColumnIndexSize,
 		blockSize:       opts.BlockSize,
 		noSplit:         opts.ColumnIndexSize < 0,
+		compression:     opts.Compression,
+	}
+	if format == 3 && w.compression != NoCompression {
+		w.lzTable = new([1 << lzTableBits]int32)
 	}
 	if _, err := w.w.Write(magic); err != nil {
 		f.Close()
@@ -345,6 +362,14 @@ func (w *Writer) Close() error {
 	return w.f.Close()
 }
 
+// BlockBytes reports the cumulative uncompressed payload size and
+// on-disk stored size of every data block written — the per-table
+// compression ratio. Meaningful for v3 writers, after Close; the engine
+// aggregates it into its compression metrics.
+func (w *Writer) BlockBytes() (logical, stored int64) {
+	return w.logicalBytes, w.storedBytes
+}
+
 type countingWriter struct {
 	w     io.Writer
 	count uint64
@@ -376,6 +401,12 @@ type Reader struct {
 	filter *bloom.Filter
 	maxSeq uint64
 	Stats  ReadStats
+
+	// cache, when attached, serves decompressed blocks and table meta
+	// under the engine-wide budget; cacheID is this table's identity in
+	// it.
+	cache   *BlockCache
+	cacheID uint64
 
 	// v1/v2: the whole partition index, loaded eagerly at Open.
 	index []indexEntry
@@ -525,6 +556,20 @@ func (r *Reader) readAt(p []byte, off int64) error {
 	r.Stats.BytesRead.Add(int64(len(p)))
 	_, err := r.f.ReadAt(p, off)
 	return err
+}
+
+// AttachCache points the reader at a shared block cache, issuing it a
+// fresh table identity. Call once, right after Open, before any reads;
+// v3 data blocks and the lazily-loaded meta then live in (and are
+// bounded by) the cache instead of per-reader memory. The identity is
+// never reused, so a retired table's entries become unreachable and age
+// out — invalidation by identity, no purge call.
+func (r *Reader) AttachCache(c *BlockCache) {
+	if c == nil || r.format != 3 {
+		return
+	}
+	r.cache = c
+	r.cacheID = c.NewTableID()
 }
 
 // Close releases the underlying file.

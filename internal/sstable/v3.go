@@ -56,22 +56,26 @@ func (w *Writer) addPartitionV3(pk string, cells []row.Cell) error {
 	return nil
 }
 
-// cutBlock finishes the open block, writes it and records its index
-// entry.
+// cutBlock finishes the open block, seals it into its stored form
+// (compressing unless the probe says not to), writes it and records its
+// index entry.
 func (w *Writer) cutBlock() error {
 	if w.block.empty() {
 		return nil
 	}
-	blk := w.block.finish()
+	payload := w.block.finishEntries()
+	stored, _ := sealBlock(payload, w.compression, w.lzTable)
 	offset := w.w.count
-	if _, err := w.w.Write(blk); err != nil {
+	if _, err := w.w.Write(stored); err != nil {
 		w.err = err
 		return err
 	}
+	w.logicalBytes += int64(len(payload))
+	w.storedBytes += int64(len(stored))
 	w.blocks = append(w.blocks, blockIndexEntry{
 		firstKey: append([]byte(nil), w.blockFirst...),
 		offset:   offset,
-		length:   uint64(len(blk)),
+		length:   uint64(len(stored)),
 	})
 	w.block.reset()
 	return nil
@@ -187,14 +191,26 @@ func openV3(f *os.File, size int64) (*Reader, error) {
 
 // loadMeta reads and caches the block index and partition directory —
 // one combined ReadAt covering both sections, so the first read of a
-// cold table costs exactly one extra I/O.
+// cold table costs exactly one extra I/O. With a block cache attached
+// the decoded meta lives under the cache's budget (keyed by table
+// identity at a sentinel offset) instead of pinned per-reader memory,
+// so open-table index overhead competes with data blocks for RAM and
+// can be evicted; without one it is pinned in r.meta as before.
 func (r *Reader) loadMeta() (*tableMeta, error) {
-	if m := r.meta.Load(); m != nil {
+	if r.cache != nil {
+		if m, ok := r.cache.getMeta(r.cacheID); ok {
+			return m, nil
+		}
+	} else if m := r.meta.Load(); m != nil {
 		return m, nil
 	}
 	r.metaMu.Lock()
 	defer r.metaMu.Unlock()
-	if m := r.meta.Load(); m != nil {
+	if r.cache != nil {
+		if m, ok := r.cache.getMeta(r.cacheID); ok {
+			return m, nil
+		}
+	} else if m := r.meta.Load(); m != nil {
 		return m, nil
 	}
 	buf := make([]byte, r.bloomOff-r.blockIdxOff)
@@ -261,7 +277,11 @@ func (r *Reader) loadMeta() (*tableMeta, error) {
 		m.byPK[pk] = int(i)
 		m.parts = append(m.parts, partDirEntry{pk: pk, cells: cells})
 	}
-	r.meta.Store(m)
+	if r.cache != nil {
+		r.cache.putMeta(r.cacheID, m)
+	} else {
+		r.meta.Store(m)
+	}
 	return m, nil
 }
 
@@ -277,13 +297,40 @@ func blockFor(blocks []blockIndexEntry, key []byte) int {
 	return i
 }
 
-// readBlock fetches one data block; its CRC is verified by decodeBlock.
+// readBlock fetches one stored data block; decodeStoredBlock verifies
+// its CRC.
 func (r *Reader) readBlock(b blockIndexEntry) ([]byte, error) {
 	buf := make([]byte, b.length)
 	if err := r.readAt(buf, int64(b.offset)); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// blockPayload returns one block's decoded entry payload, serving it
+// from the shared cache when possible. A miss reads and decodes the
+// stored block; fill says whether the result is then cached — point and
+// slice reads fill, the compactor's scan-once iterator only probes, so
+// a compaction pass cannot flush the working set out of the cache. The
+// returned payload is shared and read-only.
+func (r *Reader) blockPayload(b blockIndexEntry, fill bool) ([]byte, error) {
+	if r.cache != nil {
+		if p, ok := r.cache.getBlock(r.cacheID, b.offset); ok {
+			return p, nil
+		}
+	}
+	stored, err := r.readBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeStoredBlock(stored)
+	if err != nil {
+		return nil, err
+	}
+	if r.cache != nil && fill {
+		r.cache.putBlock(r.cacheID, b.offset, payload)
+	}
+	return payload, nil
 }
 
 // readSliceV3 is the v3 ReadSlice/ReadPartition: binary-search the
@@ -338,12 +385,12 @@ func (r *Reader) readSliceV3(pk string, from, to []byte) ([]row.Cell, error) {
 		if bytes.Compare(m.blocks[bi].firstKey, endKey) >= 0 {
 			break
 		}
-		blk, err := r.readBlock(m.blocks[bi])
+		payload, err := r.blockPayload(m.blocks[bi], true)
 		if err != nil {
 			return nil, err
 		}
 		done := false
-		err = decodeBlock(blk, func(ik, value []byte, ver row.Version, tomb bool) bool {
+		err = decodeEntries(payload, func(ik, value []byte, ver row.Version, tomb bool) bool {
 			if bytes.Compare(ik, startKey) < 0 {
 				return true
 			}
@@ -493,7 +540,7 @@ func (it *PartitionIter) fillQueue() bool {
 	if it.bi >= len(it.meta.blocks) {
 		return false
 	}
-	blk, err := it.r.readBlock(it.meta.blocks[it.bi])
+	payload, err := it.r.blockPayload(it.meta.blocks[it.bi], false)
 	if err != nil {
 		it.err = err
 		return false
@@ -501,7 +548,7 @@ func (it *PartitionIter) fillQueue() bool {
 	it.bi++
 	it.queue = it.queue[:0]
 	it.qpos = 0
-	err = decodeBlock(blk, func(ik, value []byte, ver row.Version, tomb bool) bool {
+	err = decodeEntries(payload, func(ik, value []byte, ver row.Version, tomb bool) bool {
 		it.queue = append(it.queue, queuedCell{
 			ik: append([]byte(nil), ik...),
 			cell: row.Cell{

@@ -107,6 +107,16 @@ type Options struct {
 	// RowCachePartitions enables an LRU row cache holding that many
 	// partitions. 0 disables it.
 	RowCachePartitions int
+	// BlockCacheBytes bounds the engine-wide cache of decompressed
+	// SSTable blocks and lazily-loaded table metadata, shared across
+	// every shard's tables. 0 means 64MB; negative disables the cache
+	// (every block read then hits the OS page cache and decompresses).
+	BlockCacheBytes int64
+	// Compression selects the SSTable block codec for tables written by
+	// flush and compaction. The zero value compresses (LZ with a
+	// per-block compressibility probe); sstable.NoCompression is the
+	// escape hatch for incompressible values.
+	Compression sstable.Compression
 	// DisableWAL turns off the commit log; used by bulk loads and
 	// benchmarks where durability is irrelevant.
 	DisableWAL bool
@@ -146,6 +156,9 @@ func (o *Options) withDefaults() Options {
 	if out.LevelBaseBytes == 0 {
 		out.LevelBaseBytes = 8 << 20
 	}
+	if out.BlockCacheBytes == 0 {
+		out.BlockCacheBytes = 64 << 20
+	}
 	return out
 }
 
@@ -170,6 +183,11 @@ type Metrics struct {
 	SSTablesTouched    atomic.Int64
 	CacheHits          atomic.Int64
 	CacheMisses        atomic.Int64
+	// BlockBytesLogical/Stored accumulate the uncompressed payload vs
+	// on-disk size of every data block written by flush and compaction —
+	// Stored/Logical is the engine's cumulative compression ratio.
+	BlockBytesLogical atomic.Int64
+	BlockBytesStored  atomic.Int64
 }
 
 var errClosed = errors.New("storage: engine closed")
@@ -178,7 +196,8 @@ var errClosed = errors.New("storage: engine closed")
 type Engine struct {
 	opts   Options
 	shards []*shard
-	rcache *rowCache // nil when disabled
+	rcache *rowCache           // nil when disabled
+	bcache *sstable.BlockCache // nil when disabled
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
@@ -249,6 +268,9 @@ func Open(opts Options) (*Engine, error) {
 	e := &Engine{opts: opts}
 	if opts.RowCachePartitions > 0 {
 		e.rcache = newRowCache(opts.RowCachePartitions)
+	}
+	if opts.BlockCacheBytes > 0 {
+		e.bcache = sstable.NewBlockCache(opts.BlockCacheBytes)
 	}
 	for i := 0; i < nshards; i++ {
 		s, err := e.openShard(i)
@@ -359,6 +381,27 @@ func (e *Engine) shardIndex(pk string) int {
 // cache returns the row cache, which is nil when disabled; every
 // rowCache method tolerates a nil receiver.
 func (e *Engine) cache() *rowCache { return e.rcache }
+
+// BlockCacheStats snapshots the shared block cache's counters; all-zero
+// when the cache is disabled.
+func (e *Engine) BlockCacheStats() sstable.CacheStats {
+	if e.bcache == nil {
+		return sstable.CacheStats{}
+	}
+	return e.bcache.Stats()
+}
+
+// openTable opens an SSTable reader attached to the engine's shared
+// block cache — the one open path every shard uses, so no table escapes
+// the cache budget.
+func (e *Engine) openTable(path string) (*sstable.Reader, error) {
+	r, err := sstable.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r.AttachCache(e.bcache)
+	return r, nil
+}
 
 // stamp assigns the next local version — the engine is the "accepting
 // node" of the write.

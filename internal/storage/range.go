@@ -286,6 +286,17 @@ type EngineStats struct {
 	CompactionBytesIn  int64
 	CompactionBytesOut int64
 	RangePurges        int64
+
+	// Read-path memory hierarchy: the shared block cache's counters and
+	// the cumulative compressed-vs-logical bytes of every data block
+	// flush and compaction wrote. BlockBytesStored/BlockBytesLogical is
+	// the on-disk compression ratio.
+	BlockCacheHits      int64
+	BlockCacheMisses    int64
+	BlockCacheEvictions int64
+	BlockCacheBytes     int64
+	BlockBytesLogical   int64
+	BlockBytesStored    int64
 }
 
 // Stats snapshots the engine's per-shard state and cumulative counters.
@@ -297,7 +308,14 @@ func (e *Engine) Stats() EngineStats {
 		CompactionBytesIn:  e.Metrics.CompactionBytesIn.Load(),
 		CompactionBytesOut: e.Metrics.CompactionBytesOut.Load(),
 		RangePurges:        e.Metrics.RangePurges.Load(),
+		BlockBytesLogical:  e.Metrics.BlockBytesLogical.Load(),
+		BlockBytesStored:   e.Metrics.BlockBytesStored.Load(),
 	}
+	cs := e.BlockCacheStats()
+	st.BlockCacheHits = cs.Hits
+	st.BlockCacheMisses = cs.Misses
+	st.BlockCacheEvictions = cs.Evictions
+	st.BlockCacheBytes = cs.Bytes
 	for _, s := range e.shards {
 		s.mu.RLock()
 		sh := ShardStats{

@@ -217,7 +217,7 @@ func (e *Engine) openShard(id int) (*shard, error) {
 			if ent.level >= maxLevels {
 				return nil, fmt.Errorf("storage: manifest-s%02d places %s at level %d (max %d)", id, ent.name, ent.level, maxLevels-1)
 			}
-			r, err := sstable.Open(filepath.Join(e.opts.Dir, ent.name))
+			r, err := e.openTable(filepath.Join(e.opts.Dir, ent.name))
 			if err != nil {
 				releaseAll()
 				return nil, fmt.Errorf("storage: reopen manifest-listed %s: %w", ent.name, err)
@@ -258,7 +258,7 @@ func (e *Engine) openShard(id int) (*shard, error) {
 			continue
 		}
 		// Pre-leveling directory: every table joins L0 in age order.
-		r, err := sstable.Open(name)
+		r, err := e.openTable(name)
 		if err != nil {
 			releaseAll()
 			return nil, fmt.Errorf("storage: reopen %s: %w", name, err)
@@ -1042,6 +1042,7 @@ func (s *shard) writeTable(mem *memtable.Memtable, seq int) (*sstable.Reader, er
 	w, err := sstable.NewWriter(tmp, sstable.WriterOptions{
 		ColumnIndexSize:    s.eng.opts.ColumnIndexSize,
 		ExpectedPartitions: len(mem.Partitions()),
+		Compression:        s.eng.opts.Compression,
 	})
 	if err != nil {
 		return nil, err
@@ -1080,11 +1081,14 @@ func (s *shard) writeTable(mem *memtable.Memtable, seq int) (*sstable.Reader, er
 		os.Remove(tmp)
 		return nil, err
 	}
+	logical, stored := w.BlockBytes()
+	s.eng.Metrics.BlockBytesLogical.Add(logical)
+	s.eng.Metrics.BlockBytesStored.Add(stored)
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return nil, err
 	}
-	r, err := sstable.Open(path)
+	r, err := s.eng.openTable(path)
 	if err != nil {
 		// Leave no half-live state: without the reader the table must
 		// not exist, so the WAL segments keep covering the data.
@@ -1180,11 +1184,14 @@ func (s *shard) mergeTables(inputs []*tableHandle, startSeq int, drop func(pk st
 			os.Remove(wTmp)
 			return err
 		}
+		logical, stored := w.BlockBytes()
+		s.eng.Metrics.BlockBytesLogical.Add(logical)
+		s.eng.Metrics.BlockBytesStored.Add(stored)
 		if err := os.Rename(wTmp, path); err != nil {
 			os.Remove(wTmp)
 			return err
 		}
-		r, err := sstable.Open(path)
+		r, err := s.eng.openTable(path)
 		if err != nil {
 			os.Remove(path)
 			return err
@@ -1253,6 +1260,7 @@ func (s *shard) mergeTables(inputs []*tableHandle, startSeq int, drop func(pk st
 			w, err = sstable.NewWriter(wTmp, sstable.WriterOptions{
 				ColumnIndexSize:    s.eng.opts.ColumnIndexSize,
 				ExpectedPartitions: expectParts,
+				Compression:        s.eng.opts.Compression,
 			})
 			if err != nil {
 				return fail(err)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sync"
@@ -138,6 +139,114 @@ func TestReadersRaceStructuralChurn(t *testing.T) {
 	case msg := <-fail:
 		t.Fatal(msg)
 	default:
+	}
+}
+
+// TestBlockCacheStressTinyCache runs the read paths against a block
+// cache far too small for the working set, so every operation races
+// insert-vs-evict and hit-vs-orphaned-table: point reads and scans
+// fill it, compaction retires the tables behind its entries, and
+// DeleteRange purges whole partitions out from under cached blocks.
+// Run under -race; correctness is checked by verifying stable keys
+// keep their exact values throughout the churn.
+func TestBlockCacheStressTinyCache(t *testing.T) {
+	e := openTest(t, Options{
+		Shards:          4,
+		DisableWAL:      true,
+		FlushThreshold:  8 << 10,  // freeze constantly
+		CompactAfter:    2,        // compact constantly
+		BlockCacheBytes: 32 << 10, // a handful of blocks: evict constantly
+	})
+
+	// Stable keys nobody mutates: their values must survive every cache
+	// eviction, table swap and purge of other partitions.
+	const stable = 32
+	spk := func(i int) string { return fmt.Sprintf("stable%03d", i%stable) }
+	sval := func(i int) []byte { return []byte(fmt.Sprintf("stable-value-%06d", i%stable)) }
+	for i := 0; i < stable; i++ {
+		if err := e.Put(spk(i), ck(0), sval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	run := func(f func(n int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				f(n)
+			}
+		}()
+	}
+
+	// Churn writers: enough volume to keep flush and compaction busy.
+	cpk := func(i int) string { return fmt.Sprintf("churn%03d", i%64) }
+	run(func(n int) {
+		if err := e.Put(cpk(n), ck(n%16), bytes.Repeat([]byte("v"), 128)); err != nil {
+			fail <- fmt.Sprintf("put: %v", err)
+			stop.Store(true)
+		}
+	})
+	// Point readers verifying stable values byte-for-byte.
+	for r := 0; r < 2; r++ {
+		run(func(n int) {
+			v, ok, err := e.Get(spk(n), ck(0))
+			if err != nil || !ok || !bytes.Equal(v, sval(n)) {
+				fail <- fmt.Sprintf("stable get %d: ok=%v err=%v v=%q", n%stable, ok, err, v)
+				stop.Store(true)
+			}
+		})
+	}
+	// Scanners pulling whole partitions through the cache fill path.
+	run(func(n int) {
+		if _, err := e.ScanPartition(cpk(n), nil, nil); err != nil {
+			fail <- fmt.Sprintf("scan: %v", err)
+			stop.Store(true)
+		}
+	})
+	// Compactions retiring the tables behind cached blocks.
+	run(func(n int) {
+		if err := e.Compact(); err != nil {
+			fail <- fmt.Sprintf("compact: %v", err)
+			stop.Store(true)
+		}
+	})
+	// DeleteRange purging churn partitions out from under the cache.
+	run(func(n int) {
+		tok := PartitionToken(cpk(n))
+		if _, err := e.DeleteRange(tok, tok); err != nil {
+			fail <- fmt.Sprintf("delete range: %v", err)
+			stop.Store(true)
+		}
+	})
+
+	timeout := time.After(800 * time.Millisecond)
+	select {
+	case msg := <-fail:
+		stop.Store(true)
+		wg.Wait()
+		t.Fatal(msg)
+	case <-timeout:
+		stop.Store(true)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	st := e.BlockCacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache never exercised: %+v", st)
+	}
+	if st.Bytes > 32<<10 {
+		t.Fatalf("cache holds %d bytes, budget 32KB", st.Bytes)
 	}
 }
 

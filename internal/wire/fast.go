@@ -177,6 +177,12 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		for _, n := range v.LevelBytes {
 			out = enc.AppendUvarint(out, n)
 		}
+		out = enc.AppendUvarint(out, v.CacheHits)
+		out = enc.AppendUvarint(out, v.CacheMisses)
+		out = enc.AppendUvarint(out, v.CacheEvictions)
+		out = enc.AppendUvarint(out, v.CacheBytes)
+		out = enc.AppendUvarint(out, v.BlockBytesLogical)
+		out = enc.AppendUvarint(out, v.BlockBytesStored)
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	default:
 		return nil, fmt.Errorf("wire: fast codec cannot marshal %T", m)
@@ -401,6 +407,12 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 				v.LevelBytes = append(v.LevelBytes, d.uvarint())
 			}
 		}
+		v.CacheHits = d.uvarint()
+		v.CacheMisses = d.uvarint()
+		v.CacheEvictions = d.uvarint()
+		v.CacheBytes = d.uvarint()
+		v.BlockBytesLogical = d.uvarint()
+		v.BlockBytesStored = d.uvarint()
 		v.ErrMsg = string(d.bytes())
 	}
 	if d.err != nil {

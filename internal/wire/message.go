@@ -423,7 +423,17 @@ type NodeStatsResponse struct {
 	// across shards; index = level, level 0 is the flush landing zone.
 	LevelTables []uint32
 	LevelBytes  []uint64
-	ErrMsg      string
+	// Block-cache and compression observability: the shared block
+	// cache's cumulative counters and current resident bytes, plus the
+	// logical-vs-stored volume of every data block the engine wrote
+	// (Stored over Logical is the on-disk compression ratio).
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheEvictions    uint64
+	CacheBytes        uint64
+	BlockBytesLogical uint64
+	BlockBytesStored  uint64
+	ErrMsg            string
 }
 
 // TypeID implements Message.

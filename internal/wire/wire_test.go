@@ -75,7 +75,9 @@ func sampleMessages() []Message {
 			{MemtableBytes: 0, FrozenMemtables: 0, SSTables: 1},
 		}, FlushedBytes: 9 << 20, FlushCount: 7, CompactionCount: 1,
 			CompactionBytesIn: 3 << 20, CompactionBytesOut: 2 << 20,
-			LevelTables: []uint32{4, 2, 1}, LevelBytes: []uint64{1 << 20, 9 << 20, 80 << 20}},
+			LevelTables: []uint32{4, 2, 1}, LevelBytes: []uint64{1 << 20, 9 << 20, 80 << 20},
+			CacheHits: 12345, CacheMisses: 678, CacheEvictions: 90, CacheBytes: 48 << 20,
+			BlockBytesLogical: 10 << 20, BlockBytesStored: 6 << 20},
 		// Versioned cells and tombstones: the fields every replica's
 		// last-write-wins merge depends on must survive both codecs.
 		&DeleteRequest{PK: "p", CK: []byte{1, 2, 3}, Epoch: 11},
