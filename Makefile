@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs (.github/workflows/ci.yml); `make build
 # test` is the tier-1 verify.
 
-.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload bench-compare bench-sstable fuzz-smoke lint
+.PHONY: build test bench bench-engine bench-rebalance bench-delete bench-repair bench-workload bench-compare bench-sstable fuzz-smoke deploy-smoke lint
 
 build:
 	go build ./...
@@ -85,6 +85,15 @@ bench-sstable:
 	go test -run=NONE -bench='V3ColdPointRead|V3FullScan' -benchtime=0.5s ./internal/sstable/
 	go test -run=NONE -bench='CacheHitPointRead|CacheMissPointRead|ScanThroughCompressed' -benchtime=0.5s ./internal/sstable/
 	go test -run=NONE -bench='DeleteChurn|GrowingIngest' -benchtime=100000x ./internal/storage/
+
+# Multi-process deployment smoke: three kvstore processes form a ring
+# over TCP (bootstrap + two wire-level joins), kvload drives a mixed
+# workload, a fourth process joins mid-load — zero failed operations
+# required. The only gate that crosses process boundaries; run on any
+# change to membership, the join state machine, topology persistence
+# or the CLI.
+deploy-smoke:
+	./scripts/deploy_smoke.sh
 
 # Short fuzz pass over the v3 block codec: decode must never panic on
 # arbitrary bytes and encode→decode must round-trip. CI runs this as a

@@ -10,10 +10,10 @@
 //	kvload -mix hotspot -quick
 //	kvload -mix read-heavy -nodes 4 -rf 2 -transport tcp
 //
-// Against a running deployment (node list defines the ring, as for
-// cmd/kvstore):
+// Against a running deployment (-addr lists seed members; the ring is
+// discovered from whichever one answers, as for cmd/kvstore):
 //
-//	kvload -mix update-heavy -addr host0:7070,host1:7070 -rf 2
+//	kvload -mix update-heavy -addr host0:7070 -rf 2
 //
 // Validate persisted results (the CI artifact gate):
 //
@@ -35,7 +35,6 @@ import (
 	"time"
 
 	"scalekv/internal/cluster"
-	"scalekv/internal/hashring"
 	"scalekv/internal/transport"
 	"scalekv/internal/wire"
 	"scalekv/internal/workload"
@@ -165,21 +164,16 @@ func main() {
 // cluster via the StartLocal/StartTCP machinery.
 func connect(addrList, transp string, nodes, rf int) (*cluster.Client, workload.ClusterInfo, func(), error) {
 	if addrList != "" {
-		addrs := strings.Split(addrList, ",")
-		ring := hashring.New(len(addrs), 64)
-		conns := make(map[hashring.NodeID]*transport.Client, len(addrs))
-		book := make(map[hashring.NodeID]string, len(addrs))
-		for i, addr := range addrs {
-			addr = strings.TrimSpace(addr)
-			conn, err := transport.DialTCP(addr, 0)
-			if err != nil {
-				return nil, workload.ClusterInfo{}, nil, fmt.Errorf("dial node %d: %w", i, err)
-			}
-			conns[hashring.NodeID(i)] = transport.NewClient(conn)
-			book[hashring.NodeID(i)] = addr
+		// The address list is only a seed set: Connect discovers the real
+		// ring (epoch, membership, rf) from whichever member answers, so
+		// the flag no longer has to enumerate every node in ring order.
+		seeds := strings.Split(addrList, ",")
+		for i := range seeds {
+			seeds[i] = strings.TrimSpace(seeds[i])
 		}
-		cli := cluster.NewClient(ring, conns, cluster.ClientOptions{
-			Codec: wire.FastCodec{}, ReplicationFactor: rf,
+		cli, err := cluster.Connect(seeds, cluster.ClientOptions{
+			Codec:             wire.FastCodec{},
+			ReplicationFactor: rf,
 			Dialer: func(addr string) (*transport.Client, error) {
 				conn, err := transport.DialTCP(addr, 0)
 				if err != nil {
@@ -187,9 +181,15 @@ func connect(addrList, transp string, nodes, rf int) (*cluster.Client, workload.
 				}
 				return transport.NewClient(conn), nil
 			},
-			Addrs: book,
 		})
-		info := workload.ClusterInfo{Nodes: len(addrs), ReplicationFactor: rf, Transport: "remote"}
+		if err != nil {
+			return nil, workload.ClusterInfo{}, nil, err
+		}
+		info := workload.ClusterInfo{
+			Nodes:             cli.Ring().Size(),
+			ReplicationFactor: cli.ReplicationFactor(),
+			Transport:         "remote",
+		}
 		return cli, info, func() { cli.Close() }, nil
 	}
 

@@ -164,6 +164,11 @@ func NewClient(ring *hashring.Topology, conns map[hashring.NodeID]*transport.Cli
 // Ring exposes the current routing topology (read-only use).
 func (c *Client) Ring() *hashring.Topology { return c.topo() }
 
+// ReplicationFactor reports the client's effective replication factor —
+// either the one configured or, for Connect with none set, the one
+// adopted from the ring.
+func (c *Client) ReplicationFactor() int { return c.rf }
+
 func (c *Client) topo() *hashring.Topology {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -32,6 +32,15 @@ import (
 //  5. retire — close the dual-write window and DeleteRange the moved
 //     ranges on their old owners (or, for a leave, stop the node).
 //
+// Every step is a wire RPC addressed by the member address book —
+// BeginMigrationRequest, StreamRangeRequest, SetRingStateRequest,
+// EndMigrationRequest, DeleteRangeRequest — so the same state machine
+// runs whether the coordinator shares a process with the nodes (the
+// in-process Cluster of tests and examples) or is a seed member
+// serving a JoinRequest from a process that just booted across the
+// network (Node.handleJoin). The in-process Cluster is a thin client
+// of the protocol, not a privileged caller.
+//
 // Correctness under the stream/forward race: every cell carries the
 // version its accepting engine stamped, stream pages and dual-write
 // forwards ship those versions verbatim, and the target's merge is
@@ -71,17 +80,19 @@ type RebalanceReport struct {
 	FlipDuration time.Duration
 }
 
-// coordinator drives one topology change; it owns a scratch set of
-// connections (streaming, forwarding, retirement) that it closes when
-// done, leaving the client's data-path connections alone.
+// coordinator drives one topology change over the wire; it owns a
+// scratch set of connections (stats, streaming, control, retirement)
+// that it closes when done, leaving any data-path connections alone.
+// It holds no reference to a Cluster or a Node — everything it needs
+// is an address.
 type coordinator struct {
-	c     *Cluster
 	codec wire.Codec
+	dial  Dialer
 	conns map[string]*transport.Client // by address
 }
 
-func (c *Cluster) newCoordinator() *coordinator {
-	return &coordinator{c: c, codec: c.opts.Codec, conns: make(map[string]*transport.Client)}
+func newCoordinator(codec wire.Codec, dial Dialer) *coordinator {
+	return &coordinator{codec: codec, dial: dial, conns: make(map[string]*transport.Client)}
 }
 
 func (co *coordinator) close() {
@@ -95,7 +106,7 @@ func (co *coordinator) conn(addr string) (*transport.Client, error) {
 	if conn, ok := co.conns[addr]; ok {
 		return conn, nil
 	}
-	conn, err := co.c.dial(addr)
+	conn, err := co.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +129,202 @@ func (co *coordinator) call(addr string, msg wire.Message) (wire.Message, error)
 		return nil, err
 	}
 	return co.codec.Unmarshal(raw)
+}
+
+// rebalanceParams is one topology change, fully resolved: the diff is
+// computed, the next address book is known, and every participant is
+// reachable by address.
+type rebalanceParams struct {
+	rf        int
+	old, next *hashring.Topology
+	moves     []hashring.RangeMove
+	// addrs is the member address book at the old epoch (stream
+	// sources live here); addrsNext already reflects the new
+	// membership (stream targets and flip recipients).
+	addrs, addrsNext map[hashring.NodeID]string
+	subject          hashring.NodeID
+	// streamHook, when set (tests only), is consulted before each range
+	// is streamed — an injected failure or panic simulates a
+	// coordinator dying mid-join.
+	streamHook func(hashring.RangeMove) error
+}
+
+// runRebalance executes the join/leave state machine after the
+// membership diff is known: source selection, dual-write, streaming,
+// flip, retirement — all over the wire.
+func runRebalance(co *coordinator, p rebalanceParams) (*RebalanceReport, error) {
+	report := &RebalanceReport{Node: p.subject, Epoch: p.next.Epoch()}
+
+	// 1. Source selection: at rf > 1 a range has several old owners;
+	// stream from the one with the smallest write backlog so a node
+	// busy flushing is not also the one serving the handoff.
+	moves := co.pickSources(p.old, p.moves, p.rf, p.addrs)
+	report.Moves = moves
+
+	// 2. Migration window. Each source node forwards in-range writes to
+	// their new owners from here on; combined with streaming from a
+	// snapshot-consistent engine, nothing written during the move is
+	// lost. Each target node fences its engine's tombstone GC over the
+	// inbound ranges, so a delete it accepts during the window keeps
+	// masking any sub-watermark stale copy a stream page delivers later.
+	// The request carries the full move list and the next address book;
+	// each participant filters its own roles and dials its own forward
+	// targets.
+	participants := make(map[hashring.NodeID]bool)
+	for _, m := range moves {
+		participants[m.From] = true
+		participants[m.To] = true
+	}
+	beginReq := &wire.BeginMigrationRequest{Moves: wireMoves(moves)}
+	for id, addr := range p.addrsNext {
+		beginReq.Nodes = append(beginReq.Nodes, wire.NodeAddr{ID: uint32(id), Addr: addr})
+	}
+	addrOf := func(id hashring.NodeID) string {
+		if a, ok := p.addrsNext[id]; ok {
+			return a
+		}
+		return p.addrs[id]
+	}
+	var migrating []string
+	defer func() {
+		// Close the window on every node that opened it — on the error
+		// path AND when a test hook panics to simulate a dying
+		// coordinator. Best effort: an unreachable participant keeps
+		// forwarding until its conns break, which is harmless
+		// (forwards are LWW-idempotent).
+		for _, addr := range migrating {
+			co.call(addr, &wire.EndMigrationRequest{})
+		}
+	}()
+	for id := range participants {
+		resp, err := co.call(addrOf(id), beginReq)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: begin migration at node %d: %w", id, err)
+		}
+		bm, ok := resp.(*wire.BeginMigrationResponse)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unexpected begin-migration response %T", resp)
+		}
+		if bm.ErrMsg != "" {
+			return nil, fmt.Errorf("cluster: begin migration at node %d: %s", id, bm.ErrMsg)
+		}
+		migrating = append(migrating, addrOf(id))
+	}
+
+	// 3. Stream every move, paged, source -> target, at epoch 0.
+	streamStart := time.Now()
+	for _, m := range moves {
+		if hook := p.streamHook; hook != nil {
+			if err := hook(m); err != nil {
+				return nil, fmt.Errorf("cluster: stream %v: %w", m, err)
+			}
+		}
+		streamed, pages, err := co.streamRange(m, p.addrs[m.From], p.addrsNext[m.To])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stream %v: %w", m, err)
+		}
+		report.CellsStreamed += streamed
+		report.Pages += pages
+	}
+	report.StreamDuration = time.Since(streamStart)
+
+	// 4. Flip. Every member of the new topology — plus the subject of a
+	// leave, which must reject old-epoch traffic while it drains —
+	// validates against the new epoch from here. Each recipient also
+	// persists the snapshot to its topology file, so the flip survives
+	// a restart of any member. Remote clients learn via wrong-epoch
+	// rejections and RingStateRequest.
+	flipReq := &wire.SetRingStateRequest{
+		Epoch:  p.next.Epoch(),
+		Vnodes: uint32(p.next.Vnodes()),
+		RF:     uint32(p.rf),
+		Nodes:  beginReq.Nodes,
+	}
+	flipStart := time.Now()
+	flipTargets := make(map[hashring.NodeID]string, len(p.addrsNext)+1)
+	for id, addr := range p.addrsNext {
+		flipTargets[id] = addr
+	}
+	if _, ok := flipTargets[p.subject]; !ok {
+		if a, ok := p.addrs[p.subject]; ok {
+			flipTargets[p.subject] = a
+		}
+	}
+	for id, addr := range flipTargets {
+		resp, err := co.call(addr, flipReq)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: flip node %d: %w", id, err)
+		}
+		sr, ok := resp.(*wire.SetRingStateResponse)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unexpected flip response %T", resp)
+		}
+		if sr.ErrMsg != "" {
+			return nil, fmt.Errorf("cluster: flip node %d: %s", id, sr.ErrMsg)
+		}
+	}
+	report.FlipDuration = time.Since(flipStart)
+
+	// 5. Close the dual-write window (writes now route to the new
+	// owners directly) and retire moved data at its old owners. The
+	// flip committed the change, so retirement failures degrade to
+	// unreclaimed disk space (reported, not fatal) — failing here would
+	// tear down a node the whole cluster now routes to.
+	for _, addr := range migrating {
+		if resp, err := co.call(addr, &wire.EndMigrationRequest{}); err == nil {
+			if em, ok := resp.(*wire.EndMigrationResponse); ok && em.ErrMsg != "" {
+				recordRetireErr(report, errors.New(em.ErrMsg))
+			}
+		} else {
+			recordRetireErr(report, err)
+		}
+	}
+	migrating = nil
+	for _, r := range hashring.Retirements(p.old, p.next, p.rf) {
+		if !p.next.Contains(r.Node) {
+			continue
+		}
+		resp, err := co.call(p.addrsNext[r.Node], &wire.DeleteRangeRequest{Lo: r.Lo, Hi: r.Hi})
+		if err != nil {
+			recordRetireErr(report, fmt.Errorf("retire [%d,%d] at node %d: %w", r.Lo, r.Hi, r.Node, err))
+			continue
+		}
+		dr, ok := resp.(*wire.DeleteRangeResponse)
+		if !ok {
+			recordRetireErr(report, fmt.Errorf("unexpected retire response %T", resp))
+			continue
+		}
+		if dr.ErrMsg != "" {
+			recordRetireErr(report, fmt.Errorf("retire [%d,%d] at node %d: %s", r.Lo, r.Hi, r.Node, dr.ErrMsg))
+			continue
+		}
+		report.CellsRetired += int64(dr.Removed)
+	}
+	return report, nil
+}
+
+func recordRetireErr(report *RebalanceReport, err error) {
+	if report.RetireErr == "" {
+		report.RetireErr = err.Error()
+	}
+}
+
+// wireMoves converts an ownership diff to its wire form.
+func wireMoves(moves []hashring.RangeMove) []wire.Move {
+	out := make([]wire.Move, len(moves))
+	for i, m := range moves {
+		out[i] = wire.Move{Lo: m.Lo, Hi: m.Hi, From: uint32(m.From), To: uint32(m.To)}
+	}
+	return out
+}
+
+// movesFromWire converts a wire move list back to the hashring form.
+func movesFromWire(moves []wire.Move) []hashring.RangeMove {
+	out := make([]hashring.RangeMove, len(moves))
+	for i, m := range moves {
+		out[i] = hashring.RangeMove{Lo: m.Lo, Hi: m.Hi, From: hashring.NodeID(m.From), To: hashring.NodeID(m.To)}
+	}
+	return out
 }
 
 // AddNode grows the cluster by one member under live traffic: it boots
@@ -151,13 +358,16 @@ func (c *Cluster) AddNode() (*Node, *RebalanceReport, error) {
 		return nil, nil, err
 	}
 	node, err := StartNode(l, NodeOptions{
-		ID:            id,
-		Dir:           filepath.Join(c.baseDir, fmt.Sprintf("node-%d", id)),
-		DBParallelism: c.opts.DBParallelism,
-		Storage:       c.opts.Storage,
-		Codec:         c.opts.Codec,
-		Topology:      old,
-		Addrs:         c.addrs,
+		ID:                id,
+		Dir:               filepath.Join(c.baseDir, fmt.Sprintf("node-%d", id)),
+		DBParallelism:     c.opts.DBParallelism,
+		Storage:           c.opts.Storage,
+		Codec:             c.opts.Codec,
+		Topology:          old,
+		Addrs:             c.addrs,
+		ReplicationFactor: c.opts.ReplicationFactor,
+		Dialer:            c.dial,
+		AdvertiseAddr:     addr,
 	})
 	if err != nil {
 		l.Close()
@@ -241,128 +451,34 @@ func (c *Cluster) RemoveNode(id hashring.NodeID) (*RebalanceReport, error) {
 	return report, closeErr
 }
 
-// rebalance runs the shared join/leave state machine after the
-// membership diff is known: source selection, dual-write, streaming,
-// flip, retirement. addrsNext must already reflect the new membership.
+// rebalance runs the shared state machine over the wire and adopts the
+// result into the in-process bookkeeping. addrsNext must already
+// reflect the new membership.
 func (c *Cluster) rebalance(old, next *hashring.Topology, moves []hashring.RangeMove, addrsNext map[hashring.NodeID]string, subject hashring.NodeID) (*RebalanceReport, error) {
-	co := c.newCoordinator()
+	co := newCoordinator(c.opts.Codec, c.dial)
 	defer co.close()
-
-	report := &RebalanceReport{Node: subject, Epoch: next.Epoch()}
-
-	// 1. Source selection: at rf > 1 a range has several old owners;
-	// stream from the one with the smallest write backlog so a node
-	// busy flushing is not also the one serving the handoff.
-	moves = co.pickSources(old, moves, c.opts.ReplicationFactor)
-	report.Moves = moves
-
-	// 2. Migration window. Each source node forwards in-range writes to
-	// their new owners from here on; combined with streaming from a
-	// snapshot-consistent engine, nothing written during the move is
-	// lost. Each target node fences its engine's tombstone GC over the
-	// inbound ranges, so a delete it accepts during the window keeps
-	// masking any sub-watermark stale copy a stream page delivers later.
-	sources := make(map[hashring.NodeID][]hashring.RangeMove)
-	targets := make(map[hashring.NodeID]bool)
-	for _, m := range moves {
-		sources[m.From] = append(sources[m.From], m)
-		targets[m.To] = true
-	}
-	migrating := make([]*Node, 0, len(sources))
-	defer func() {
-		for _, n := range migrating {
-			n.EndMigration()
-		}
-	}()
-	for _, n := range c.Nodes {
-		ms, isSource := sources[n.ID()]
-		if !isSource && !targets[n.ID()] {
-			continue
-		}
-		fwd := make(map[hashring.NodeID]*transport.Client)
-		for _, m := range ms {
-			if _, ok := fwd[m.To]; ok {
-				continue
-			}
-			conn, err := co.conn(addrsNext[m.To])
-			if err != nil {
-				return nil, fmt.Errorf("cluster: dial forward target %d: %w", m.To, err)
-			}
-			fwd[m.To] = conn
-		}
-		n.BeginMigration(moves, fwd)
-		migrating = append(migrating, n)
-	}
-
-	// 3. Stream every move, paged, source -> target, at epoch 0.
-	streamStart := time.Now()
-	for _, m := range moves {
-		if hook := c.testStreamErr; hook != nil {
-			if err := hook(m); err != nil {
-				return nil, fmt.Errorf("cluster: stream %v: %w", m, err)
-			}
-		}
-		streamed, pages, err := co.streamRange(m, c.addrs[m.From], addrsNext[m.To])
-		if err != nil {
-			return nil, fmt.Errorf("cluster: stream %v: %w", m, err)
-		}
-		report.CellsStreamed += streamed
-		report.Pages += pages
-	}
-	report.StreamDuration = time.Since(streamStart)
-
-	// 4. Flip. Every node validates against the new epoch from here;
-	// the client adopts it directly (remote clients learn via
-	// wrong-epoch rejections and RingStateRequest).
-	flipStart := time.Now()
-	for _, n := range c.Nodes {
-		n.SetRingState(next, addrsNext)
+	report, err := runRebalance(co, rebalanceParams{
+		rf:         c.opts.ReplicationFactor,
+		old:        old,
+		next:       next,
+		moves:      moves,
+		addrs:      c.addrs,
+		addrsNext:  addrsNext,
+		subject:    subject,
+		streamHook: c.testStreamErr,
+	})
+	if err != nil {
+		return nil, err
 	}
 	c.client.adopt(next, addrsNext)
 	c.Ring = next
-	report.FlipDuration = time.Since(flipStart)
-
-	// 5. Close the dual-write window (writes now route to the new
-	// owners directly) and retire moved data at its old owners. The
-	// subject of a leave is skipped: it is about to be shut down. The
-	// flip committed the change, so retirement failures degrade to
-	// unreclaimed disk space (reported, not fatal) — failing here would
-	// tear down a node the whole cluster now routes to.
-	for _, n := range migrating {
-		n.EndMigration()
-	}
-	migrating = nil
-	recordRetireErr := func(err error) {
-		if report.RetireErr == "" {
-			report.RetireErr = err.Error()
-		}
-	}
-	for _, r := range hashring.Retirements(old, next, c.opts.ReplicationFactor) {
-		if !next.Contains(r.Node) {
-			continue
-		}
-		resp, err := co.call(addrsNext[r.Node], &wire.DeleteRangeRequest{Lo: r.Lo, Hi: r.Hi})
-		if err != nil {
-			recordRetireErr(fmt.Errorf("retire [%d,%d] at node %d: %w", r.Lo, r.Hi, r.Node, err))
-			continue
-		}
-		dr, ok := resp.(*wire.DeleteRangeResponse)
-		if !ok {
-			recordRetireErr(fmt.Errorf("unexpected retire response %T", resp))
-			continue
-		}
-		if dr.ErrMsg != "" {
-			recordRetireErr(fmt.Errorf("retire [%d,%d] at node %d: %s", r.Lo, r.Hi, r.Node, dr.ErrMsg))
-			continue
-		}
-		report.CellsRetired += int64(dr.Removed)
-	}
 	return report, nil
 }
 
 // pickSources re-points each move's source at the least write-loaded
-// old owner of its range (NodeStats), when replication offers a choice.
-func (co *coordinator) pickSources(old *hashring.Topology, moves []hashring.RangeMove, rf int) []hashring.RangeMove {
+// old owner of its range (NodeStatsRequest over the wire), when
+// replication offers a choice.
+func (co *coordinator) pickSources(old *hashring.Topology, moves []hashring.RangeMove, rf int, addrs map[hashring.NodeID]string) []hashring.RangeMove {
 	if rf <= 1 {
 		return moves
 	}
@@ -372,10 +488,12 @@ func (co *coordinator) pickSources(old *hashring.Topology, moves []hashring.Rang
 			return v
 		}
 		var total int64 = math.MaxInt64
-		if resp, err := co.c.client.NodeStats(id); err == nil {
-			total = 0
-			for _, sh := range resp.Shards {
-				total += int64(sh.MemtableBytes)
+		if resp, err := co.call(addrs[id], &wire.NodeStatsRequest{}); err == nil {
+			if ns, ok := resp.(*wire.NodeStatsResponse); ok && ns.ErrMsg == "" {
+				total = 0
+				for _, sh := range ns.Shards {
+					total += int64(sh.MemtableBytes)
+				}
 			}
 		}
 		backlog[id] = total

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"scalekv/internal/hashring"
 	"scalekv/internal/storage"
@@ -35,6 +36,13 @@ type LocalOptions struct {
 	// RepairConcurrency is the anti-entropy worker-pool width (see
 	// ClientOptions.RepairConcurrency). 0 means the default.
 	RepairConcurrency int
+	// ProbeInterval enables per-node peer liveness probing (see
+	// NodeOptions.ProbeInterval). 0 keeps it off — in-process tests
+	// rarely want background ping traffic.
+	ProbeInterval time.Duration
+	// RepairInterval enables per-node self-scheduled anti-entropy (see
+	// NodeOptions.RepairInterval). 0 keeps it off.
+	RepairInterval time.Duration
 }
 
 // Cluster is a set of in-process nodes plus a connected client —
@@ -161,13 +169,18 @@ func start(opts LocalOptions, listen func(hashring.NodeID) (transport.Listener, 
 	for i := 0; i < opts.Nodes; i++ {
 		id := hashring.NodeID(i)
 		node, err := StartNode(listeners[i], NodeOptions{
-			ID:            id,
-			Dir:           filepath.Join(opts.BaseDir, fmt.Sprintf("node-%d", i)),
-			DBParallelism: opts.DBParallelism,
-			Storage:       opts.Storage,
-			Codec:         opts.Codec,
-			Topology:      c.Ring,
-			Addrs:         addrs,
+			ID:                id,
+			Dir:               filepath.Join(opts.BaseDir, fmt.Sprintf("node-%d", i)),
+			DBParallelism:     opts.DBParallelism,
+			Storage:           opts.Storage,
+			Codec:             opts.Codec,
+			Topology:          c.Ring,
+			Addrs:             addrs,
+			ReplicationFactor: opts.ReplicationFactor,
+			Dialer:            dial,
+			AdvertiseAddr:     addrs[id],
+			ProbeInterval:     opts.ProbeInterval,
+			RepairInterval:    opts.RepairInterval,
 		})
 		if err != nil {
 			listeners[i].Close()

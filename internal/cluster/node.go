@@ -2,8 +2,17 @@
 // nodes that wrap a local storage engine behind the wire protocol, a
 // client that routes by an epoch-versioned token ring (replicating
 // writes, failing reads over to the next replica, refreshing its ring
-// when a node reports a newer epoch), and a coordinator that grows and
-// shrinks the cluster while it serves traffic.
+// when a node reports a newer epoch), and a wire-level membership
+// machine that grows and shrinks the cluster while it serves traffic.
+//
+// Membership is self-organizing: a new node joins through any existing
+// member (JoinRing), which coordinates the rebalance — dual-write
+// window, live range streaming, epoch flip, retirement — over the same
+// messages the in-process Cluster coordinator uses. Every node
+// persists the ring it installs (a crash-atomic `topology` file in its
+// data directory), so a restart reassembles membership from disk with
+// no seed; nodes probe peer liveness and self-schedule anti-entropy
+// repair. See docs/membership.md for the design.
 //
 // Everything runs on the transport package, so a cluster can live inside
 // one process (tests, examples) or span TCP endpoints (cmd/kvstore).
@@ -38,18 +47,50 @@ type NodeOptions struct {
 	Codec wire.Codec
 	// Topology is the node's initial routing epoch state. Nil runs the
 	// node unversioned: every request is accepted regardless of epoch
-	// (standalone nodes, raw-wire tests).
+	// (standalone nodes, raw-wire tests) — unless the data directory
+	// holds a persisted topology file, which a restarting member
+	// resumes from. When both are present the higher epoch wins.
 	Topology *hashring.Topology
 	// Addrs maps ring members to dialable transport addresses, served
 	// back to clients in RingStateResponse.
 	Addrs map[hashring.NodeID]string
+	// ReplicationFactor is the ring's write replication factor; it
+	// rides epoch flips (SetRingStateRequest) and the topology file so
+	// joiners and restarts inherit it. 0 means 1.
+	ReplicationFactor int
+	// Dialer lets the node open its own peer connections: dual-write
+	// forwards during migrations, liveness probes, self-scheduled
+	// repair, and coordinating a JoinRequest. Nil disables all of
+	// those (the node can still serve as a migration source/target
+	// driven by an external coordinator's streams).
+	Dialer Dialer
+	// AdvertiseAddr is this node's own dialable address, announced to
+	// peers on join and persisted in the topology file.
+	AdvertiseAddr string
+	// ProbeInterval is the peer liveness probe period; 0 disables
+	// probing. Each tick pings every peer (jittered ±25%); a peer
+	// missing SuspicionThreshold consecutive probes is marked down,
+	// and a down peer answering again is marked up — which also kicks
+	// an immediate repair pass to catch the returnee up.
+	ProbeInterval time.Duration
+	// SuspicionThreshold is how many consecutive failed probes mark a
+	// peer down. 0 means 3.
+	SuspicionThreshold int
+	// RepairInterval is the self-scheduled anti-entropy period; 0
+	// disables it. Each pass (jittered ±25% so a cluster started in
+	// lockstep doesn't synchronize its repair storms) converges the
+	// ranges this node owns; a converged pass ships nothing and costs
+	// only digest round trips.
+	RepairInterval time.Duration
 }
 
 // ringState is the node's atomically-swapped view of the cluster:
-// topology plus the member address book (immutable once installed).
+// topology, member address book and replication factor (immutable
+// once installed).
 type ringState struct {
 	topo  *hashring.Topology
 	addrs map[hashring.NodeID]string
+	rf    int
 }
 
 // migration is the node's migration-window state during a rebalance.
@@ -63,7 +104,7 @@ type ringState struct {
 // gc_grace hazard).
 type migration struct {
 	moves  []hashring.RangeMove
-	conns  map[hashring.NodeID]*transport.Client
+	conns  map[hashring.NodeID]transport.Caller
 	fences []func()
 }
 
@@ -75,16 +116,40 @@ func (m *migration) releaseFences() {
 
 // Node is one running store server.
 type Node struct {
-	id      hashring.NodeID
-	engine  *storage.Engine
-	server  *transport.Server
-	codec   wire.Codec
-	dbSlots chan struct{}
+	id       hashring.NodeID
+	engine   *storage.Engine
+	server   *transport.Server
+	codec    wire.Codec
+	dbSlots  chan struct{}
+	dir      string
+	dialer   Dialer
+	selfAddr string
 
 	ring atomic.Pointer[ringState]
 
 	migMu sync.RWMutex
 	mig   *migration
+
+	// peers holds one self-healing connection per peer address, shared
+	// by the prober, dual-write forwarding and join coordination.
+	peers *peerPool
+
+	// joinMu serializes membership changes this node coordinates: one
+	// JoinRequest executes at a time, a second joiner is told to retry.
+	joinMu sync.Mutex
+
+	// healthMu guards health, the per-peer liveness view the prober
+	// maintains (see PeerHealth).
+	healthMu sync.Mutex
+	health   map[hashring.NodeID]*peerState
+
+	probeInterval      time.Duration
+	suspicionThreshold int
+	repairInterval     time.Duration
+	repairKick         chan struct{}
+	stop               chan struct{}
+	stopOnce           sync.Once
+	loopWg             sync.WaitGroup
 
 	// Served counts database requests processed, for Figure 2's
 	// ops-per-node chart.
@@ -92,16 +157,26 @@ type Node struct {
 	// ForwardedWrites counts dual-write forwards issued during
 	// migrations — observability for rebalance tests and demos.
 	ForwardedWrites atomic.Int64
+	// RepairPasses and RepairCellsShipped count the node's
+	// self-scheduled anti-entropy activity (kicked passes included).
+	RepairPasses       atomic.Int64
+	RepairCellsShipped atomic.Int64
 }
 
 // StartNode opens the node's engine and serves the wire protocol on the
-// listener.
+// listener. The routing topology comes from opts.Topology, from a
+// topology file persisted in the data directory by a previous run's
+// epoch flips (a restarting member resumes at the epoch it last
+// flipped to), or — when neither exists — the node runs unversioned.
 func StartNode(l transport.Listener, opts NodeOptions) (*Node, error) {
 	if opts.Codec == nil {
 		opts.Codec = wire.FastCodec{}
 	}
 	if opts.DBParallelism <= 0 {
 		opts.DBParallelism = 16
+	}
+	if opts.SuspicionThreshold <= 0 {
+		opts.SuspicionThreshold = defaultSuspicionThreshold
 	}
 	st := opts.Storage
 	st.Dir = opts.Dir
@@ -114,16 +189,67 @@ func StartNode(l transport.Listener, opts NodeOptions) (*Node, error) {
 		return nil, fmt.Errorf("cluster: node %d: %w", opts.ID, err)
 	}
 	n := &Node{
-		id:      opts.ID,
-		engine:  engine,
-		codec:   opts.Codec,
-		dbSlots: make(chan struct{}, opts.DBParallelism),
+		id:                 opts.ID,
+		engine:             engine,
+		codec:              opts.Codec,
+		dbSlots:            make(chan struct{}, opts.DBParallelism),
+		dir:                opts.Dir,
+		dialer:             opts.Dialer,
+		selfAddr:           opts.AdvertiseAddr,
+		health:             make(map[hashring.NodeID]*peerState),
+		probeInterval:      opts.ProbeInterval,
+		suspicionThreshold: opts.SuspicionThreshold,
+		repairInterval:     opts.RepairInterval,
+		repairKick:         make(chan struct{}, 1),
+		stop:               make(chan struct{}),
 	}
-	if opts.Topology != nil {
-		n.ring.Store(&ringState{topo: opts.Topology, addrs: copyAddrs(opts.Addrs)})
+	n.peers = newPeerPool(opts.Dialer)
+
+	// Resolve the boot topology: persisted file vs. supplied options,
+	// higher epoch wins. A node that was already through epoch flips
+	// must not be rewound by a caller handing it a stale snapshot.
+	ptopo, paddrs, prf, perr := loadTopologyFile(opts.Dir)
+	if perr != nil {
+		engine.Close()
+		return nil, fmt.Errorf("cluster: node %d: %w", opts.ID, perr)
 	}
+	rf := opts.ReplicationFactor
+	switch {
+	case ptopo != nil && (opts.Topology == nil || ptopo.Epoch() > opts.Topology.Epoch()):
+		n.installRing(ptopo, paddrs, prf, false)
+	case opts.Topology != nil:
+		n.installRing(opts.Topology, opts.Addrs, rf, true)
+	}
+	if rs := n.ring.Load(); rs != nil && n.selfAddr == "" {
+		n.selfAddr = rs.addrs[n.id]
+	}
+
 	n.server = transport.Serve(l, n.handle)
+	if n.dialer != nil && n.probeInterval > 0 {
+		n.loopWg.Add(1)
+		go n.probeLoop()
+	}
+	if n.dialer != nil && n.repairInterval > 0 {
+		n.loopWg.Add(1)
+		go n.repairLoop()
+	}
 	return n, nil
+}
+
+// installRing atomically swaps the node's membership view and, when
+// persist is set and the node has a data directory, writes it to the
+// topology file so a restart resumes at this epoch. Persist failures
+// are swallowed: the in-memory flip must not fail (the cluster has
+// already committed it); the node merely restarts at an older epoch
+// and catches up via its first ring refresh.
+func (n *Node) installRing(topo *hashring.Topology, addrs map[hashring.NodeID]string, rf int, persist bool) {
+	if rf <= 0 {
+		rf = 1
+	}
+	n.ring.Store(&ringState{topo: topo, addrs: copyAddrs(addrs), rf: rf})
+	if persist && n.dir != "" {
+		_ = saveTopologyFile(n.dir, topo, addrs, rf)
+	}
 }
 
 func copyAddrs(in map[hashring.NodeID]string) map[hashring.NodeID]string {
@@ -151,9 +277,14 @@ func (n *Node) Topology() *hashring.Topology {
 
 // SetRingState installs a new topology and address book — the epoch
 // flip of a join/leave. Requests decoded after the swap are validated
-// against the new epoch.
+// against the new epoch. The replication factor carries over; the
+// flip is persisted to the topology file.
 func (n *Node) SetRingState(t *hashring.Topology, addrs map[hashring.NodeID]string) {
-	n.ring.Store(&ringState{topo: t, addrs: copyAddrs(addrs)})
+	rf := 1
+	if rs := n.ring.Load(); rs != nil {
+		rf = rs.rf
+	}
+	n.installRing(t, addrs, rf, true)
 }
 
 // BeginMigration opens the migration window for the moves this node
@@ -165,7 +296,7 @@ func (n *Node) SetRingState(t *hashring.Topology, addrs map[hashring.NodeID]stri
 // id): the engine's tombstone GC is fenced over the inbound ranges, so
 // a delete accepted here keeps masking sub-watermark stale copies the
 // stream may still deliver.
-func (n *Node) BeginMigration(moves []hashring.RangeMove, conns map[hashring.NodeID]*transport.Client) {
+func (n *Node) BeginMigration(moves []hashring.RangeMove, conns map[hashring.NodeID]transport.Caller) {
 	relevant := make([]hashring.RangeMove, 0, len(moves))
 	var fences []func()
 	for _, m := range moves {
@@ -198,14 +329,30 @@ func (n *Node) EndMigration() {
 }
 
 // Close stops serving, then closes the engine. Ordering matters: the
-// server quiesces first so no new writes race the shutdown, and
-// engine.Close then freezes every shard's active memtable and drains
-// the background flushers before releasing resources — a clean
-// shutdown never abandons a frozen memtable (only its WAL segments
-// would cover it after a crash).
+// background loops stop first (a probe or repair pass must not race
+// resource teardown), then the server quiesces so no new writes race
+// the shutdown, then the peer pool closes (in-flight handlers that
+// forward through it have drained with the server), and engine.Close
+// finally freezes every shard's active memtable and drains the
+// background flushers before releasing resources — a clean shutdown
+// never abandons a frozen memtable (only its WAL segments would cover
+// it after a crash).
 func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.loopWg.Wait()
 	n.server.Close()
+	n.peers.close()
 	return n.engine.Close()
+}
+
+// Shutdown is the graceful variant of Close: before tearing down, the
+// node announces its departure (LeaveRequest) to every peer so they
+// flip its health to down immediately instead of burning a suspicion
+// window on probes that can never succeed. The announce is best
+// effort — an unreachable peer finds out the usual way.
+func (n *Node) Shutdown() error {
+	n.announceLeave()
+	return n.Close()
 }
 
 // epochCheck validates a request's routing epoch against the node's
@@ -317,6 +464,19 @@ func (n *Node) handle(payload []byte) []byte {
 		return n.encode(n.handleDeleteRange(req))
 	case *wire.NodeStatsRequest:
 		return n.encode(n.statsResponse())
+	case *wire.JoinRequest:
+		return n.encode(n.handleJoin(req))
+	case *wire.BeginMigrationRequest:
+		return n.encode(n.handleBeginMigration(req))
+	case *wire.EndMigrationRequest:
+		n.EndMigration()
+		return n.encode(&wire.EndMigrationResponse{})
+	case *wire.SetRingStateRequest:
+		return n.encode(n.handleSetRingState(req))
+	case *wire.PingRequest:
+		return n.encode(n.handlePing(req))
+	case *wire.LeaveRequest:
+		return n.encode(n.handleLeave(req))
 	default:
 		return n.encode(&wire.CountResponse{ErrMsg: fmt.Sprintf("unexpected message %T", msg)})
 	}
@@ -459,6 +619,7 @@ func (n *Node) ringStateResponse() *wire.RingStateResponse {
 	resp := &wire.RingStateResponse{
 		Epoch:  rs.topo.Epoch(),
 		Vnodes: uint32(rs.topo.Vnodes()),
+		RF:     uint32(rs.rf),
 	}
 	for _, id := range rs.topo.Nodes() {
 		resp.Nodes = append(resp.Nodes, wire.NodeAddr{ID: uint32(id), Addr: rs.addrs[id]})
@@ -518,6 +679,15 @@ func (n *Node) statsResponse() *wire.NodeStatsResponse {
 	if rs := n.ring.Load(); rs != nil {
 		resp.Epoch = rs.topo.Epoch()
 	}
+	for id, ps := range n.PeerHealth() {
+		resp.Peers = append(resp.Peers, wire.PeerStat{
+			ID:          uint32(id),
+			Up:          ps.Up,
+			Suspicion:   uint32(ps.Suspicion),
+			SinceMillis: uint64(time.Since(ps.Since).Milliseconds()),
+		})
+	}
+	resp.DialCount, resp.RedialCount = n.peers.stats()
 	for _, sh := range st.Shards {
 		resp.Shards = append(resp.Shards, wire.ShardStat{
 			MemtableBytes:   uint64(sh.MemtableBytes + sh.FrozenBytes),

@@ -106,7 +106,7 @@ func (c *Cluster) Repair(rf int) (*RepairReport, error) {
 			}
 		}
 	}
-	return c.client.repairRanges(math.MinInt64, math.MaxInt64, rf, fence)
+	return c.client.repairRanges(math.MinInt64, math.MaxInt64, rf, fence, nil)
 }
 
 // RepairAll repairs every replicated range of the client's current
@@ -134,7 +134,7 @@ func (c *Client) RepairAll(rf int) (*RepairReport, error) {
 // (ClientOptions.RepairConcurrency wide), so a converged pass's wall
 // clock is dominated by the slowest range, not the sum of all digests.
 func (c *Client) RepairRange(lo, hi int64, rf int) (*RepairReport, error) {
-	return c.repairRanges(lo, hi, rf, nil)
+	return c.repairRanges(lo, hi, rf, nil, nil)
 }
 
 // repairJob is one owner-constant token range queued for a repair
@@ -149,10 +149,13 @@ type repairJob struct {
 // each job's pair syncs touch only its own token span. fence, when
 // non-nil, is invoked per range before its first digest and released
 // after its last ship — Cluster.Repair uses it to fence tombstone GC
-// exactly where and while repair is looking. On error the first
+// exactly where and while repair is looking. only, when non-nil,
+// restricts the pass to ranges that node owns — Node.RepairNow uses it
+// so each member repairs its own slice of the keyspace instead of
+// every node walking the whole ring every period. On error the first
 // failure is reported and no further ranges are started; in-flight
 // ranges finish (their shipped cells are valid repairs on their own).
-func (c *Client) repairRanges(lo, hi int64, rf int, fence func(lo, hi int64) func()) (*RepairReport, error) {
+func (c *Client) repairRanges(lo, hi int64, rf int, fence func(lo, hi int64) func(), only *hashring.NodeID) (*RepairReport, error) {
 	if rf <= 0 {
 		rf = c.rf
 	}
@@ -168,6 +171,18 @@ func (c *Client) repairRanges(lo, hi int64, rf int, fence func(lo, hi int64) fun
 		}
 		if rlo > rhi || len(or.Owners) < 2 {
 			continue
+		}
+		if only != nil {
+			owns := false
+			for _, o := range or.Owners {
+				if o == *only {
+					owns = true
+					break
+				}
+			}
+			if !owns {
+				continue
+			}
 		}
 		jobs = append(jobs, repairJob{lo: rlo, hi: rhi, owners: or.Owners})
 	}

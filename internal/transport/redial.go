@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Caller issues one request and blocks for its response. Both Client
+// and Redialer implement it, so code that forwards or probes can hold
+// either a raw pipelined connection or a self-healing one.
+type Caller interface {
+	Call(payload []byte) ([]byte, error)
+}
+
+// Redialer backoff bounds: the first redial after a broken connection
+// waits redialBase; each consecutive failure doubles the wait up to
+// redialMax. Calls arriving inside the wait window fail fast with
+// ErrBackoff instead of hammering a dead peer.
+const (
+	redialBase = 50 * time.Millisecond
+	redialMax  = 2 * time.Second
+)
+
+// ErrBackoff reports a call rejected because the peer's connection is
+// broken and the capped-exponential redial window has not elapsed yet.
+var ErrBackoff = fmt.Errorf("transport: peer in redial backoff")
+
+// Redialer wraps a dial function into a self-healing Caller: the first
+// Call dials lazily, a broken connection is closed and re-dialed on the
+// next Call after a capped exponential backoff, and consecutive dial
+// failures stretch the window. A bounced peer process is therefore
+// redialed instead of permanently failed over. Safe for concurrent use;
+// calls in flight on a connection that breaks fail and do not retry —
+// retry policy belongs to the caller (the cluster client's failover
+// loop, the prober's next tick).
+type Redialer struct {
+	dial func() (*Client, error)
+
+	mu    sync.Mutex
+	cur   *Client
+	fails int       // consecutive dial-or-call failures since last success
+	next  time.Time // earliest moment the next dial may run
+
+	dials   atomic.Uint64
+	redials atomic.Uint64
+	closed  bool
+}
+
+// NewRedialer wraps dial. Nothing is dialed until the first Call.
+func NewRedialer(dial func() (*Client, error)) *Redialer {
+	return &Redialer{dial: dial}
+}
+
+// conn returns the live connection, dialing if needed.
+func (r *Redialer) conn() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.cur != nil {
+		return r.cur, nil
+	}
+	if !r.next.IsZero() && time.Now().Before(r.next) {
+		return nil, ErrBackoff
+	}
+	c, err := r.dial()
+	if err != nil {
+		r.fails++
+		r.next = time.Now().Add(r.backoff())
+		return nil, err
+	}
+	if r.dials.Add(1) > 1 {
+		r.redials.Add(1)
+	}
+	r.cur = c
+	return c, nil
+}
+
+// backoff computes the wait for the current consecutive-failure count.
+// Called with r.mu held.
+func (r *Redialer) backoff() time.Duration {
+	d := redialBase
+	for i := 1; i < r.fails && d < redialMax; i++ {
+		d *= 2
+	}
+	if d > redialMax {
+		d = redialMax
+	}
+	return d
+}
+
+// dropBroken discards a connection that failed, starting the backoff
+// clock. The identity check keeps a concurrent call that failed on the
+// same connection from double-counting, and a call that failed on an
+// already-replaced connection from discarding the healthy replacement.
+func (r *Redialer) dropBroken(c *Client) {
+	r.mu.Lock()
+	if r.cur == c {
+		r.cur = nil
+		r.fails++
+		r.next = time.Now().Add(r.backoff())
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// noteSuccess resets the failure streak after a completed call.
+func (r *Redialer) noteSuccess(c *Client) {
+	r.mu.Lock()
+	if r.cur == c {
+		r.fails = 0
+		r.next = time.Time{}
+	}
+	r.mu.Unlock()
+}
+
+// Call implements Caller: dial if needed, issue, and on failure mark
+// the connection broken so the next call re-dials after backoff.
+func (r *Redialer) Call(payload []byte) ([]byte, error) {
+	c, err := r.conn()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(payload)
+	if err != nil {
+		r.dropBroken(c)
+		return nil, err
+	}
+	r.noteSuccess(c)
+	return resp, nil
+}
+
+// CallTimeout is Call with a response deadline. On timeout the
+// connection is discarded — a frame may still be in flight on it, and
+// reusing the stream would mis-correlate nothing (correlation ids are
+// per-connection) but would leak the pending slot — so the peer is
+// treated exactly like a broken connection. Probers use this so a hung
+// peer cannot wedge the probe loop.
+func (r *Redialer) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	c, err := r.conn()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := c.Go(payload)
+	if err != nil {
+		r.dropBroken(c)
+		return nil, err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			r.dropBroken(c)
+			return nil, fmt.Errorf("transport: call failed: connection broken")
+		}
+		r.noteSuccess(c)
+		return resp, nil
+	case <-t.C:
+		r.dropBroken(c)
+		return nil, fmt.Errorf("transport: call timed out after %v", d)
+	}
+}
+
+// Stats returns the cumulative dial and redial counts. Dials counts
+// every successful connection establishment; redials is the subset
+// that replaced a broken one (dials - 1 once connected, monotone).
+func (r *Redialer) Stats() (dials, redials uint64) {
+	return r.dials.Load(), r.redials.Load()
+}
+
+// Close discards the current connection and rejects future calls.
+func (r *Redialer) Close() error {
+	r.mu.Lock()
+	c := r.cur
+	r.cur = nil
+	r.closed = true
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// echoServe starts an echo server at addr on the fabric.
+func echoServe(t *testing.T, net *Network, addr string) *Server {
+	t.Helper()
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Serve(l, func(p []byte) []byte { return append([]byte("ok:"), p...) })
+}
+
+func TestRedialerReconnectsAfterPeerBounce(t *testing.T) {
+	fabric := NewNetwork()
+	srv := echoServe(t, fabric, "peer")
+	r := NewRedialer(func() (*Client, error) {
+		c, err := fabric.Dial("peer")
+		if err != nil {
+			return nil, err
+		}
+		return NewClient(c), nil
+	})
+	defer r.Close()
+
+	if resp, err := r.Call([]byte("a")); err != nil || string(resp) != "ok:a" {
+		t.Fatalf("first call: %q, %v", resp, err)
+	}
+
+	// Bounce the peer: the in-flight connection breaks, the next call
+	// fails, and subsequent calls inside the backoff window fail fast.
+	srv.Close()
+	if _, err := r.Call([]byte("b")); err == nil {
+		t.Fatal("call to downed peer succeeded")
+	}
+	if _, err := r.Call([]byte("c")); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("call inside backoff window: %v, want ErrBackoff", err)
+	}
+
+	srv = echoServe(t, fabric, "peer")
+	defer srv.Close()
+
+	// After the backoff window elapses the redialer reconnects.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := r.Call([]byte("d"))
+		if err == nil {
+			if string(resp) != "ok:d" {
+				t.Fatalf("post-bounce call: %q", resp)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("redial never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	dials, redials := r.Stats()
+	if dials != 2 || redials != 1 {
+		t.Fatalf("stats: dials=%d redials=%d, want 2/1", dials, redials)
+	}
+}
+
+func TestRedialerBackoffGrowsAndCaps(t *testing.T) {
+	r := NewRedialer(nil)
+	r.fails = 1
+	if got := r.backoff(); got != redialBase {
+		t.Fatalf("backoff after 1 failure: %v, want %v", got, redialBase)
+	}
+	r.fails = 3
+	if got := r.backoff(); got != 4*redialBase {
+		t.Fatalf("backoff after 3 failures: %v, want %v", got, 4*redialBase)
+	}
+	r.fails = 100
+	if got := r.backoff(); got != redialMax {
+		t.Fatalf("backoff after 100 failures: %v, want cap %v", got, redialMax)
+	}
+}
+
+func TestRedialerCallTimeoutDropsHungPeer(t *testing.T) {
+	fabric := NewNetwork()
+	l, err := fabric.Listen("hung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	srv := Serve(l, func(p []byte) []byte { <-block; return p })
+	// LIFO: unblock the handler before Server.Close waits for it.
+	defer srv.Close()
+	defer close(block)
+
+	r := NewRedialer(func() (*Client, error) {
+		c, err := fabric.Dial("hung")
+		if err != nil {
+			return nil, err
+		}
+		return NewClient(c), nil
+	})
+	defer r.Close()
+
+	start := time.Now()
+	if _, err := r.CallTimeout([]byte("x"), 50*time.Millisecond); err == nil {
+		t.Fatal("call to hung peer returned")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The hung connection was discarded: the redialer is in backoff.
+	if _, err := r.Call([]byte("y")); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("after timeout: %v, want ErrBackoff", err)
+	}
+}
+
+func TestRedialerFailFastWhileDialFails(t *testing.T) {
+	fabric := NewNetwork() // no listener at all
+	r := NewRedialer(func() (*Client, error) {
+		c, err := fabric.Dial("nobody")
+		if err != nil {
+			return nil, err
+		}
+		return NewClient(c), nil
+	})
+	defer r.Close()
+
+	if _, err := r.Call(nil); err == nil {
+		t.Fatal("dial to missing peer succeeded")
+	}
+	// Immediately after a failed dial the window is open: fail fast.
+	if _, err := r.Call(nil); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("second call: %v, want ErrBackoff", err)
+	}
+	if dials, _ := r.Stats(); dials != 0 {
+		t.Fatalf("dials=%d after failures, want 0", dials)
+	}
+}

@@ -116,11 +116,8 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 	case *RingStateResponse:
 		out = enc.AppendUvarint(out, v.Epoch)
 		out = enc.AppendUvarint(out, uint64(v.Vnodes))
-		out = enc.AppendUvarint(out, uint64(len(v.Nodes)))
-		for _, n := range v.Nodes {
-			out = enc.AppendUvarint(out, uint64(n.ID))
-			out = enc.AppendBytes(out, []byte(n.Addr))
-		}
+		out = enc.AppendUvarint(out, uint64(v.RF))
+		out = appendNodeAddrs(out, v.Nodes)
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	case *StreamRangeRequest:
 		out = enc.AppendUvarint(out, uint64(v.Lo))
@@ -183,6 +180,61 @@ func (FastCodec) Marshal(m Message) ([]byte, error) {
 		out = enc.AppendUvarint(out, v.CacheBytes)
 		out = enc.AppendUvarint(out, v.BlockBytesLogical)
 		out = enc.AppendUvarint(out, v.BlockBytesStored)
+		out = enc.AppendUvarint(out, uint64(len(v.Peers)))
+		for _, p := range v.Peers {
+			out = enc.AppendUvarint(out, uint64(p.ID))
+			out = appendBool(out, p.Up)
+			out = enc.AppendUvarint(out, uint64(p.Suspicion))
+			out = enc.AppendUvarint(out, p.SinceMillis)
+		}
+		out = enc.AppendUvarint(out, v.DialCount)
+		out = enc.AppendUvarint(out, v.RedialCount)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *JoinRequest:
+		out = enc.AppendUvarint(out, uint64(v.ID))
+		out = enc.AppendBytes(out, []byte(v.Addr))
+	case *JoinResponse:
+		out = enc.AppendUvarint(out, v.Epoch)
+		out = enc.AppendUvarint(out, uint64(v.Moves))
+		out = enc.AppendUvarint(out, v.CellsStreamed)
+		out = enc.AppendUvarint(out, v.CellsRetired)
+		out = enc.AppendUvarint(out, uint64(v.Pages))
+		out = enc.AppendUvarint(out, v.StreamNanos)
+		out = enc.AppendUvarint(out, v.FlipNanos)
+		out = enc.AppendBytes(out, []byte(v.RetireErr))
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *BeginMigrationRequest:
+		out = enc.AppendUvarint(out, uint64(len(v.Moves)))
+		for _, mv := range v.Moves {
+			out = enc.AppendUvarint(out, uint64(mv.Lo))
+			out = enc.AppendUvarint(out, uint64(mv.Hi))
+			out = enc.AppendUvarint(out, uint64(mv.From))
+			out = enc.AppendUvarint(out, uint64(mv.To))
+		}
+		out = appendNodeAddrs(out, v.Nodes)
+	case *BeginMigrationResponse:
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *EndMigrationRequest:
+		// No fields.
+	case *EndMigrationResponse:
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *SetRingStateRequest:
+		out = enc.AppendUvarint(out, v.Epoch)
+		out = enc.AppendUvarint(out, uint64(v.Vnodes))
+		out = enc.AppendUvarint(out, uint64(v.RF))
+		out = appendNodeAddrs(out, v.Nodes)
+	case *SetRingStateResponse:
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *PingRequest:
+		out = enc.AppendUvarint(out, uint64(v.FromID))
+		out = enc.AppendUvarint(out, v.Epoch)
+	case *PingResponse:
+		out = enc.AppendUvarint(out, uint64(v.ID))
+		out = enc.AppendUvarint(out, v.Epoch)
+		out = enc.AppendBytes(out, []byte(v.ErrMsg))
+	case *LeaveRequest:
+		out = enc.AppendUvarint(out, uint64(v.ID))
+	case *LeaveResponse:
 		out = enc.AppendBytes(out, []byte(v.ErrMsg))
 	default:
 		return nil, fmt.Errorf("wire: fast codec cannot marshal %T", m)
@@ -218,6 +270,16 @@ func appendEntry(out []byte, e row.Entry) []byte {
 	out = enc.AppendBytes(out, e.CK)
 	out = enc.AppendBytes(out, e.Value)
 	return appendVersion(out, e.Ver, e.Tombstone)
+}
+
+// appendNodeAddrs encodes an address book: count, then (id, addr) pairs.
+func appendNodeAddrs(out []byte, nodes []NodeAddr) []byte {
+	out = enc.AppendUvarint(out, uint64(len(nodes)))
+	for _, n := range nodes {
+		out = enc.AppendUvarint(out, uint64(n.ID))
+		out = enc.AppendBytes(out, []byte(n.Addr))
+	}
+	return out
 }
 
 // Unmarshal implements Codec.
@@ -330,13 +392,8 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 	case *RingStateResponse:
 		v.Epoch = d.uvarint()
 		v.Vnodes = uint32(d.uvarint())
-		cnt := d.uvarint()
-		if cnt > 0 {
-			v.Nodes = make([]NodeAddr, 0, cnt)
-			for i := uint64(0); i < cnt && d.err == nil; i++ {
-				v.Nodes = append(v.Nodes, NodeAddr{ID: uint32(d.uvarint()), Addr: string(d.bytes())})
-			}
-		}
+		v.RF = uint32(d.uvarint())
+		v.Nodes = d.nodeAddrs()
 		v.ErrMsg = string(d.bytes())
 	case *StreamRangeRequest:
 		v.Lo = int64(d.uvarint())
@@ -413,6 +470,69 @@ func (FastCodec) Unmarshal(data []byte) (Message, error) {
 		v.CacheBytes = d.uvarint()
 		v.BlockBytesLogical = d.uvarint()
 		v.BlockBytesStored = d.uvarint()
+		if cnt := d.uvarint(); cnt > 0 {
+			v.Peers = make([]PeerStat, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Peers = append(v.Peers, PeerStat{
+					ID:          uint32(d.uvarint()),
+					Up:          d.byte() == 1,
+					Suspicion:   uint32(d.uvarint()),
+					SinceMillis: d.uvarint(),
+				})
+			}
+		}
+		v.DialCount = d.uvarint()
+		v.RedialCount = d.uvarint()
+		v.ErrMsg = string(d.bytes())
+	case *JoinRequest:
+		v.ID = uint32(d.uvarint())
+		v.Addr = string(d.bytes())
+	case *JoinResponse:
+		v.Epoch = d.uvarint()
+		v.Moves = uint32(d.uvarint())
+		v.CellsStreamed = d.uvarint()
+		v.CellsRetired = d.uvarint()
+		v.Pages = uint32(d.uvarint())
+		v.StreamNanos = d.uvarint()
+		v.FlipNanos = d.uvarint()
+		v.RetireErr = string(d.bytes())
+		v.ErrMsg = string(d.bytes())
+	case *BeginMigrationRequest:
+		if cnt := d.uvarint(); cnt > 0 {
+			v.Moves = make([]Move, 0, cnt)
+			for i := uint64(0); i < cnt && d.err == nil; i++ {
+				v.Moves = append(v.Moves, Move{
+					Lo:   int64(d.uvarint()),
+					Hi:   int64(d.uvarint()),
+					From: uint32(d.uvarint()),
+					To:   uint32(d.uvarint()),
+				})
+			}
+		}
+		v.Nodes = d.nodeAddrs()
+	case *BeginMigrationResponse:
+		v.ErrMsg = string(d.bytes())
+	case *EndMigrationRequest:
+		// No fields.
+	case *EndMigrationResponse:
+		v.ErrMsg = string(d.bytes())
+	case *SetRingStateRequest:
+		v.Epoch = d.uvarint()
+		v.Vnodes = uint32(d.uvarint())
+		v.RF = uint32(d.uvarint())
+		v.Nodes = d.nodeAddrs()
+	case *SetRingStateResponse:
+		v.ErrMsg = string(d.bytes())
+	case *PingRequest:
+		v.FromID = uint32(d.uvarint())
+		v.Epoch = d.uvarint()
+	case *PingResponse:
+		v.ID = uint32(d.uvarint())
+		v.Epoch = d.uvarint()
+		v.ErrMsg = string(d.bytes())
+	case *LeaveRequest:
+		v.ID = uint32(d.uvarint())
+	case *LeaveResponse:
 		v.ErrMsg = string(d.bytes())
 	}
 	if d.err != nil {
@@ -510,4 +630,17 @@ func (d *decoder) entry() row.Entry {
 	e := row.Entry{PK: string(d.bytes()), CK: d.copyBytes(), Value: d.copyBytes()}
 	e.Ver, e.Tombstone = d.version()
 	return e
+}
+
+// nodeAddrs decodes an address book written by appendNodeAddrs.
+func (d *decoder) nodeAddrs() []NodeAddr {
+	cnt := d.uvarint()
+	if cnt == 0 {
+		return nil
+	}
+	nodes := make([]NodeAddr, 0, cnt)
+	for i := uint64(0); i < cnt && d.err == nil; i++ {
+		nodes = append(nodes, NodeAddr{ID: uint32(d.uvarint()), Addr: string(d.bytes())})
+	}
+	return nodes
 }

@@ -54,6 +54,18 @@ const (
 	TypeDeleteResponse
 	TypeDigestRequest
 	TypeDigestResponse
+	TypeJoinRequest
+	TypeJoinResponse
+	TypeBeginMigrationRequest
+	TypeBeginMigrationResponse
+	TypeEndMigrationRequest
+	TypeEndMigrationResponse
+	TypeSetRingStateRequest
+	TypeSetRingStateResponse
+	TypePingRequest
+	TypePingResponse
+	TypeLeaveRequest
+	TypeLeaveResponse
 )
 
 // --- Topology epochs --------------------------------------------------------
@@ -295,13 +307,17 @@ type NodeAddr struct {
 	Addr string
 }
 
-// RingStateResponse carries a topology: epoch, members and the vnode
-// count. Token positions are derived deterministically from (member ID,
-// vnode index), so the membership list IS the token list in compressed
-// form — hashring.FromNodes reconstructs placement exactly.
+// RingStateResponse carries a topology: epoch, members, the vnode
+// count and the replication factor the ring runs at. Token positions
+// are derived deterministically from (member ID, vnode index), so the
+// membership list IS the token list in compressed form —
+// hashring.FromNodes reconstructs placement exactly. RF lets a
+// bootstrapping client or joiner adopt the ring's replication factor
+// instead of guessing (0 = unknown, pre-membership nodes).
 type RingStateResponse struct {
 	Epoch  uint64
 	Vnodes uint32
+	RF     uint32
 	Nodes  []NodeAddr
 	ErrMsg string
 }
@@ -390,6 +406,159 @@ type DigestResponse struct {
 // TypeID implements Message.
 func (*DigestResponse) TypeID() uint16 { return TypeDigestResponse }
 
+// --- Membership protocol ----------------------------------------------------
+//
+// These messages lift the join/leave state machine onto the wire so
+// real processes form and heal a ring without an in-process
+// coordinator. A fresh node dials a seed, learns the current topology
+// (RingStateRequest), boots at that epoch, then sends one JoinRequest;
+// the seed drives the whole state machine — ownership diff, dual-write
+// window (BeginMigration), paged range streaming, epoch flip
+// (SetRingState), retirement (EndMigration + DeleteRange) — over these
+// messages and answers with the final epoch. Migration-control traffic
+// is admin-class like range streaming: no epoch fields, valid at any
+// topology, serialized by the coordinating node.
+
+// Move is one range handoff on the wire: the inclusive token range
+// [Lo, Hi] moves from replica From to replica To at the epoch flip.
+type Move struct {
+	Lo, Hi   int64
+	From, To uint32
+}
+
+// JoinRequest asks the receiving member to bring the sender into the
+// ring. ID is the joiner's chosen node ID (it must already serve at
+// Addr, booted at the seed's current topology, so dual-write forwards
+// and streamed pages land somewhere). The seed serializes joins: a
+// second JoinRequest arriving mid-migration is rejected and retried.
+type JoinRequest struct {
+	ID   uint32
+	Addr string
+}
+
+// TypeID implements Message.
+func (*JoinRequest) TypeID() uint16 { return TypeJoinRequest }
+
+// JoinResponse reports the outcome of a join: the epoch the ring
+// flipped to and the rebalance summary (mirroring RebalanceReport).
+// RetireErr is non-fatal — the join succeeded but some source-side
+// range purges failed and will be reclaimed by a later repair/purge.
+type JoinResponse struct {
+	Epoch         uint64
+	Moves         uint32
+	CellsStreamed uint64
+	CellsRetired  uint64
+	Pages         uint32
+	StreamNanos   uint64
+	FlipNanos     uint64
+	RetireErr     string
+	ErrMsg        string
+}
+
+// TypeID implements Message.
+func (*JoinResponse) TypeID() uint16 { return TypeJoinResponse }
+
+// BeginMigrationRequest opens the dual-write window on the receiving
+// node. The node filters Moves for relevance itself: ranges it is the
+// source of get forwarded-to targets (dialed from the Nodes book),
+// ranges it is the target of get tombstone-GC fences. Nodes is the
+// address book of the NEXT epoch, so forward targets that are not yet
+// members are dialable.
+type BeginMigrationRequest struct {
+	Moves []Move
+	Nodes []NodeAddr
+}
+
+// TypeID implements Message.
+func (*BeginMigrationRequest) TypeID() uint16 { return TypeBeginMigrationRequest }
+
+// BeginMigrationResponse acknowledges the dual-write window.
+type BeginMigrationResponse struct {
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*BeginMigrationResponse) TypeID() uint16 { return TypeBeginMigrationResponse }
+
+// EndMigrationRequest closes the receiving node's migration window:
+// dual-write forwarding stops and the target-side GC fences lift.
+// Issued only after every node serves the new epoch.
+type EndMigrationRequest struct{}
+
+// TypeID implements Message.
+func (*EndMigrationRequest) TypeID() uint16 { return TypeEndMigrationRequest }
+
+// EndMigrationResponse acknowledges the window close.
+type EndMigrationResponse struct {
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*EndMigrationResponse) TypeID() uint16 { return TypeEndMigrationResponse }
+
+// SetRingStateRequest installs a topology on the receiving node — the
+// epoch flip. The node adopts it only if Epoch is newer than its
+// current ring, persists it crash-atomically to its topology file, and
+// from then on rejects data-path requests routed at other epochs.
+type SetRingStateRequest struct {
+	Epoch  uint64
+	Vnodes uint32
+	RF     uint32
+	Nodes  []NodeAddr
+}
+
+// TypeID implements Message.
+func (*SetRingStateRequest) TypeID() uint16 { return TypeSetRingStateRequest }
+
+// SetRingStateResponse acknowledges a topology install.
+type SetRingStateResponse struct {
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*SetRingStateResponse) TypeID() uint16 { return TypeSetRingStateResponse }
+
+// PingRequest is a liveness probe between peers. FromID/Epoch identify
+// the prober and its ring view; the reply carries the receiver's, so a
+// probe doubles as a cheap epoch-skew detector.
+type PingRequest struct {
+	FromID uint32
+	Epoch  uint64
+}
+
+// TypeID implements Message.
+func (*PingRequest) TypeID() uint16 { return TypePingRequest }
+
+// PingResponse answers a probe with the receiver's identity and epoch.
+type PingResponse struct {
+	ID     uint32
+	Epoch  uint64
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*PingResponse) TypeID() uint16 { return TypePingResponse }
+
+// LeaveRequest announces a graceful departure: the sender is shutting
+// down NOW. Receivers mark the peer down immediately instead of
+// waiting for probe timeouts. It does NOT change membership — the
+// departed node still owns its ranges (and rejoins on restart); a
+// permanent removal goes through the remove state machine.
+type LeaveRequest struct {
+	ID uint32
+}
+
+// TypeID implements Message.
+func (*LeaveRequest) TypeID() uint16 { return TypeLeaveRequest }
+
+// LeaveResponse acknowledges a departure announcement.
+type LeaveResponse struct {
+	ErrMsg string
+}
+
+// TypeID implements Message.
+func (*LeaveResponse) TypeID() uint16 { return TypeLeaveResponse }
+
 // NodeStatsRequest asks a node for its storage-engine load summary.
 type NodeStatsRequest struct{}
 
@@ -433,7 +602,24 @@ type NodeStatsResponse struct {
 	CacheBytes        uint64
 	BlockBytesLogical uint64
 	BlockBytesStored  uint64
-	ErrMsg            string
+	// Peers is the node's liveness view of the other ring members (empty
+	// when probing is disabled). DialCount/RedialCount are cumulative
+	// outbound peer connections: first dials plus re-dials after a broken
+	// connection — a rising redial count is the bounced-peer signal.
+	Peers       []PeerStat
+	DialCount   uint64
+	RedialCount uint64
+	ErrMsg      string
+}
+
+// PeerStat is one peer's health as seen by the reporting node: up or
+// down, the current consecutive-failure count (suspicion), and how long
+// the peer has been in this state.
+type PeerStat struct {
+	ID          uint32
+	Up          bool
+	Suspicion   uint32
+	SinceMillis uint64
 }
 
 // TypeID implements Message.
@@ -498,6 +684,30 @@ func newMessage(id uint16) (Message, error) {
 		return &DigestRequest{}, nil
 	case TypeDigestResponse:
 		return &DigestResponse{}, nil
+	case TypeJoinRequest:
+		return &JoinRequest{}, nil
+	case TypeJoinResponse:
+		return &JoinResponse{}, nil
+	case TypeBeginMigrationRequest:
+		return &BeginMigrationRequest{}, nil
+	case TypeBeginMigrationResponse:
+		return &BeginMigrationResponse{}, nil
+	case TypeEndMigrationRequest:
+		return &EndMigrationRequest{}, nil
+	case TypeEndMigrationResponse:
+		return &EndMigrationResponse{}, nil
+	case TypeSetRingStateRequest:
+		return &SetRingStateRequest{}, nil
+	case TypeSetRingStateResponse:
+		return &SetRingStateResponse{}, nil
+	case TypePingRequest:
+		return &PingRequest{}, nil
+	case TypePingResponse:
+		return &PingResponse{}, nil
+	case TypeLeaveRequest:
+		return &LeaveRequest{}, nil
+	case TypeLeaveResponse:
+		return &LeaveResponse{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", id)
 	}

@@ -40,6 +40,12 @@ func init() {
 		&NodeStatsRequest{}, &NodeStatsResponse{},
 		&DeleteRequest{}, &DeleteResponse{},
 		&DigestRequest{}, &DigestResponse{},
+		&JoinRequest{}, &JoinResponse{},
+		&BeginMigrationRequest{}, &BeginMigrationResponse{},
+		&EndMigrationRequest{}, &EndMigrationResponse{},
+		&SetRingStateRequest{}, &SetRingStateResponse{},
+		&PingRequest{}, &PingResponse{},
+		&LeaveRequest{}, &LeaveResponse{},
 	} {
 		t := reflect.TypeOf(m).Elem()
 		slowRegistry[t.String()] = t

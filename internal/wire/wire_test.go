@@ -107,6 +107,36 @@ func sampleMessages() []Message {
 		}},
 		&DigestResponse{ErrMsg: "engine closed"},
 		&GetResponse{Tombstone: true, VerSeq: 1 << 50, VerNode: 65535},
+		// Membership protocol: join, migration control, epoch flip,
+		// liveness probes and departure announcements.
+		&JoinRequest{ID: 3, Addr: "127.0.0.1:7073"},
+		&JoinResponse{Epoch: 5, Moves: 12, CellsStreamed: 40000, CellsRetired: 39000,
+			Pages: 10, StreamNanos: 1 << 30, FlipNanos: 1 << 20, RetireErr: "node 1: timeout"},
+		&JoinResponse{ErrMsg: "join of node 3 already in flight"},
+		&BeginMigrationRequest{Moves: []Move{
+			{Lo: -1 << 62, Hi: 1<<62 - 1, From: 0, To: 3},
+			{Lo: 42, Hi: 4242, From: 2, To: 3},
+		}, Nodes: []NodeAddr{{ID: 0, Addr: "node-0"}, {ID: 3, Addr: "127.0.0.1:7073"}}},
+		&BeginMigrationRequest{},
+		&BeginMigrationResponse{},
+		&BeginMigrationResponse{ErrMsg: "busy"},
+		&EndMigrationRequest{},
+		&EndMigrationResponse{ErrMsg: "boom"},
+		&SetRingStateRequest{Epoch: 6, Vnodes: 64, RF: 2, Nodes: []NodeAddr{
+			{ID: 0, Addr: "node-0"}, {ID: 1, Addr: "node-1"},
+		}},
+		&SetRingStateResponse{},
+		&SetRingStateResponse{ErrMsg: "stale epoch"},
+		&PingRequest{FromID: 1, Epoch: 4},
+		&PingResponse{ID: 2, Epoch: 4},
+		&PingResponse{ErrMsg: "shutting down"},
+		&LeaveRequest{ID: 2},
+		&LeaveResponse{},
+		&RingStateResponse{Epoch: 9, Vnodes: 32, RF: 3, Nodes: []NodeAddr{{ID: 7, Addr: "x:1"}}},
+		&NodeStatsResponse{Epoch: 3, Peers: []PeerStat{
+			{ID: 1, Up: true, SinceMillis: 120000},
+			{ID: 2, Up: false, Suspicion: 5, SinceMillis: 900},
+		}, DialCount: 12, RedialCount: 3},
 	}
 }
 
@@ -258,6 +288,30 @@ func normalize(m Message) Message {
 		if len(out.Shards) == 0 {
 			out.Shards = nil
 		}
+		if len(out.Peers) == 0 {
+			out.Peers = nil
+		}
+		if len(out.LevelTables) == 0 {
+			out.LevelTables = nil
+		}
+		if len(out.LevelBytes) == 0 {
+			out.LevelBytes = nil
+		}
+		return &out
+	case *BeginMigrationRequest:
+		out := *v
+		if len(out.Moves) == 0 {
+			out.Moves = nil
+		}
+		if len(out.Nodes) == 0 {
+			out.Nodes = nil
+		}
+		return &out
+	case *SetRingStateRequest:
+		out := *v
+		if len(out.Nodes) == 0 {
+			out.Nodes = nil
+		}
 		return &out
 	}
 	return m
@@ -373,6 +427,18 @@ func TestBatchMessageTypeIDsAreStable(t *testing.T) {
 		22: &DeleteResponse{},
 		23: &DigestRequest{},
 		24: &DigestResponse{},
+		25: &JoinRequest{},
+		26: &JoinResponse{},
+		27: &BeginMigrationRequest{},
+		28: &BeginMigrationResponse{},
+		29: &EndMigrationRequest{},
+		30: &EndMigrationResponse{},
+		31: &SetRingStateRequest{},
+		32: &SetRingStateResponse{},
+		33: &PingRequest{},
+		34: &PingResponse{},
+		35: &LeaveRequest{},
+		36: &LeaveResponse{},
 	}
 	for id, m := range want {
 		if got := m.TypeID(); got != id {
